@@ -1,0 +1,41 @@
+// Command experiments regenerates every table and figure of the paper's
+// quantitative claims (Table 1, Figures 1-4, and the theorem bounds) and
+// prints them as aligned text tables. EXPERIMENTS.md records one run.
+//
+// Usage:
+//
+//	experiments [-seed N] [-only E10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ftrouting/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "master random seed (results are deterministic per seed)")
+	only := flag.String("only", "", "run a single experiment by id (e.g. E10)")
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Printf("ftrouting experiment suite  (seed=%d)\n", *seed)
+	fmt.Printf("reproducing: Dory, Parter. Fault-Tolerant Labeling and Compact Routing Schemes. PODC 2021.\n\n")
+
+	ran := 0
+	for _, table := range experiments.All(*seed) {
+		if *only != "" && table.ID != *only {
+			continue
+		}
+		fmt.Println(table.String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -only=%q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("completed %d experiments in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}

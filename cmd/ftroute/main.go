@@ -1,0 +1,287 @@
+// Command ftroute is a CLI for the ftrouting library: generate graphs,
+// build fault-tolerant labels, answer connectivity/distance queries under
+// faults, and run routing simulations.
+//
+// Usage:
+//
+//	ftroute conn  -graph random -n 100 -extra 150 -f 3 -s 0 -t 99 -faults 1,2,3
+//	ftroute dist  -graph grid -rows 8 -cols 8 -f 2 -k 2 -s 0 -t 63 -faults 5
+//	ftroute route -graph fattree -ft-k 4 -f 2 -k 2 -s 20 -t 35 -faults 7,9
+//	ftroute sweep -graph random -n 100 -f 2 -queries 100
+//	ftroute lower -f 4 -len 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftrouting"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "conn":
+		err = runConn(args)
+	case "dist":
+		err = runDist(args)
+	case "route":
+		err = runRoute(args)
+	case "lower":
+		err = runLower(args)
+	case "sweep":
+		err = runSweep(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftroute:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower> [flags]
+  conn   connectivity query under faults from labels
+  dist   approximate distance query under faults from labels
+  route  fault-tolerant routing simulation
+  sweep  aggregate routing statistics over many random queries
+  lower  Theorem 1.6 lower-bound experiment`)
+}
+
+// graphFlags declares the shared topology flags on a FlagSet.
+type graphFlags struct {
+	kind    *string
+	n       *int
+	extra   *int
+	rows    *int
+	cols    *int
+	ftK     *int
+	maxW    *int64
+	seed    *uint64
+	s, t    *int
+	faults  *string
+	builder func() (*ftrouting.Graph, error)
+}
+
+func addGraphFlags(fs *flag.FlagSet) *graphFlags {
+	gf := &graphFlags{
+		kind:   fs.String("graph", "random", "topology: random|grid|fattree|ring|star|path"),
+		n:      fs.Int("n", 100, "vertices (random/star/path)"),
+		extra:  fs.Int("extra", 150, "extra edges beyond spanning tree (random)"),
+		rows:   fs.Int("rows", 8, "grid rows"),
+		cols:   fs.Int("cols", 8, "grid cols"),
+		ftK:    fs.Int("ft-k", 4, "fat-tree arity (even)"),
+		maxW:   fs.Int64("maxw", 1, "max edge weight (1 = unweighted)"),
+		seed:   fs.Uint64("seed", 1, "random seed"),
+		s:      fs.Int("s", 0, "source vertex"),
+		t:      fs.Int("t", 1, "target vertex"),
+		faults: fs.String("faults", "", "comma-separated faulty edge ids"),
+	}
+	gf.builder = func() (*ftrouting.Graph, error) {
+		var g *ftrouting.Graph
+		switch *gf.kind {
+		case "random":
+			g = ftrouting.RandomConnected(*gf.n, *gf.extra, *gf.seed)
+		case "grid":
+			g = ftrouting.Grid(*gf.rows, *gf.cols)
+		case "fattree":
+			g, _ = ftrouting.FatTree(*gf.ftK)
+		case "ring":
+			g = ftrouting.RingOfCliques(6, 5)
+		case "star":
+			g = ftrouting.Star(*gf.n)
+		case "path":
+			g = ftrouting.Path(*gf.n)
+		default:
+			return nil, fmt.Errorf("unknown graph kind %q", *gf.kind)
+		}
+		if *gf.maxW > 1 {
+			g = ftrouting.WithRandomWeights(g, *gf.maxW, *gf.seed+1)
+		}
+		return g, nil
+	}
+	return gf
+}
+
+func (gf *graphFlags) faultIDs() ([]ftrouting.EdgeID, error) {
+	if *gf.faults == "" {
+		return nil, nil
+	}
+	parts := strings.Split(*gf.faults, ",")
+	out := make([]ftrouting.EdgeID, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad fault id %q: %w", p, err)
+		}
+		out = append(out, ftrouting.EdgeID(v))
+	}
+	return out, nil
+}
+
+func runConn(args []string) error {
+	fs := flag.NewFlagSet("conn", flag.ExitOnError)
+	gf := addGraphFlags(fs)
+	f := fs.Int("f", 2, "fault bound")
+	scheme := fs.String("scheme", "sketch", "labeling scheme: sketch|cut")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := gf.builder()
+	if err != nil {
+		return err
+	}
+	kind := ftrouting.SketchBased
+	if *scheme == "cut" {
+		kind = ftrouting.CutBased
+	}
+	labels, err := ftrouting.BuildConnectivityLabels(g, ftrouting.ConnOptions{
+		Scheme: kind, MaxFaults: *f, Seed: *gf.seed,
+	})
+	if err != nil {
+		return err
+	}
+	faults, err := gf.faultIDs()
+	if err != nil {
+		return err
+	}
+	connected, err := labels.Connected(int32(*gf.s), int32(*gf.t), faults)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d   query: s=%d t=%d |F|=%d\n", g.N(), g.M(), *gf.s, *gf.t, len(faults))
+	fmt.Printf("vertex label: %d bits, edge label: %d bits\n",
+		labels.VertexLabel(int32(*gf.s)).Bits(), edgeBitsOrZero(labels, g))
+	fmt.Printf("connected in G\\F: %v\n", connected)
+	return nil
+}
+
+func edgeBitsOrZero(l *ftrouting.ConnLabels, g *ftrouting.Graph) int {
+	if g.M() == 0 {
+		return 0
+	}
+	return l.EdgeLabel(0).Bits()
+}
+
+func runDist(args []string) error {
+	fs := flag.NewFlagSet("dist", flag.ExitOnError)
+	gf := addGraphFlags(fs)
+	f := fs.Int("f", 2, "fault bound")
+	k := fs.Int("k", 2, "stretch parameter")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := gf.builder()
+	if err != nil {
+		return err
+	}
+	labels, err := ftrouting.BuildDistanceLabels(g, *f, *k, *gf.seed)
+	if err != nil {
+		return err
+	}
+	faults, err := gf.faultIDs()
+	if err != nil {
+		return err
+	}
+	est, err := labels.Estimate(int32(*gf.s), int32(*gf.t), faults)
+	if err != nil {
+		return err
+	}
+	truth := ftrouting.Distance(g, int32(*gf.s), int32(*gf.t), ftrouting.NewEdgeSet(faults...))
+	fmt.Printf("graph: n=%d m=%d   query: s=%d t=%d |F|=%d\n", g.N(), g.M(), *gf.s, *gf.t, len(faults))
+	if est == ftrouting.Unreachable {
+		fmt.Println("estimate: unreachable")
+	} else {
+		fmt.Printf("estimate: %d  (true distance %d, guarantee <= %dx)\n",
+			est, truth, labels.StretchBound(len(faults)))
+	}
+	return nil
+}
+
+func runRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	gf := addGraphFlags(fs)
+	f := fs.Int("f", 2, "fault bound")
+	k := fs.Int("k", 2, "stretch parameter")
+	balanced := fs.Bool("balanced", true, "use Γ-load-balanced tables (Claim 5.7)")
+	forbidden := fs.Bool("forbidden", false, "forbidden-set mode (faults known to source)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := gf.builder()
+	if err != nil {
+		return err
+	}
+	router, err := ftrouting.NewRouter(g, *f, *k, ftrouting.RouterOptions{Seed: *gf.seed, Balanced: *balanced})
+	if err != nil {
+		return err
+	}
+	faults, err := gf.faultIDs()
+	if err != nil {
+		return err
+	}
+	var res ftrouting.RouteResult
+	if *forbidden {
+		res, err = router.RouteForbidden(int32(*gf.s), int32(*gf.t), faults)
+	} else {
+		res, err = router.Route(int32(*gf.s), int32(*gf.t), ftrouting.NewEdgeSet(faults...))
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d   route: s=%d t=%d |F|=%d\n", g.N(), g.M(), *gf.s, *gf.t, len(faults))
+	fmt.Printf("max table: %.1f Kbit   label(t): %d bits\n",
+		float64(router.MaxTableBits())/1024, router.LabelBits(int32(*gf.t)))
+	if !res.Reached {
+		fmt.Println("result: destination unreachable in G\\F")
+		return nil
+	}
+	fmt.Printf("result: delivered, cost=%d (optimal %d, stretch %.2f)\n", res.Cost, res.Opt, res.Stretch)
+	fmt.Printf("        hops=%d detections=%d probes=%d header<=%d bits\n",
+		res.Hops, res.Detections, res.Probes, res.MaxHeaderBits)
+	return nil
+}
+
+func runLower(args []string) error {
+	fs := flag.NewFlagSet("lower", flag.ExitOnError)
+	f := fs.Int("f", 4, "number of faults")
+	plen := fs.Int("len", 32, "path length L")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, s, t, last := ftrouting.LowerBoundGraph(*f, *plen)
+	router, err := ftrouting.NewRouter(g, *f, 2, ftrouting.RouterOptions{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Theorem 1.6 instance: %d disjoint s-t paths of length %d\n", *f+1, *plen)
+	var sum float64
+	for alive := 0; alive <= *f; alive++ {
+		faults := ftrouting.NewEdgeSet()
+		for i, e := range last {
+			if i != alive {
+				faults[e] = true
+			}
+		}
+		res, err := router.Route(s, t, faults)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  surviving path %d: cost=%d stretch=%.2f\n", alive, res.Cost, res.Stretch)
+		sum += res.Stretch
+	}
+	fmt.Printf("expected stretch over adversary choices: %.2f (Ω(f) per Thm 1.6, f=%d)\n",
+		sum/float64(*f+1), *f)
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+func parseWith(t *testing.T, args []string) *graphFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	gf := addGraphFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return gf
+}
+
+func TestFaultIDParsing(t *testing.T) {
+	gf := parseWith(t, []string{"-faults", "1, 2,3"})
+	ids, err := gf.faultIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	gf = parseWith(t, nil)
+	ids, err = gf.faultIDs()
+	if err != nil || ids != nil {
+		t.Fatalf("empty faults: %v %v", ids, err)
+	}
+	gf = parseWith(t, []string{"-faults", "1,x"})
+	if _, err := gf.faultIDs(); err == nil {
+		t.Fatal("bad fault id accepted")
+	}
+}
+
+func TestGraphBuilderKinds(t *testing.T) {
+	cases := []struct {
+		args []string
+		n    int
+	}{
+		{[]string{"-graph", "random", "-n", "20", "-extra", "5"}, 20},
+		{[]string{"-graph", "grid", "-rows", "3", "-cols", "4"}, 12},
+		{[]string{"-graph", "fattree", "-ft-k", "4"}, 36},
+		{[]string{"-graph", "star", "-n", "9"}, 9},
+		{[]string{"-graph", "path", "-n", "6"}, 6},
+		{[]string{"-graph", "ring"}, 30},
+	}
+	for _, c := range cases {
+		gf := parseWith(t, c.args)
+		g, err := gf.builder()
+		if err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if g.N() != c.n {
+			t.Fatalf("%v: N=%d want %d", c.args, g.N(), c.n)
+		}
+	}
+	gf := parseWith(t, []string{"-graph", "nope"})
+	if _, err := gf.builder(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestWeightedBuilder(t *testing.T) {
+	gf := parseWith(t, []string{"-graph", "path", "-n", "10", "-maxw", "7"})
+	g, err := gf.builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxWeight() < 2 || g.MaxWeight() > 7 {
+		t.Fatalf("weights not applied: max %d", g.MaxWeight())
+	}
+}
+
+// TestSubcommandsEndToEnd drives the actual subcommand entry points.
+func TestSubcommandsEndToEnd(t *testing.T) {
+	if err := runConn([]string{"-graph", "path", "-n", "8", "-s", "0", "-t", "7", "-faults", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConn([]string{"-graph", "path", "-n", "8", "-scheme", "cut", "-s", "0", "-t", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDist([]string{"-graph", "grid", "-rows", "4", "-cols", "4", "-s", "0", "-t", "15"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRoute([]string{"-graph", "ring", "-s", "0", "-t", "12", "-f", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRoute([]string{"-graph", "ring", "-s", "0", "-t", "12", "-f", "1", "-forbidden"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLower([]string{"-f", "2", "-len", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep([]string{"-graph", "grid", "-rows", "4", "-cols", "5", "-f", "1", "-queries", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep([]string{"-graph", "path", "-n", "12", "-f", "1", "-queries", "5", "-forbidden"}); err != nil {
+		t.Fatal(err)
+	}
+}

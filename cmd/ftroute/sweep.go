@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ftrouting"
+	"ftrouting/internal/xrand"
+)
+
+// runSweep builds a router once and aggregates many random routing queries
+// into summary statistics — the CLI counterpart of experiment E10.
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	gf := addGraphFlags(fs)
+	f := fs.Int("f", 2, "fault bound (each query draws exactly f random faults)")
+	k := fs.Int("k", 2, "stretch parameter")
+	queries := fs.Int("queries", 50, "number of random queries")
+	balanced := fs.Bool("balanced", true, "use Γ-load-balanced tables")
+	forbidden := fs.Bool("forbidden", false, "forbidden-set mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := gf.builder()
+	if err != nil {
+		return err
+	}
+	router, err := ftrouting.NewRouter(g, *f, *k, ftrouting.RouterOptions{Seed: *gf.seed, Balanced: *balanced})
+	if err != nil {
+		return err
+	}
+	rng := xrand.NewSplitMix64(*gf.seed + 100)
+	var (
+		delivered, skipped, failures int
+		sumStretch, maxStretch       float64
+		sumDetections, sumProbes     int
+		maxHeader                    int
+		totalCost, totalOpt          int64
+	)
+	for q := 0; q < *queries; q++ {
+		faultIDs := ftrouting.RandomFaults(g, *f, *gf.seed+uint64(q)*17)
+		s := int32(rng.Intn(g.N()))
+		d := int32(rng.Intn(g.N()))
+		var res ftrouting.RouteResult
+		if *forbidden {
+			res, err = router.RouteForbidden(s, d, faultIDs)
+		} else {
+			res, err = router.Route(s, d, ftrouting.NewEdgeSet(faultIDs...))
+		}
+		if err != nil {
+			return err
+		}
+		if res.Opt == 0 || res.Opt == ftrouting.Inf {
+			skipped++
+			continue
+		}
+		if !res.Reached {
+			failures++
+			continue
+		}
+		delivered++
+		sumStretch += res.Stretch
+		if res.Stretch > maxStretch {
+			maxStretch = res.Stretch
+		}
+		sumDetections += res.Detections
+		sumProbes += res.Probes
+		if res.MaxHeaderBits > maxHeader {
+			maxHeader = res.MaxHeaderBits
+		}
+		totalCost += res.Cost
+		totalOpt += res.Opt
+	}
+	mode := "fault-tolerant (faults unknown)"
+	if *forbidden {
+		mode = "forbidden-set (faults known)"
+	}
+	fmt.Printf("sweep: %s routing, graph n=%d m=%d, f=%d k=%d, %d queries\n",
+		mode, g.N(), g.M(), *f, *k, *queries)
+	fmt.Printf("  delivered: %d   disconnected/self (skipped): %d   failures: %d\n",
+		delivered, skipped, failures)
+	if delivered > 0 {
+		fmt.Printf("  stretch: mean %.2f  max %.2f  (guarantee <= %d)\n",
+			sumStretch/float64(delivered), maxStretch, guarantee(router, *forbidden, *f))
+		fmt.Printf("  cost/opt aggregate: %d/%d = %.2f\n",
+			totalCost, totalOpt, float64(totalCost)/float64(totalOpt))
+		fmt.Printf("  detections: %d  probes: %d  max header: %d bits\n",
+			sumDetections, sumProbes, maxHeader)
+	}
+	fmt.Printf("  tables: max %.1f Kbit, total %.2f Mbit\n",
+		float64(router.MaxTableBits())/1024, float64(router.TotalTableBits())/1024/1024)
+	return nil
+}
+
+func guarantee(r *ftrouting.Router, forbidden bool, f int) int64 {
+	if forbidden {
+		return r.StretchBoundForbidden(f)
+	}
+	return r.StretchBoundFT(f)
+}

@@ -1,0 +1,68 @@
+package ftrouting_test
+
+import (
+	"fmt"
+
+	"ftrouting"
+)
+
+// Example demonstrates the three layers of the library on a cycle: a single
+// fault never disconnects it, two well-placed faults do.
+func Example() {
+	g := ftrouting.Cycle(10)
+
+	labels, err := ftrouting.BuildConnectivityLabels(g, ftrouting.ConnOptions{
+		MaxFaults: 2,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	e01, _ := g.FindEdge(0, 1)
+	e56, _ := g.FindEdge(5, 6)
+
+	one, _ := labels.Connected(0, 5, []ftrouting.EdgeID{e01})
+	two, _ := labels.Connected(0, 5, []ftrouting.EdgeID{e01, e56})
+	fmt.Println("one fault :", one)
+	fmt.Println("two faults:", two)
+	// Output:
+	// one fault : true
+	// two faults: false
+}
+
+// ExampleRouter shows fault-tolerant routing: the source does not know the
+// fault, discovers it by walking into it, and still delivers.
+func ExampleRouter() {
+	g := ftrouting.Cycle(8)
+	router, err := ftrouting.NewRouter(g, 1, 2, ftrouting.RouterOptions{Seed: 4})
+	if err != nil {
+		panic(err)
+	}
+	e34, _ := g.FindEdge(3, 4)
+	res, err := router.Route(2, 5, ftrouting.NewEdgeSet(e34))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("delivered:", res.Reached)
+	fmt.Println("optimal   :", res.Opt)
+	// Output:
+	// delivered: true
+	// optimal   : 5
+}
+
+// ExampleDistLabels estimates distances under faults from labels alone.
+func ExampleDistLabels() {
+	g := ftrouting.Path(9)
+	labels, err := ftrouting.BuildDistanceLabels(g, 1, 2, 2)
+	if err != nil {
+		panic(err)
+	}
+	est, _ := labels.Estimate(0, 8, nil)
+	fmt.Println("estimate is at least the distance:", est >= 8)
+	cut, _ := g.FindEdge(4, 5)
+	est, _ = labels.Estimate(0, 8, []ftrouting.EdgeID{cut})
+	fmt.Println("across a cut:", est == ftrouting.Unreachable)
+	// Output:
+	// estimate is at least the distance: true
+	// across a cut: true
+}

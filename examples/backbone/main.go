@@ -1,0 +1,76 @@
+// Backbone example: fault-tolerant approximate distance labels on a
+// weighted wide-area topology.
+//
+// An ISP wants every point of presence to estimate latency to every other
+// PoP from compact per-node labels, even while links are down — without
+// any global recomputation. This is exactly the FT approximate distance
+// labeling of Section 4 (Theorem 1.4).
+//
+// Run with: go run ./examples/backbone
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftrouting"
+	"ftrouting/internal/xrand"
+)
+
+func main() {
+	// A synthetic backbone: random connected mesh with latency weights
+	// 1..20 (milliseconds, say).
+	const n = 80
+	g := ftrouting.WithRandomWeights(ftrouting.RandomConnected(n, 120, 5), 20, 6)
+	fmt.Printf("backbone: %d PoPs, %d links, max latency %d\n\n", g.N(), g.M(), g.MaxWeight())
+
+	const f, k = 2, 2
+	labels, err := ftrouting.BuildDistanceLabels(g, f, k, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var totalBits int64
+	for v := int32(0); v < int32(n); v++ {
+		totalBits += int64(labels.VertexLabelBits(v))
+	}
+	fmt.Printf("labels built: avg %.1f Kbit per PoP (guaranteed stretch <= %d under %d failures)\n\n",
+		float64(totalBits)/float64(n)/1024, labels.StretchBound(f), f)
+
+	rng := xrand.NewSplitMix64(17)
+	fmt.Println("latency estimates under 2 random link failures:")
+	fmt.Println("src  dst  estimate  true  ratio")
+	for q := 0; q < 10; q++ {
+		faults := ftrouting.RandomFaults(g, f, uint64(q)*13)
+		src, dst := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		est, err := labels.Estimate(src, dst, faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := ftrouting.Distance(g, src, dst, ftrouting.NewEdgeSet(faults...))
+		if truth == ftrouting.Inf {
+			fmt.Printf("%3d  %3d  unreachable (disconnected by failures)\n", src, dst)
+			continue
+		}
+		fmt.Printf("%3d  %3d  %8d  %4d  %.2fx\n", src, dst, est, truth, float64(est)/float64(truth))
+	}
+
+	// Disconnection detection: cut a PoP off entirely.
+	victim := int32(3)
+	var cut []ftrouting.EdgeID
+	for _, a := range g.Adj(victim) {
+		cut = append(cut, a.E)
+	}
+	est, err := labels.Estimate(victim, 40, cut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncutting all %d links of PoP %d: estimate(%d,40) = ", len(cut), victim, victim)
+	if est == ftrouting.Unreachable {
+		fmt.Println("unreachable (correctly detected)")
+	} else {
+		fmt.Printf("%d (labels support up to f=%d faults; %d exceed the design bound)\n", est, f, len(cut))
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: build fault-tolerant connectivity labels, distance labels,
+// and a router on a small graph, then query them under edge failures.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftrouting"
+)
+
+func main() {
+	// A ring of cliques: dense neighbourhoods joined by thin links — the
+	// kind of graph where single failures force long detours.
+	g := ftrouting.RingOfCliques(6, 5)
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.N(), g.M())
+
+	// --- 1. FT connectivity labels (Theorem 3.7) -----------------------
+	labels, err := ftrouting.BuildConnectivityLabels(g, ftrouting.ConnOptions{
+		Scheme:    ftrouting.SketchBased,
+		MaxFaults: 2,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Fail the two ring links around clique 0; its members can then reach
+	// each other but not the rest of the ring.
+	link01, _ := g.FindEdge(0, 5)  // gateway of clique 0 -> clique 1
+	link50, _ := g.FindEdge(25, 0) // gateway of clique 5 -> clique 0
+	faults := []ftrouting.EdgeID{link01, link50}
+
+	inside, err := labels.Connected(0, 4, faults) // within clique 0
+	if err != nil {
+		log.Fatal(err)
+	}
+	outside, err := labels.Connected(0, 12, faults) // clique 0 -> clique 2
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("connectivity labels (sketch-based):")
+	fmt.Printf("  vertex label: %d bits\n", labels.VertexLabel(0).Bits())
+	fmt.Printf("  0 ~ 4  with both ring links of clique 0 cut: %v (want true)\n", inside)
+	fmt.Printf("  0 ~ 12 with both ring links of clique 0 cut: %v (want false)\n\n", outside)
+
+	// --- 2. FT approximate distance labels (Theorem 1.4) ---------------
+	dist, err := ftrouting.BuildDistanceLabels(g, 1, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := dist.Estimate(2, 17, []ftrouting.EdgeID{link01})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := ftrouting.Distance(g, 2, 17, ftrouting.NewEdgeSet(link01))
+	fmt.Println("distance labels:")
+	fmt.Printf("  estimate dist(2,17 | one ring link down) = %d (true %d, guarantee <= %dx)\n\n",
+		est, truth, dist.StretchBound(1))
+
+	// --- 3. FT compact routing (Theorem 5.8) ---------------------------
+	router, err := ftrouting.NewRouter(g, 2, 2, ftrouting.RouterOptions{Seed: 3, Balanced: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := router.Route(2, 17, ftrouting.NewEdgeSet(link01))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fault-tolerant routing (faults unknown to the source):")
+	fmt.Printf("  delivered: %v, cost %d vs optimal %d (stretch %.2f)\n",
+		res.Reached, res.Cost, res.Opt, res.Stretch)
+	fmt.Printf("  faults discovered en route: %d, max header %d bits\n",
+		res.Detections, res.MaxHeaderBits)
+	fmt.Printf("  max routing table: %.1f Kbit\n", float64(router.MaxTableBits())/1024)
+}

@@ -1,0 +1,133 @@
+package ftrouting
+
+import (
+	"sync"
+	"testing"
+
+	"ftrouting/internal/xrand"
+)
+
+// TestIntegrationStress runs the full stack (connectivity, distance,
+// routing) across diverse topologies and fault regimes. Skipped in -short.
+func TestIntegrationStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	type workload struct {
+		name string
+		g    *Graph
+		f, k int
+	}
+	ft, _ := FatTree(4)
+	loads := []workload{
+		{"torus", Torus(7, 7), 3, 2},
+		{"prefattach", PreferentialAttachment(120, 2, 3), 2, 2},
+		{"fattree", ft, 2, 3},
+		{"weighted-random", WithRandomWeights(RandomConnected(100, 150, 9), 8, 10), 3, 2},
+		{"hypercube", Hypercube(6), 4, 2},
+	}
+	for _, w := range loads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			n := int32(w.g.N())
+			conn, err := BuildConnectivityLabels(w.g, ConnOptions{MaxFaults: w.f, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := BuildDistanceLabels(w.g, w.f, w.k, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			router, err := NewRouter(w.g, w.f, w.k, RouterOptions{Seed: 3, Balanced: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := xrand.NewSplitMix64(4)
+			for q := 0; q < 25; q++ {
+				faultIDs := RandomFaults(w.g, rng.Intn(w.f+1), uint64(q)*19)
+				faults := NewEdgeSet(faultIDs...)
+				s, d := int32(rng.Intn(int(n))), int32(rng.Intn(int(n)))
+				truth := Distance(w.g, s, d, faults)
+				connected := truth != Inf
+
+				got, err := conn.Connected(s, d, faultIDs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != connected {
+					t.Fatalf("q %d: connectivity labels wrong (s=%d t=%d F=%v)", q, s, d, faultIDs)
+				}
+
+				est, err := dist.Estimate(s, d, faultIDs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if connected {
+					if est < truth || est > dist.StretchBound(len(faultIDs))*truth {
+						t.Fatalf("q %d: estimate %d outside [%d, %d]", q, est, truth,
+							dist.StretchBound(len(faultIDs))*truth)
+					}
+				} else if est != Unreachable {
+					t.Fatalf("q %d: estimate for disconnected pair", q)
+				}
+
+				res, err := router.Route(s, d, faults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Reached != connected {
+					t.Fatalf("q %d: routing reached=%v connected=%v", q, res.Reached, connected)
+				}
+				if connected && truth > 0 && res.Cost > router.StretchBoundFT(len(faultIDs))*truth {
+					t.Fatalf("q %d: routing stretch bound violated", q)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentFacadeQueries exercises all three layers from multiple
+// goroutines against shared preprocessed state (run with -race).
+func TestConcurrentFacadeQueries(t *testing.T) {
+	g := RandomConnected(50, 80, 7)
+	conn, err := BuildConnectivityLabels(g, ConnOptions{MaxFaults: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := BuildDistanceLabels(g, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(g, 2, 2, RouterOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewSplitMix64(uint64(w) + 50)
+			for q := 0; q < 15; q++ {
+				faultIDs := RandomFaults(g, rng.Intn(3), uint64(w*40+q))
+				s, d := int32(rng.Intn(50)), int32(rng.Intn(50))
+				want := Distance(g, s, d, NewEdgeSet(faultIDs...)) != Inf
+				got, err := conn.Connected(s, d, faultIDs)
+				if err != nil || got != want {
+					t.Errorf("worker %d: conn: %v %v", w, got, err)
+					return
+				}
+				if _, err := dist.Estimate(s, d, faultIDs); err != nil {
+					t.Errorf("worker %d: dist: %v", w, err)
+					return
+				}
+				res, err := router.Route(s, d, NewEdgeSet(faultIDs...))
+				if err != nil || res.Reached != want {
+					t.Errorf("worker %d: route: %v %v", w, res.Reached, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

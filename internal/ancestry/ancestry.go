@@ -1,0 +1,104 @@
+// Package ancestry implements the DFS-interval ancestry labels of Lemma 3.1
+// ([KNR92]): every tree vertex gets a 2-ceil(log n)-bit label such that
+// ancestry can be decided from two labels in O(1).
+//
+// Labels use distinct entry/exit timestamps (the DFS1/DFS2 values of
+// Claim 3.14): In(v) is assigned when the DFS enters v and Out(v) when it
+// leaves, with a single shared counter, so all 2n values are distinct —
+// exactly what the component-tree construction's sorted-tuple algorithm
+// requires.
+package ancestry
+
+import "ftrouting/internal/graph"
+
+// Label is a DFS interval. The zero value is an invalid label (In=Out=0
+// never occurs for a real vertex because timestamps start at 1).
+type Label struct {
+	In, Out uint32
+}
+
+// Valid reports whether the label belongs to a labeled vertex.
+func (l Label) Valid() bool { return l.In != 0 && l.In < l.Out }
+
+// IsAncestorOf reports whether l's vertex is an ancestor of m's vertex,
+// inclusively (every vertex is an ancestor of itself).
+func (l Label) IsAncestorOf(m Label) bool {
+	return l.In <= m.In && m.Out <= l.Out
+}
+
+// IsProperAncestorOf is IsAncestorOf excluding equality.
+func (l Label) IsProperAncestorOf(m Label) bool {
+	return l.In < m.In && m.Out < l.Out
+}
+
+// Build assigns labels to every vertex of the tree using an iterative DFS
+// that follows Children order. Vertices outside the tree get the zero
+// (invalid) label. Runs in O(n).
+func Build(t *graph.Tree) []Label {
+	labels := make([]Label, t.G.N())
+	var time uint32 = 1
+	// Explicit stack of (vertex, next-child index) to avoid recursion on
+	// deep (e.g. path) trees.
+	type frame struct {
+		v    int32
+		next int
+	}
+	if t.Size() == 0 {
+		return labels
+	}
+	stack := make([]frame, 0, 64)
+	labels[t.Root] = Label{In: time}
+	time++
+	stack = append(stack, frame{v: t.Root})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.Children[f.v]
+		if f.next < len(kids) {
+			c := kids[f.next]
+			f.next++
+			labels[c] = Label{In: time}
+			time++
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		labels[f.v].Out = time
+		time++
+		stack = stack[:len(stack)-1]
+	}
+	return labels
+}
+
+// BitLen returns the label length in bits for an n-vertex tree (the paper's
+// O(log n) accounting: two timestamps of ceil(log2(2n+1)) bits each).
+func BitLen(n int) int {
+	bits := 0
+	for v := 2*n + 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return 2 * bits
+}
+
+// OnRootPath reports whether the tree edge whose child endpoint has label
+// child lies on the root-to-v path, i.e. whether v is in the child's
+// subtree. This is the test of Section 3.1.3 ("a tree edge e=(u,v) is in
+// the r-s path iff both u and v are ancestors of s"); since the parent of
+// the child endpoint is an ancestor of the child, checking the child
+// suffices.
+func OnRootPath(child, v Label) bool {
+	return child.IsAncestorOf(v)
+}
+
+// ChildOf orders the two endpoint labels of a tree edge: it returns
+// (child, parent) given the labels of both endpoints, using interval
+// containment. ok is false if neither contains the other (then the inputs
+// are not the endpoints of a tree edge).
+func ChildOf(a, b Label) (child, parent Label, ok bool) {
+	switch {
+	case a.IsProperAncestorOf(b):
+		return b, a, true
+	case b.IsProperAncestorOf(a):
+		return a, b, true
+	default:
+		return Label{}, Label{}, false
+	}
+}

@@ -1,0 +1,186 @@
+package ancestry
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// naiveIsAncestor walks parent pointers.
+func naiveIsAncestor(t *graph.Tree, u, v int32) bool {
+	for v != -1 {
+		if v == u {
+			return true
+		}
+		v = t.Parent[v]
+	}
+	return false
+}
+
+func TestAgainstParentWalk(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g := graph.RandomConnected(60, 40, seed)
+		tree := graph.BFSTree(g, 0, nil)
+		labels := Build(tree)
+		for u := int32(0); u < 60; u++ {
+			for v := int32(0); v < 60; v++ {
+				got := labels[u].IsAncestorOf(labels[v])
+				want := naiveIsAncestor(tree, u, v)
+				if got != want {
+					t.Fatalf("seed %d: IsAncestor(%d,%d) = %v, want %v", seed, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSelfAncestry(t *testing.T) {
+	g := graph.Path(5)
+	tree := graph.BFSTree(g, 0, nil)
+	labels := Build(tree)
+	for v := int32(0); v < 5; v++ {
+		if !labels[v].IsAncestorOf(labels[v]) {
+			t.Fatalf("vertex %d not its own ancestor", v)
+		}
+		if labels[v].IsProperAncestorOf(labels[v]) {
+			t.Fatalf("vertex %d its own proper ancestor", v)
+		}
+	}
+}
+
+func TestTimestampsDistinct(t *testing.T) {
+	g := graph.RandomConnected(50, 20, 3)
+	tree := graph.BFSTree(g, 7, nil)
+	labels := Build(tree)
+	seen := make(map[uint32]bool)
+	for v := int32(0); v < 50; v++ {
+		l := labels[v]
+		if !l.Valid() {
+			t.Fatalf("invalid label at %d", v)
+		}
+		if seen[l.In] || seen[l.Out] {
+			t.Fatalf("duplicate timestamp at %d", v)
+		}
+		seen[l.In] = true
+		seen[l.Out] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("expected 2n distinct timestamps, got %d", len(seen))
+	}
+}
+
+func TestIntervalsNestOrDisjoint(t *testing.T) {
+	g := graph.RandomConnected(40, 30, 9)
+	tree := graph.BFSTree(g, 0, nil)
+	labels := Build(tree)
+	for u := int32(0); u < 40; u++ {
+		for v := u + 1; v < 40; v++ {
+			a, b := labels[u], labels[v]
+			nested := a.IsAncestorOf(b) || b.IsAncestorOf(a)
+			disjoint := a.Out < b.In || b.Out < a.In
+			if nested == disjoint {
+				t.Fatalf("intervals of %d,%d neither nest nor are disjoint", u, v)
+			}
+		}
+	}
+}
+
+func TestOutsideTreeInvalid(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	labels := Build(tree)
+	if !labels[0].Valid() || !labels[1].Valid() {
+		t.Fatal("tree vertices unlabeled")
+	}
+	if labels[2].Valid() || labels[3].Valid() {
+		t.Fatal("non-tree vertices labeled")
+	}
+}
+
+func TestDeepTreeNoOverflow(t *testing.T) {
+	// A path of 20000 vertices exercises the iterative DFS stack.
+	g := graph.Path(20000)
+	tree := graph.BFSTree(g, 0, nil)
+	labels := Build(tree)
+	if !labels[0].IsAncestorOf(labels[19999]) {
+		t.Fatal("root not ancestor of deepest leaf")
+	}
+	if labels[19999].IsAncestorOf(labels[0]) {
+		t.Fatal("leaf claims ancestry of root")
+	}
+}
+
+func TestOnRootPath(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//    |
+	//    3
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(1, 3, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	labels := Build(tree)
+	// Edge (0,1) has child endpoint 1; it is on the root path of 1 and 3.
+	if !OnRootPath(labels[1], labels[3]) || !OnRootPath(labels[1], labels[1]) {
+		t.Fatal("edge (0,1) should be on root paths of 1 and 3")
+	}
+	if OnRootPath(labels[1], labels[2]) || OnRootPath(labels[1], labels[0]) {
+		t.Fatal("edge (0,1) wrongly on root path of 2 or 0")
+	}
+}
+
+func TestChildOf(t *testing.T) {
+	g := graph.Path(3)
+	tree := graph.BFSTree(g, 0, nil)
+	labels := Build(tree)
+	child, parent, ok := ChildOf(labels[1], labels[0])
+	if !ok || child != labels[1] || parent != labels[0] {
+		t.Fatal("ChildOf(1,0) wrong")
+	}
+	child, parent, ok = ChildOf(labels[0], labels[1])
+	if !ok || child != labels[1] || parent != labels[0] {
+		t.Fatal("ChildOf(0,1) wrong")
+	}
+	// Sibling-like: 1 and a fresh unrelated interval.
+	if _, _, ok := ChildOf(labels[1], Label{In: 9999, Out: 10000}); ok {
+		t.Fatal("disjoint intervals should not order")
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	if BitLen(1) <= 0 {
+		t.Fatal("BitLen(1) must be positive")
+	}
+	// 2*ceil(log2(2n+1)): n=1000 -> 2*11 = 22.
+	if got := BitLen(1000); got != 22 {
+		t.Fatalf("BitLen(1000) = %d, want 22", got)
+	}
+	if BitLen(1<<20) >= 64 {
+		t.Fatal("labels should stay well under a word for any test size")
+	}
+}
+
+func TestRandomTreesQuickProperty(t *testing.T) {
+	rng := xrand.NewSplitMix64(44)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		g := graph.RandomTree(n, uint64(trial))
+		tree := graph.BFSTree(g, int32(rng.Intn(n)), nil)
+		labels := Build(tree)
+		// Parent is always a proper ancestor of child.
+		for v := int32(0); v < int32(n); v++ {
+			p := tree.Parent[v]
+			if p < 0 {
+				continue
+			}
+			if !labels[p].IsProperAncestorOf(labels[v]) {
+				t.Fatalf("trial %d: parent %d not proper ancestor of %d", trial, p, v)
+			}
+		}
+	}
+}

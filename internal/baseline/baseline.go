@@ -1,0 +1,142 @@
+// Package baseline provides the comparison points for Table 1 and the
+// Theorem 1.6 lower-bound experiment:
+//
+//   - InteractiveRoute: an information-theoretically strong baseline that
+//     knows the entire topology (tables of Θ(m log n) bits at every vertex)
+//     but not the faults; it walks shortest paths, learns faults on
+//     contact, and replans from the current vertex. Even this baseline
+//     pays the Ω(f) stretch of Theorem 1.6 — the lower bound is about
+//     information, not table size.
+//
+//   - Prior-work formulas: the published stretch/space bounds of
+//     [Che11], [CLPR12] and [Raj12] evaluated at concrete (n, k, f)
+//     operating points, reproducing Table 1's comparison (see DESIGN.md,
+//     Substitutions, for why the prior schemes are not re-implemented).
+package baseline
+
+import (
+	"math"
+
+	"ftrouting/internal/graph"
+)
+
+// Result mirrors route.Result for the baseline walker.
+type Result struct {
+	Reached     bool
+	Cost        int64
+	Opt         int64
+	Stretch     float64
+	Detections  int
+	Replans     int
+	TableBitsPV int64 // per-vertex table: the whole graph
+}
+
+// InteractiveRoute routes from s to t with full topology knowledge and
+// online fault discovery: repeatedly compute a shortest path in G minus the
+// known faults, walk it, and on hitting a fault replan from the current
+// vertex. Terminates after at most |F|+1 replans.
+func InteractiveRoute(g *graph.Graph, s, t int32, faults graph.EdgeSet) Result {
+	res := Result{
+		Opt:         graph.Distance(g, s, t, graph.SkipSet(faults)),
+		TableBitsPV: int64(g.M()) * 64,
+	}
+	known := make(graph.EdgeSet)
+	cur := s
+	for {
+		res.Replans++
+		dist, parent, parentEdge, _ := graph.Dijkstra(g, cur, graph.SkipSet(known))
+		if dist[t] == graph.Inf {
+			// Known faults already separate cur (hence s) from t; since
+			// known ⊆ faults this is correct disconnection.
+			return res
+		}
+		// Reconstruct cur -> t.
+		var path []int32
+		var pathEdges []graph.EdgeID
+		for v := t; v != cur; v = parent[v] {
+			path = append(path, v)
+			pathEdges = append(pathEdges, parentEdge[v])
+		}
+		// Walk it forward (path is reversed).
+		ok := true
+		for i := len(path) - 1; i >= 0; i-- {
+			e := pathEdges[i]
+			if faults[e] {
+				known[e] = true
+				res.Detections++
+				ok = false
+				break
+			}
+			res.Cost += g.Edge(e).W
+			cur = path[i]
+		}
+		if ok {
+			res.Reached = true
+			if res.Opt > 0 && res.Opt < graph.Inf {
+				res.Stretch = float64(res.Cost) / float64(res.Opt)
+			}
+			return res
+		}
+	}
+}
+
+// PriorWork evaluates the published bounds of Table 1 at an operating
+// point. Stretch formulas are the worst-case guarantees; table bits are
+// per-vertex where the paper states per-vertex bounds (deg(v) is taken as
+// the maximum degree to get the worst-case individual table).
+type PriorWork struct {
+	Name      string
+	Stretch   float64
+	TableBits float64
+	PerVertex bool // false: the bound is on total space
+}
+
+// Table1 returns the comparison rows of Table 1 for an n-vertex graph with
+// maximum degree maxDeg, stretch parameter k, fault bound f and weight
+// range W. log factors use log2.
+func Table1(n, maxDeg, k, f int, w int64) []PriorWork {
+	lg := func(x float64) float64 { return math.Log2(math.Max(2, x)) }
+	nf := float64(n)
+	nk := math.Pow(nf, 1/float64(k))
+	logNW := lg(nf * float64(w))
+	log2n := lg(nf) * lg(nf)
+	rows := []PriorWork{
+		{
+			Name:      "Rajan12 (f=1)",
+			Stretch:   float64(k * k),
+			TableBits: (float64(k)*float64(maxDeg) + nk) * lg(nf),
+			PerVertex: true,
+		},
+		{
+			Name:      "CLPR12 (f<=2)",
+			Stretch:   float64(k),
+			TableBits: nf * nk * logNW,
+			PerVertex: false,
+		},
+		{
+			Name:      "Chechik11 total",
+			Stretch:   float64(f*f) * (float64(f) + log2n) * float64(k),
+			TableBits: nf * nk * logNW,
+			PerVertex: false,
+		},
+		{
+			Name:      "Chechik11 per-vertex",
+			Stretch:   float64(f*f) * (float64(f) + log2n) * float64(k),
+			TableBits: float64(maxDeg) * nk * logNW,
+			PerVertex: true,
+		},
+		{
+			Name:      "This paper total",
+			Stretch:   float64(32 * k * (f + 1) * (f + 1)),
+			TableBits: float64(f) * nf * nk * logNW,
+			PerVertex: false,
+		},
+		{
+			Name:      "This paper per-vertex",
+			Stretch:   float64(32 * k * (f + 1) * (f + 1)),
+			TableBits: float64(f*f*f) * nk * logNW,
+			PerVertex: true,
+		},
+	}
+	return rows
+}

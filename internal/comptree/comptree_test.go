@@ -1,0 +1,219 @@
+package comptree
+
+import (
+	"testing"
+
+	"ftrouting/internal/ancestry"
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// groundTruthComponents removes the faulty tree edges and returns, for each
+// vertex, the highest vertex of its component (the paper's representative),
+// by walking up until a faulty parent edge.
+func groundTruthRep(tree *graph.Tree, faulty graph.EdgeSet, v int32) int32 {
+	for tree.Parent[v] != -1 && !faulty[tree.ParentEdge[v]] {
+		v = tree.Parent[v]
+	}
+	return v
+}
+
+// setup builds a random tree, picks k random tree edges as faults, and
+// returns everything a decoder would see.
+func setup(t *testing.T, n, k int, seed uint64) (tree *graph.Tree, labels []ancestry.Label, faultChildren []int32, ct *Tree) {
+	t.Helper()
+	g := graph.RandomConnected(n, n/2, seed)
+	tree = graph.BFSTree(g, 0, nil)
+	labels = ancestry.Build(tree)
+	rng := xrand.NewSplitMix64(seed + 99)
+	// Choose k distinct non-root vertices; their parent edges are faults.
+	perm := rng.Perm(n - 1)
+	for i := 0; i < k; i++ {
+		faultChildren = append(faultChildren, int32(perm[i]+1))
+	}
+	childLabels := make([]ancestry.Label, k)
+	for i, c := range faultChildren {
+		childLabels[i] = labels[c]
+	}
+	var err error
+	ct, err = Build(childLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, labels, faultChildren, ct
+}
+
+func TestLocateMatchesGroundTruth(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		n := 50
+		k := 1 + int(seed)%8
+		tree, labels, faultChildren, ct := setup(t, n, k, seed)
+		faulty := graph.NewEdgeSet()
+		repToComp := map[int32]int32{tree.Root: RootComp}
+		for i, c := range faultChildren {
+			faulty[tree.ParentEdge[c]] = true
+			repToComp[c] = int32(i + 1)
+		}
+		for v := int32(0); v < int32(n); v++ {
+			wantRep := groundTruthRep(tree, faulty, v)
+			want := repToComp[wantRep]
+			if got := ct.Locate(labels[v]); got != want {
+				t.Fatalf("seed %d: Locate(%d) = %d, want %d (rep %d)", seed, v, got, want, wantRep)
+			}
+		}
+	}
+}
+
+func TestParentStructureMatchesGroundTruth(t *testing.T) {
+	for seed := uint64(20); seed < 35; seed++ {
+		n := 60
+		k := 1 + int(seed)%10
+		tree, _, faultChildren, ct := setup(t, n, k, seed)
+		faulty := graph.NewEdgeSet()
+		repToComp := map[int32]int32{tree.Root: RootComp}
+		for i, c := range faultChildren {
+			faulty[tree.ParentEdge[c]] = true
+			repToComp[c] = int32(i + 1)
+		}
+		// The parent component of comp(child c) is the component containing
+		// c's tree parent.
+		for i, c := range faultChildren {
+			p := tree.Parent[c]
+			wantParent := repToComp[groundTruthRep(tree, faulty, p)]
+			if got := ct.Parent(int32(i + 1)); got != wantParent {
+				t.Fatalf("seed %d: Parent(comp of %d) = %d, want %d", seed, c, got, wantParent)
+			}
+		}
+		if ct.Parent(RootComp) != -1 {
+			t.Fatal("root parent must be -1")
+		}
+	}
+}
+
+func TestFastEqualsNaive(t *testing.T) {
+	for seed := uint64(100); seed < 130; seed++ {
+		n := 80
+		k := 1 + int(seed)%15
+		_, labels, faultChildren, ct := setup(t, n, k, seed)
+		childLabels := make([]ancestry.Label, len(faultChildren))
+		for i, c := range faultChildren {
+			childLabels[i] = labels[c]
+		}
+		naive, err := BuildNaive(childLabels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := int32(0); c < int32(ct.NumComps()); c++ {
+			if ct.Parent(c) != naive.Parent(c) {
+				t.Fatalf("seed %d: Parent(%d): fast %d, naive %d", seed, c, ct.Parent(c), naive.Parent(c))
+			}
+		}
+		for v := int32(0); v < int32(n); v++ {
+			if got, want := ct.Locate(labels[v]), ct.LocateNaive(labels[v]); got != want {
+				t.Fatalf("seed %d: Locate(%d): fast %d, naive %d", seed, v, got, want)
+			}
+		}
+	}
+}
+
+func TestSingleFault(t *testing.T) {
+	g := graph.Path(5)
+	tree := graph.BFSTree(g, 0, nil)
+	labels := ancestry.Build(tree)
+	ct, err := Build([]ancestry.Label{labels[3]}) // cut edge (2,3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.NumComps() != 2 {
+		t.Fatalf("comps = %d", ct.NumComps())
+	}
+	for v := int32(0); v < 3; v++ {
+		if ct.Locate(labels[v]) != RootComp {
+			t.Fatalf("vertex %d should be in root comp", v)
+		}
+	}
+	for v := int32(3); v < 5; v++ {
+		if ct.Locate(labels[v]) != 1 {
+			t.Fatalf("vertex %d should be in comp 1", v)
+		}
+	}
+	if ct.Parent(1) != RootComp {
+		t.Fatal("comp 1 parent should be root")
+	}
+}
+
+func TestNestedFaultChain(t *testing.T) {
+	// Path tree with faults at every other edge: components nest linearly.
+	g := graph.Path(9)
+	tree := graph.BFSTree(g, 0, nil)
+	labels := ancestry.Build(tree)
+	children := []ancestry.Label{labels[2], labels[4], labels[6]}
+	ct, err := Build(children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Parent(1) != RootComp || ct.Parent(2) != 1 || ct.Parent(3) != 2 {
+		t.Fatalf("chain parents wrong: %d %d %d", ct.Parent(1), ct.Parent(2), ct.Parent(3))
+	}
+	if ct.Locate(labels[8]) != 3 || ct.Locate(labels[5]) != 2 || ct.Locate(labels[1]) != RootComp {
+		t.Fatal("chain locate wrong")
+	}
+}
+
+func TestChildren(t *testing.T) {
+	g := graph.Star(5) // root 0 with 4 leaves
+	tree := graph.BFSTree(g, 0, nil)
+	labels := ancestry.Build(tree)
+	ct, err := Build([]ancestry.Label{labels[1], labels[2], labels[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := ct.Children()
+	if len(kids[RootComp]) != 3 {
+		t.Fatalf("root children = %v", kids[RootComp])
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build([]ancestry.Label{{}}); err == nil {
+		t.Fatal("invalid label accepted")
+	}
+	l := ancestry.Label{In: 2, Out: 3}
+	if _, err := Build([]ancestry.Label{l, l}); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestEmptyFaults(t *testing.T) {
+	ct, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.NumComps() != 1 {
+		t.Fatalf("comps = %d", ct.NumComps())
+	}
+	if ct.Locate(ancestry.Label{In: 5, Out: 6}) != RootComp {
+		t.Fatal("everything should be in root comp")
+	}
+}
+
+func BenchmarkBuildAndLocate(b *testing.B) {
+	g := graph.RandomConnected(2000, 1000, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	labels := ancestry.Build(tree)
+	rng := xrand.NewSplitMix64(7)
+	const f = 32
+	childLabels := make([]ancestry.Label, f)
+	perm := rng.Perm(1999)
+	for i := 0; i < f; i++ {
+		childLabels[i] = labels[perm[i]+1]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct, err := Build(childLabels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ct.Locate(labels[100])
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// TestConcurrentDecodes runs many goroutines decoding against one scheme
+// simultaneously (run with -race): queries are read-only after Build except
+// for the guarded EID memo.
+func TestConcurrentDecodes(t *testing.T) {
+	g := graph.RandomConnected(60, 90, 5)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 7, Copies: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := BuildCut(g, tree, CutOptions{MaxFaults: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewSplitMix64(uint64(w))
+			for q := 0; q < 25; q++ {
+				faults := graph.RandomFaults(g, rng.Intn(5), uint64(w*100+q))
+				skLabels := make([]SketchEdgeLabel, len(faults))
+				cutLabels := make([]CutEdgeLabel, len(faults))
+				for i, id := range faults {
+					skLabels[i] = s.EdgeLabel(id)
+					cutLabels[i] = cut.EdgeLabel(id)
+				}
+				src, dst := int32(rng.Intn(60)), int32(rng.Intn(60))
+				want := graph.SameComponent(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faults...)))
+				v, err := s.Decode(s.VertexLabel(src), s.VertexLabel(dst), skLabels, q%2, true)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.Connected != want {
+					t.Errorf("worker %d q %d: sketch decode wrong", w, q)
+					return
+				}
+				if got := DecodeCut(cut.VertexLabel(src), cut.VertexLabel(dst), cutLabels); got != want {
+					t.Errorf("worker %d q %d: cut decode wrong", w, q)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

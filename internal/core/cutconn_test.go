@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// buildCutFor is a test helper building the scheme over a connected graph.
+func buildCutFor(t testing.TB, g *graph.Graph, f int, seed uint64) *CutScheme {
+	t.Helper()
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildCut(g, tree, CutOptions{MaxFaults: f, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// queryCut runs the fast decoder on a concrete query.
+func queryCut(s *CutScheme, src, dst int32, faults []graph.EdgeID) bool {
+	labels := make([]CutEdgeLabel, len(faults))
+	for i, id := range faults {
+		labels[i] = s.EdgeLabel(id)
+	}
+	return DecodeCut(s.VertexLabel(src), s.VertexLabel(dst), labels)
+}
+
+func TestCutDecodeAgainstGroundTruth(t *testing.T) {
+	rng := xrand.NewSplitMix64(1)
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + rng.Intn(40)
+		g := graph.RandomConnected(n, rng.Intn(2*n), uint64(trial))
+		f := 1 + rng.Intn(6)
+		s := buildCutFor(t, g, f, uint64(trial)+500)
+		for q := 0; q < 25; q++ {
+			faults := graph.RandomFaults(g, rng.Intn(f+1), uint64(trial*100+q))
+			src, dst := int32(rng.Intn(n)), int32(rng.Intn(n))
+			got := queryCut(s, src, dst, faults)
+			want := graph.SameComponent(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faults...)))
+			if got != want {
+				t.Fatalf("trial %d q %d: Decode=%v truth=%v (s=%d t=%d F=%v)", trial, q, got, want, src, dst, faults)
+			}
+		}
+	}
+}
+
+func TestCutFastEqualsNaive(t *testing.T) {
+	rng := xrand.NewSplitMix64(2)
+	for trial := 0; trial < 30; trial++ {
+		n := 15 + rng.Intn(20)
+		g := graph.RandomConnected(n, rng.Intn(n), uint64(trial)+40)
+		s := buildCutFor(t, g, 5, uint64(trial))
+		for q := 0; q < 20; q++ {
+			faults := graph.RandomFaults(g, rng.Intn(6), uint64(trial*57+q))
+			labels := make([]CutEdgeLabel, len(faults))
+			for i, id := range faults {
+				labels[i] = s.EdgeLabel(id)
+			}
+			src, dst := int32(rng.Intn(n)), int32(rng.Intn(n))
+			sl, tl := s.VertexLabel(src), s.VertexLabel(dst)
+			if DecodeCut(sl, tl, labels) != DecodeCutNaive(sl, tl, labels) {
+				t.Fatalf("trial %d q %d: fast and naive decoders disagree", trial, q)
+			}
+		}
+	}
+}
+
+func TestCutPathGraphSplits(t *testing.T) {
+	g := graph.Path(10)
+	s := buildCutFor(t, g, 2, 3)
+	cut, _ := g.FindEdge(4, 5)
+	if queryCut(s, 0, 9, []graph.EdgeID{cut}) {
+		t.Fatal("cut edge not detected")
+	}
+	if !queryCut(s, 0, 4, []graph.EdgeID{cut}) {
+		t.Fatal("same-side pair declared disconnected")
+	}
+	if !queryCut(s, 5, 9, []graph.EdgeID{cut}) {
+		t.Fatal("same-side pair declared disconnected")
+	}
+}
+
+func TestCutCycleNeedsTwoFaults(t *testing.T) {
+	g := graph.Cycle(8)
+	s := buildCutFor(t, g, 2, 7)
+	e1, _ := g.FindEdge(0, 1)
+	e2, _ := g.FindEdge(4, 5)
+	if !queryCut(s, 0, 5, []graph.EdgeID{e1}) {
+		t.Fatal("one fault cannot disconnect a cycle")
+	}
+	// Removing (0,1) and (4,5) splits the cycle into arcs {1,2,3,4} and
+	// {5,6,7,0}.
+	if queryCut(s, 0, 4, []graph.EdgeID{e1, e2}) {
+		t.Fatal("two faults should disconnect 0 from 4")
+	}
+	if !queryCut(s, 1, 4, []graph.EdgeID{e1, e2}) {
+		t.Fatal("1 and 4 remain connected via the surviving arc")
+	}
+}
+
+func TestCutSelfQuery(t *testing.T) {
+	g := graph.RandomConnected(10, 5, 1)
+	s := buildCutFor(t, g, 3, 2)
+	faults := graph.RandomFaults(g, 3, 9)
+	if !queryCut(s, 4, 4, faults) {
+		t.Fatal("s == t must always be connected")
+	}
+}
+
+func TestCutNoFaults(t *testing.T) {
+	g := graph.RandomConnected(15, 10, 4)
+	s := buildCutFor(t, g, 3, 5)
+	if !queryCut(s, 0, 14, nil) {
+		t.Fatal("no faults: connected graph must stay connected")
+	}
+}
+
+func TestCutDuplicateFaultLabels(t *testing.T) {
+	g := graph.Path(6)
+	s := buildCutFor(t, g, 4, 8)
+	cut, _ := g.FindEdge(2, 3)
+	l := s.EdgeLabel(cut)
+	// The same fault passed twice must not cancel itself out.
+	if DecodeCut(s.VertexLabel(0), s.VertexLabel(5), []CutEdgeLabel{l, l}) {
+		t.Fatal("duplicate fault labels cancelled the cut")
+	}
+}
+
+func TestCutAllEdgesOfVertexFail(t *testing.T) {
+	g := graph.RandomConnected(12, 14, 6)
+	s := buildCutFor(t, g, 8, 3)
+	// Fail every edge of vertex 7: it must be isolated.
+	var faults []graph.EdgeID
+	for _, a := range g.Adj(7) {
+		faults = append(faults, a.E)
+	}
+	for v := int32(0); v < 12; v++ {
+		if v == 7 {
+			continue
+		}
+		if queryCut(s, 7, v, faults) {
+			t.Fatalf("isolated vertex 7 still connected to %d", v)
+		}
+	}
+}
+
+func TestCutBuildErrors(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	if _, err := BuildCut(g, tree, CutOptions{MaxFaults: 1}); err == nil {
+		t.Fatal("non-spanning tree accepted")
+	}
+	conn := graph.Path(4)
+	ctree := graph.BFSTree(conn, 0, nil)
+	if _, err := BuildCut(conn, ctree, CutOptions{MaxFaults: -1}); err == nil {
+		t.Fatal("negative fault bound accepted")
+	}
+}
+
+func TestCutLabelBits(t *testing.T) {
+	g := graph.RandomConnected(100, 50, 1)
+	s := buildCutFor(t, g, 4, 2)
+	el := s.EdgeLabel(0)
+	if el.BitLen(100) <= s.Bits() {
+		t.Fatal("edge label must include phi plus ancestry")
+	}
+	vl := s.VertexLabel(0)
+	if vl.BitLen(100) <= 0 {
+		t.Fatal("vertex label bits")
+	}
+	// Label width grows linearly in f (Theorem 3.6).
+	s2 := buildCutFor(t, g, 40, 2)
+	if s2.Bits() != s.Bits()+36 {
+		t.Fatalf("b(f=40)-b(f=4) = %d, want 36", s2.Bits()-s.Bits())
+	}
+}
+
+func TestCutWeightedGraph(t *testing.T) {
+	// Connectivity ignores weights, but labels must work on weighted graphs.
+	g := graph.WithRandomWeights(graph.Grid(4, 4), 10, 3)
+	s := buildCutFor(t, g, 3, 1)
+	rng := xrand.NewSplitMix64(11)
+	for q := 0; q < 30; q++ {
+		faults := graph.RandomFaults(g, rng.Intn(4), uint64(q))
+		src, dst := int32(rng.Intn(16)), int32(rng.Intn(16))
+		got := queryCut(s, src, dst, faults)
+		want := graph.SameComponent(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faults...)))
+		if got != want {
+			t.Fatalf("q %d: got %v want %v", q, got, want)
+		}
+	}
+}
+
+func BenchmarkCutDecodeF8(b *testing.B) {
+	g := graph.RandomConnected(1000, 2000, 1)
+	s := buildCutFor(b, g, 8, 2)
+	faults := graph.RandomFaults(g, 8, 3)
+	labels := make([]CutEdgeLabel, len(faults))
+	for i, id := range faults {
+		labels[i] = s.EdgeLabel(id)
+	}
+	sl, tl := s.VertexLabel(0), s.VertexLabel(999)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecodeCut(sl, tl, labels)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// TestFlyweightLabelsArePureFunctionsOfSeed is the honesty check promised
+// in DESIGN.md: label content realized lazily through the scheme pointer is
+// a pure function of (graph, tree, seed). Two independently built schemes
+// with identical inputs must produce byte-identical labels and identical
+// decode behaviour — including when labels from one scheme are decoded by
+// the other (so the decoder cannot be relying on hidden per-instance
+// state beyond what the labels carry).
+func TestFlyweightLabelsArePureFunctionsOfSeed(t *testing.T) {
+	g := graph.RandomConnected(35, 50, 3)
+	tree := graph.BFSTree(g, 0, nil)
+	a, err := BuildSketch(g, tree, SketchOptions{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSketch(g, tree, SketchOptions{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical extended identifiers.
+	for id := graph.EdgeID(0); int(id) < g.M(); id++ {
+		la, lb := a.EdgeLabel(id), b.EdgeLabel(id)
+		if len(la.EID) != len(lb.EID) {
+			t.Fatal("EID widths differ")
+		}
+		for i := range la.EID {
+			if la.EID[i] != lb.EID[i] {
+				t.Fatalf("edge %d EID word %d differs between identical schemes", id, i)
+			}
+		}
+		// Identical realized sketch content for tree edges.
+		if la.IsTree {
+			sa, sb := la.ChildSubtreeSketch(0), lb.ChildSubtreeSketch(0)
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("edge %d sketch word %d differs", id, i)
+				}
+			}
+		}
+	}
+	// Cross-decoding: labels minted by scheme b, decoded by scheme a.
+	rng := xrand.NewSplitMix64(5)
+	for q := 0; q < 30; q++ {
+		faultIDs := graph.RandomFaults(g, rng.Intn(5), uint64(q))
+		labelsB := make([]SketchEdgeLabel, len(faultIDs))
+		for i, id := range faultIDs {
+			labelsB[i] = b.EdgeLabel(id)
+		}
+		src, dst := int32(rng.Intn(35)), int32(rng.Intn(35))
+		va, err := a.Decode(b.VertexLabel(src), b.VertexLabel(dst), labelsB, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.SameComponent(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faultIDs...)))
+		if va.Connected != want {
+			t.Fatalf("q %d: cross-scheme decode wrong: got %v want %v", q, va.Connected, want)
+		}
+	}
+}
+
+// TestSchemesAgree runs both connectivity schemes on identical queries:
+// they must agree with each other (both match ground truth independently,
+// but this cross-check catches correlated drift in shared substrates).
+func TestSchemesAgree(t *testing.T) {
+	rng := xrand.NewSplitMix64(21)
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(30)
+		g := graph.RandomConnected(n, rng.Intn(2*n), uint64(trial)+300)
+		tree := graph.BFSTree(g, 0, nil)
+		cut, err := BuildCut(g, tree, CutOptions{MaxFaults: 5, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := BuildSketch(g, tree, SketchOptions{Seed: uint64(trial) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 20; q++ {
+			faults := graph.RandomFaults(g, rng.Intn(6), uint64(trial*100+q))
+			cl := make([]CutEdgeLabel, len(faults))
+			sl := make([]SketchEdgeLabel, len(faults))
+			for i, id := range faults {
+				cl[i] = cut.EdgeLabel(id)
+				sl[i] = sk.EdgeLabel(id)
+			}
+			src, dst := int32(rng.Intn(n)), int32(rng.Intn(n))
+			gotCut := DecodeCut(cut.VertexLabel(src), cut.VertexLabel(dst), cl)
+			v, err := sk.Decode(sk.VertexLabel(src), sk.VertexLabel(dst), sl, 0, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCut != v.Connected {
+				t.Fatalf("trial %d q %d: schemes disagree (cut=%v sketch=%v)", trial, q, gotCut, v.Connected)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ftrouting/internal/ancestry"
+	"ftrouting/internal/bitvec"
+)
+
+// Wire formats for the cut-based labels, so they can actually be
+// distributed: a labeling scheme is only a *distributed* data structure if
+// the labels can leave the process. The sketch-based labels are
+// intentionally not serialized here — their dominant content is the
+// flyweight-realized sketches (DESIGN.md); they serialize naturally as
+// (seed, instance id, edge id) references in a deployment that shares the
+// preprocessing.
+//
+// Encoding (little endian):
+//
+//	vertex label: In(4) Out(4)
+//	edge label:   In(4) Out(4) In(4) Out(4) flags(1) phiBits(4) phiWords(8 each)
+
+const (
+	cutVertexWire = 8
+	flagTree      = 1
+)
+
+// MarshalBinary encodes the vertex label in 8 bytes.
+func (l CutVertexLabel) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, cutVertexWire)
+	binary.LittleEndian.PutUint32(buf[0:], l.Anc.In)
+	binary.LittleEndian.PutUint32(buf[4:], l.Anc.Out)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a vertex label.
+func (l *CutVertexLabel) UnmarshalBinary(data []byte) error {
+	if len(data) != cutVertexWire {
+		return fmt.Errorf("core: vertex label wire length %d, want %d", len(data), cutVertexWire)
+	}
+	l.Anc = ancestry.Label{
+		In:  binary.LittleEndian.Uint32(data[0:]),
+		Out: binary.LittleEndian.Uint32(data[4:]),
+	}
+	return nil
+}
+
+// MarshalBinary encodes the edge label: two ancestry labels, the tree flag,
+// and the phi bit vector.
+func (l CutEdgeLabel) MarshalBinary() ([]byte, error) {
+	words := l.Phi.Words()
+	buf := make([]byte, 16+1+4+8*len(words))
+	binary.LittleEndian.PutUint32(buf[0:], l.AncU.In)
+	binary.LittleEndian.PutUint32(buf[4:], l.AncU.Out)
+	binary.LittleEndian.PutUint32(buf[8:], l.AncV.In)
+	binary.LittleEndian.PutUint32(buf[12:], l.AncV.Out)
+	if l.IsTree {
+		buf[16] = flagTree
+	}
+	binary.LittleEndian.PutUint32(buf[17:], uint32(l.Phi.Len()))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[21+8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes an edge label.
+func (l *CutEdgeLabel) UnmarshalBinary(data []byte) error {
+	if len(data) < 21 {
+		return fmt.Errorf("core: edge label wire too short: %d bytes", len(data))
+	}
+	l.AncU = ancestry.Label{In: binary.LittleEndian.Uint32(data[0:]), Out: binary.LittleEndian.Uint32(data[4:])}
+	l.AncV = ancestry.Label{In: binary.LittleEndian.Uint32(data[8:]), Out: binary.LittleEndian.Uint32(data[12:])}
+	l.IsTree = data[16]&flagTree != 0
+	bits := int(binary.LittleEndian.Uint32(data[17:]))
+	if bits < 0 || bits > 1<<24 {
+		return fmt.Errorf("core: edge label phi length %d out of range", bits)
+	}
+	wantWords := (bits + 63) / 64
+	if len(data) != 21+8*wantWords {
+		return fmt.Errorf("core: edge label wire length %d, want %d", len(data), 21+8*wantWords)
+	}
+	words := make([]uint64, wantWords)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[21+8*i:])
+	}
+	l.Phi = bitvec.FromWords(bits, words)
+	return nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+func TestCutLabelWireRoundTrip(t *testing.T) {
+	g := graph.RandomConnected(30, 40, 5)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildCut(g, tree, CutOptions{MaxFaults: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 30; v++ {
+		l := s.VertexLabel(v)
+		data, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back CutVertexLabel
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if back != l {
+			t.Fatalf("vertex label %d round trip mismatch", v)
+		}
+	}
+	for id := graph.EdgeID(0); int(id) < g.M(); id++ {
+		l := s.EdgeLabel(id)
+		data, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back CutEdgeLabel
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if back.AncU != l.AncU || back.AncV != l.AncV || back.IsTree != l.IsTree || !back.Phi.Equal(l.Phi) {
+			t.Fatalf("edge label %d round trip mismatch", id)
+		}
+	}
+}
+
+func TestCutDecodeOverTheWire(t *testing.T) {
+	// End-to-end: serialize everything, deserialize on the "other side",
+	// and decode purely from the wire bytes.
+	g := graph.Cycle(12)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildCut(g, tree, CutOptions{MaxFaults: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := g.FindEdge(0, 1)
+	e2, _ := g.FindEdge(6, 7)
+	ship := func(l interface{ MarshalBinary() ([]byte, error) }) []byte {
+		data, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	var sv, tv CutVertexLabel
+	var f1, f2 CutEdgeLabel
+	if err := sv.UnmarshalBinary(ship(s.VertexLabel(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tv.UnmarshalBinary(ship(s.VertexLabel(7))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.UnmarshalBinary(ship(s.EdgeLabel(e1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.UnmarshalBinary(ship(s.EdgeLabel(e2))); err != nil {
+		t.Fatal(err)
+	}
+	// Cutting (0,1) and (6,7) separates {1..6} from {7..11,0}.
+	if DecodeCut(sv, tv, []CutEdgeLabel{f1, f2}) {
+		t.Fatal("1 and 7 should be separated")
+	}
+	if !DecodeCut(sv, sv, []CutEdgeLabel{f1, f2}) {
+		t.Fatal("self query")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var v CutVertexLabel
+	if err := v.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short vertex wire accepted")
+	}
+	var e CutEdgeLabel
+	if err := e.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short edge wire accepted")
+	}
+	// Truncated phi payload.
+	g := graph.Path(4)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildCut(g, tree, CutOptions{MaxFaults: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.EdgeLabel(0).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated edge wire accepted")
+	}
+	// Absurd phi length field.
+	bad := append([]byte(nil), data...)
+	bad[17], bad[18], bad[19], bad[20] = 0xff, 0xff, 0xff, 0x7f
+	if err := e.UnmarshalBinary(bad); err == nil {
+		t.Fatal("oversized phi length accepted")
+	}
+}
+
+func TestUnmarshalQuickNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		var v CutVertexLabel
+		_ = v.UnmarshalBinary(data)
+		var e CutEdgeLabel
+		_ = e.UnmarshalBinary(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: nil}); err != nil {
+		t.Error(err)
+	}
+	// Also structured-random longer payloads.
+	rng := xrand.NewSplitMix64(3)
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(128))
+		for j := range data {
+			data[j] = byte(rng.Next())
+		}
+		var e CutEdgeLabel
+		_ = e.UnmarshalBinary(data)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"ftrouting/internal/ancestry"
+	"ftrouting/internal/eid"
+	"ftrouting/internal/graph"
+)
+
+// PathStep is one step of a succinct s-t path (Lemma 3.17, Figure 3).
+//
+// A tree step ("1-labeled edge" in the paper) says: walk the tree path from
+// From to To inside a single component of T\F; the walker needs only the
+// endpoints' identities and their tree-routing payloads. An edge step
+// ("0-labeled") says: cross the recovery edge described by Edge (a real
+// G-edge found by the sketches; its fields carry ports and tree labels of
+// both endpoints when routing is configured).
+type PathStep struct {
+	IsTreeHop bool
+
+	// Tree-step endpoints (also set for edge steps: From/To are the
+	// crossing direction).
+	From, To           int32
+	FromAnc, ToAnc     ancestry.Label
+	FromExtra, ToExtra []uint64
+
+	// Edge is the recovery edge for edge steps.
+	Edge eid.Fields
+}
+
+// SuccinctPath is the O(f)-step alternating description of an s-t path in
+// G\F. An empty path means s == t.
+type SuccinctPath struct {
+	Steps []PathStep
+}
+
+// BitLen returns the description size in bits: each step carries two
+// endpoint identities/ancestry labels plus, for edge steps, the extended
+// identifier (paper: O(f log n) bits total).
+func (p *SuccinctPath) BitLen(n int, eidBits int) int {
+	idAnc := ancestry.BitLen(n) + 32
+	bits := 0
+	for _, st := range p.Steps {
+		bits += 2 * idAnc
+		if !st.IsTreeHop {
+			bits += eidBits
+		}
+		bits += 64 * (len(st.FromExtra) + len(st.ToExtra))
+	}
+	return bits
+}
+
+// treeStep builds a tree step between two labeled vertices.
+func treeStep(a, b SketchVertexLabel) PathStep {
+	return PathStep{
+		IsTreeHop: true,
+		From:      a.ID, To: b.ID,
+		FromAnc: a.Anc, ToAnc: b.Anc,
+		FromExtra: a.Extra, ToExtra: b.Extra,
+	}
+}
+
+// assemblePath turns the Boruvka recovery edges into the alternating
+// tree/edge step sequence of Lemma 3.17: BFS over the component multigraph
+// whose edges are the recovery edges, then stitch [s ..tree.. x1] (x1,y1)
+// [y1 ..tree.. x2] ... [yk ..tree.. t].
+func assemblePath(sv, tv SketchVertexLabel, cs, ctc int32, nc int, recoveries []recoveryEdge) (*SuccinctPath, error) {
+	type adjEntry struct {
+		rec   int   // index into recoveries
+		other int32 // neighbouring component
+	}
+	adj := make([][]adjEntry, nc)
+	for i, r := range recoveries {
+		adj[r.cu] = append(adj[r.cu], adjEntry{rec: i, other: r.cv})
+		adj[r.cv] = append(adj[r.cv], adjEntry{rec: i, other: r.cu})
+	}
+	// BFS from cs to ctc.
+	prev := make([]int, nc) // recovery index used to reach comp, -1 unset
+	for i := range prev {
+		prev[i] = -1
+	}
+	visited := make([]bool, nc)
+	visited[cs] = true
+	queue := []int32{cs}
+	for len(queue) > 0 && !visited[ctc] {
+		c := queue[0]
+		queue = queue[1:]
+		for _, a := range adj[c] {
+			if !visited[a.other] {
+				visited[a.other] = true
+				prev[a.other] = a.rec
+				queue = append(queue, a.other)
+			}
+		}
+	}
+	if cs != ctc && !visited[ctc] {
+		return nil, fmt.Errorf("core: components merged by union-find but not connected by recovery edges")
+	}
+	// Walk back from ctc to cs collecting recovery edges in order s -> t.
+	var chain []recoveryEdge
+	for c := ctc; c != cs; {
+		r := recoveries[prev[c]]
+		// Orient the edge so that it is crossed from the side nearer s.
+		if r.cv == c {
+			chain = append(chain, r)
+			c = r.cu
+		} else {
+			// Flip endpoints so U side is the "from" side.
+			flipped := recoveryEdge{fields: flipFields(r.fields), cu: r.cv, cv: r.cu}
+			chain = append(chain, flipped)
+			c = r.cv // == flipped.cu's counterpart before flip
+		}
+	}
+	// chain is t->s ordered; reverse.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	p := &SuccinctPath{}
+	cur := sv // current "anchor" vertex label
+	for _, r := range chain {
+		// Tree hop from cur to the U side of the edge (same component).
+		x := endpointLabel(r.fields, r.fields.U)
+		if cur.ID != x.ID {
+			p.Steps = append(p.Steps, treeStep(cur, x))
+		}
+		y := endpointLabel(r.fields, r.fields.V)
+		p.Steps = append(p.Steps, PathStep{
+			From: x.ID, To: y.ID,
+			FromAnc: x.Anc, ToAnc: y.Anc,
+			FromExtra: x.Extra, ToExtra: y.Extra,
+			Edge: r.fields,
+		})
+		cur = y
+	}
+	if cur.ID != tv.ID {
+		p.Steps = append(p.Steps, treeStep(cur, tv))
+	}
+	return p, nil
+}
+
+// flipFields swaps the U and V sides of an identifier's fields.
+func flipFields(f eid.Fields) eid.Fields {
+	return eid.Fields{
+		UID: f.UID,
+		U:   f.V, V: f.U,
+		AncU: f.AncV, AncV: f.AncU,
+		PortU: f.PortV, PortV: f.PortU,
+		ExtraU: f.ExtraV, ExtraV: f.ExtraU,
+	}
+}
+
+// endpointLabel builds a vertex label view for one endpoint of a recovery
+// edge from the information carried in its extended identifier.
+func endpointLabel(f eid.Fields, v int32) SketchVertexLabel {
+	anc, _, extra := f.EndpointInfo(v)
+	return SketchVertexLabel{ID: v, Anc: anc, Extra: extra}
+}
+
+// ExpandPath converts a succinct path into a full vertex path on the
+// instance graph, walking tree paths with parent pointers. It verifies that
+// every tree hop stays inside one component of T\F (i.e. avoids faulty
+// tree edges) and that every edge step is a real non-faulty edge; it is the
+// test oracle for Lemma 3.17 and the reference for what the routing layer
+// executes with ports.
+func ExpandPath(s *SketchScheme, p *SuccinctPath, src, dst int32, faults graph.EdgeSet) ([]int32, error) {
+	cur := src
+	out := []int32{src}
+	for i, st := range p.Steps {
+		if st.From != cur {
+			return nil, fmt.Errorf("core: step %d starts at %d, walker is at %d", i, st.From, cur)
+		}
+		if st.IsTreeHop {
+			seg := s.tree.PathTo(st.From, st.To)
+			for j := 1; j < len(seg); j++ {
+				id, ok := s.g.FindEdge(seg[j-1], seg[j])
+				if !ok {
+					return nil, fmt.Errorf("core: step %d tree hop uses non-edge %d-%d", i, seg[j-1], seg[j])
+				}
+				if faults[id] {
+					return nil, fmt.Errorf("core: step %d tree hop crosses faulty edge %d", i, id)
+				}
+				out = append(out, seg[j])
+			}
+			cur = st.To
+			continue
+		}
+		id, ok := s.g.FindEdge(st.From, st.To)
+		if !ok {
+			return nil, fmt.Errorf("core: step %d edge %d-%d does not exist", i, st.From, st.To)
+		}
+		if faults[id] {
+			return nil, fmt.Errorf("core: step %d crosses faulty edge %d", i, id)
+		}
+		out = append(out, st.To)
+		cur = st.To
+	}
+	if cur != dst {
+		return nil, fmt.Errorf("core: path ends at %d, want %d", cur, dst)
+	}
+	return out, nil
+}

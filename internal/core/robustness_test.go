@@ -1,0 +1,283 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftrouting/internal/bitvec"
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// TestCutAllQueriesVariant exercises the O(f log n) all-queries label width
+// (remark after Lemma 1.7): decode every subset of a fixed fault pool on
+// every vertex pair of a small graph with zero errors.
+func TestCutAllQueriesVariant(t *testing.T) {
+	g := graph.RandomConnected(14, 12, 3)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildCut(g, tree, CutOptions{MaxFaults: 4, AllQueries: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := BuildCut(g, tree, CutOptions{MaxFaults: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bits() <= narrow.Bits() {
+		t.Fatalf("all-queries width %d not wider than per-query %d", s.Bits(), narrow.Bits())
+	}
+	pool := graph.RandomFaults(g, 4, 9)
+	for mask := 0; mask < 1<<uint(len(pool)); mask++ {
+		var faults []graph.EdgeID
+		for i, id := range pool {
+			if mask>>uint(i)&1 == 1 {
+				faults = append(faults, id)
+			}
+		}
+		labels := make([]CutEdgeLabel, len(faults))
+		for i, id := range faults {
+			labels[i] = s.EdgeLabel(id)
+		}
+		skip := graph.SkipSet(graph.NewEdgeSet(faults...))
+		for src := int32(0); src < 14; src++ {
+			for dst := src + 1; dst < 14; dst++ {
+				got := DecodeCut(s.VertexLabel(src), s.VertexLabel(dst), labels)
+				if got != graph.SameComponent(g, src, dst, skip) {
+					t.Fatalf("mask %b (%d,%d): wrong verdict", mask, src, dst)
+				}
+			}
+		}
+	}
+}
+
+// TestCutDecodeMixedWidthsNoPanic feeds labels from two different schemes
+// (different widths) to one decode call: adversarial input must not panic.
+func TestCutDecodeMixedWidthsNoPanic(t *testing.T) {
+	g := graph.Path(8)
+	tree := graph.BFSTree(g, 0, nil)
+	a, err := BuildCut(g, tree, CutOptions{MaxFaults: 2, Bits: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCut(g, tree, CutOptions{MaxFaults: 2, Bits: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := []CutEdgeLabel{a.EdgeLabel(1), b.EdgeLabel(4)}
+	// The answer is unspecified for mixed schemes; only absence of panics
+	// and of false "connected across my own cut" matters here.
+	_ = DecodeCut(a.VertexLabel(0), a.VertexLabel(7), mixed)
+	_ = DecodeCutNaive(a.VertexLabel(0), a.VertexLabel(7), mixed)
+}
+
+// TestCutDecodeCorruptedLabelsNoPanic flips random bits in labels.
+func TestCutDecodeCorruptedLabelsNoPanic(t *testing.T) {
+	g := graph.RandomConnected(20, 25, 7)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildCut(g, tree, CutOptions{MaxFaults: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewSplitMix64(11)
+	for trial := 0; trial < 200; trial++ {
+		faults := graph.RandomFaults(g, 3, uint64(trial))
+		labels := make([]CutEdgeLabel, len(faults))
+		for i, id := range faults {
+			labels[i] = s.EdgeLabel(id)
+		}
+		// Corrupt one label: random ancestry garbage, flipped tree bit,
+		// mutated phi.
+		c := &labels[rng.Intn(len(labels))]
+		switch rng.Intn(3) {
+		case 0:
+			c.AncU.In = uint32(rng.Next())
+			c.AncU.Out = uint32(rng.Next())
+		case 1:
+			c.IsTree = !c.IsTree
+		case 2:
+			phi := c.Phi.Clone()
+			if phi.Len() > 0 {
+				phi.Flip(rng.Intn(phi.Len()))
+			}
+			c.Phi = phi
+		}
+		_ = DecodeCut(s.VertexLabel(0), s.VertexLabel(19), labels)
+	}
+}
+
+// TestSketchDecodeCorruptedLabels flips words in sketch edge labels: the
+// decoder must return an error or a verdict, never panic.
+func TestSketchDecodeCorruptedLabels(t *testing.T) {
+	g := graph.RandomConnected(25, 35, 9)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewSplitMix64(17)
+	for trial := 0; trial < 200; trial++ {
+		faults := graph.RandomFaults(g, 4, uint64(trial)+55)
+		labels := make([]SketchEdgeLabel, len(faults))
+		for i, id := range faults {
+			labels[i] = s.EdgeLabel(id)
+			// Deep-copy the EID so corruption does not leak into the
+			// scheme's memoized encodings shared by other tests/queries.
+			labels[i].EID = append([]uint64(nil), labels[i].EID...)
+		}
+		c := &labels[rng.Intn(len(labels))]
+		c.EID[rng.Intn(len(c.EID))] ^= rng.Next()
+		// Must not panic; error or arbitrary verdict both acceptable.
+		_, _ = s.Decode(s.VertexLabel(0), s.VertexLabel(24), labels, 0, true)
+	}
+}
+
+// TestCutQuickProperty is a quick.Check over random small graphs: the fast
+// decoder always matches BFS ground truth.
+func TestCutQuickProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.NewSplitMix64(seed)
+		n := 5 + rng.Intn(25)
+		g := graph.RandomConnected(n, rng.Intn(n), seed)
+		tree := graph.BFSTree(g, 0, nil)
+		s, err := BuildCut(g, tree, CutOptions{MaxFaults: 4, Seed: seed + 1})
+		if err != nil {
+			return false
+		}
+		faults := graph.RandomFaults(g, rng.Intn(5), seed+2)
+		labels := make([]CutEdgeLabel, len(faults))
+		for i, id := range faults {
+			labels[i] = s.EdgeLabel(id)
+		}
+		src, dst := int32(rng.Intn(n)), int32(rng.Intn(n))
+		got := DecodeCut(s.VertexLabel(src), s.VertexLabel(dst), labels)
+		return got == graph.SameComponent(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faults...)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSketchQuickProperty mirrors TestCutQuickProperty for the sketch
+// scheme, including path validity whenever connected.
+func TestSketchQuickProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.NewSplitMix64(seed)
+		n := 5 + rng.Intn(25)
+		g := graph.RandomConnected(n, rng.Intn(n), seed)
+		tree := graph.BFSTree(g, 0, nil)
+		s, err := BuildSketch(g, tree, SketchOptions{Seed: seed + 3})
+		if err != nil {
+			return false
+		}
+		faultIDs := graph.RandomFaults(g, rng.Intn(5), seed+4)
+		faults := graph.NewEdgeSet(faultIDs...)
+		labels := make([]SketchEdgeLabel, len(faultIDs))
+		for i, id := range faultIDs {
+			labels[i] = s.EdgeLabel(id)
+		}
+		src, dst := int32(rng.Intn(n)), int32(rng.Intn(n))
+		v, err := s.Decode(s.VertexLabel(src), s.VertexLabel(dst), labels, 0, true)
+		if err != nil {
+			return false
+		}
+		want := graph.SameComponent(g, src, dst, graph.SkipSet(faults))
+		if v.Connected != want {
+			return false
+		}
+		if v.Connected {
+			if _, err := ExpandPath(s, v.Path, src, dst, faults); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBridgeFaultsExactlyPartition targets bridges: failing a bridge must
+// split exactly along its two sides under both schemes.
+func TestBridgeFaultsExactlyPartition(t *testing.T) {
+	// Two cliques joined by one bridge.
+	g := graph.New(10)
+	for u := int32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	for u := int32(5); u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	bridge := g.MustAddEdge(2, 7, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	cut, err := BuildCut(g, tree, CutOptions{MaxFaults: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := BuildSketch(g, tree, SketchOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := []CutEdgeLabel{cut.EdgeLabel(bridge)}
+	sl := []SketchEdgeLabel{sk.EdgeLabel(bridge)}
+	for a := int32(0); a < 10; a++ {
+		for b := int32(0); b < 10; b++ {
+			want := (a < 5) == (b < 5)
+			if got := DecodeCut(cut.VertexLabel(a), cut.VertexLabel(b), cl); got != want {
+				t.Fatalf("cut scheme (%d,%d): got %v want %v", a, b, got, want)
+			}
+			v, err := sk.Decode(sk.VertexLabel(a), sk.VertexLabel(b), sl, 0, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Connected != want {
+				t.Fatalf("sketch scheme (%d,%d): got %v want %v", a, b, v.Connected, want)
+			}
+		}
+	}
+}
+
+// TestSketchDeepPathTree stresses deep recursion-free subtree walks: a long
+// path graph with faults near both ends.
+func TestSketchDeepPathTree(t *testing.T) {
+	g := graph.Path(3000)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := g.FindEdge(10, 11)
+	e2, _ := g.FindEdge(2500, 2501)
+	labels := []SketchEdgeLabel{s.EdgeLabel(e1), s.EdgeLabel(e2)}
+	cases := []struct {
+		s, t int32
+		want bool
+	}{
+		{0, 10, true}, {0, 11, false}, {11, 2500, true}, {2501, 2999, true}, {0, 2999, false}, {11, 2501, false},
+	}
+	for _, c := range cases {
+		v, err := s.Decode(s.VertexLabel(c.s), s.VertexLabel(c.t), labels, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Connected != c.want {
+			t.Fatalf("(%d,%d): got %v want %v", c.s, c.t, v.Connected, c.want)
+		}
+	}
+}
+
+// TestPadHelper checks the defensive pad used by the naive decoder.
+func TestPadHelper(t *testing.T) {
+	v := bitvec.New(8)
+	v.Set(3, true)
+	p := pad(v, 16)
+	if p.Len() != 16 || !p.Get(3) || p.OnesCount() != 1 {
+		t.Fatal("pad broken")
+	}
+	if pad(v, 8).Len() != 8 {
+		t.Fatal("no-op pad broken")
+	}
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ftrouting/internal/ancestry"
+	"ftrouting/internal/comptree"
+	"ftrouting/internal/eid"
+	"ftrouting/internal/graph"
+	"ftrouting/internal/sketch"
+	"ftrouting/internal/unionfind"
+	"ftrouting/internal/xrand"
+)
+
+// SketchOptions configures BuildSketch.
+type SketchOptions struct {
+	// Copies is the number f' of independent sketch instantiations
+	// (Section 5.2 uses f+1; plain connectivity labeling uses 1). Zero
+	// means 1.
+	Copies int
+	// Params sizes the sketches; zero-value selects sketch.DefaultParams.
+	Params sketch.Params
+	// Seed drives all randomness.
+	Seed uint64
+	// PortOf supplies the port of local edge e at local endpoint v in
+	// whatever network the labels will route on (Eq. 5). nil uses the
+	// local graph's own ports.
+	PortOf func(e graph.EdgeID, at int32) int32
+	// ExtraOf supplies an extra per-endpoint payload embedded in extended
+	// identifiers — the tree-routing labels L_T(u), L_T(v) of Eq. (5).
+	// nil embeds nothing. Must return exactly ExtraWords words.
+	ExtraOf func(v int32) []uint64
+	// ExtraWords is the fixed width of the ExtraOf payload.
+	ExtraWords int
+}
+
+// SketchScheme holds the sketch-based FT connectivity labeling of one
+// connected graph (Theorem 3.7).
+type SketchScheme struct {
+	g      *graph.Graph
+	tree   *graph.Tree
+	anc    []ancestry.Label
+	layout *eid.Layout
+	// engines[c] is the c-th independent copy; all share layout and seedID.
+	engines []*sketch.Engine
+	seedID  uint64
+	opts    SketchOptions
+}
+
+// BuildSketch labels the graph spanned by tree; the tree must span all of
+// g's vertices (apply per component otherwise). Construction is Õ(m+n):
+// assigning ids, ancestry labels and hash seeds (sketch content itself is
+// realized on demand; see DESIGN.md "flyweight").
+func BuildSketch(g *graph.Graph, tree *graph.Tree, opts SketchOptions) (*SketchScheme, error) {
+	if tree.Size() != g.N() {
+		return nil, fmt.Errorf("core: tree spans %d of %d vertices; label components separately", tree.Size(), g.N())
+	}
+	if opts.Copies <= 0 {
+		opts.Copies = 1
+	}
+	if opts.Params == (sketch.Params{}) {
+		opts.Params = sketch.DefaultParams(g.N(), g.M())
+	}
+	if (opts.ExtraOf == nil) != (opts.ExtraWords == 0) {
+		return nil, fmt.Errorf("core: ExtraOf and ExtraWords must be set together")
+	}
+	layout, err := eid.NewLayout(g.N(), opts.PortOf != nil, opts.ExtraWords)
+	if err != nil {
+		return nil, err
+	}
+	s := &SketchScheme{
+		g:      g,
+		tree:   tree,
+		anc:    ancestry.Build(tree),
+		layout: layout,
+		seedID: xrand.DeriveSeed(opts.Seed, 0x1D),
+		opts:   opts,
+	}
+	enc := func(id graph.EdgeID) []uint64 {
+		e := g.Edge(id)
+		f := eid.Fields{
+			U: e.U, V: e.V,
+			AncU: s.anc[e.U], AncV: s.anc[e.V],
+		}
+		if opts.PortOf != nil {
+			f.PortU = opts.PortOf(id, e.U)
+			f.PortV = opts.PortOf(id, e.V)
+		}
+		if opts.ExtraOf != nil {
+			f.ExtraU = opts.ExtraOf(e.U)
+			f.ExtraV = opts.ExtraOf(e.V)
+		}
+		return layout.Encode(s.seedID, f)
+	}
+	// Extended identifiers are copy-independent (the UID seed is shared per
+	// Section 5.2), so memoize encodings once across all engine copies. The
+	// mutex makes concurrent decodes on one scheme safe; encoded slices are
+	// immutable once published.
+	memo := make([][]uint64, g.M())
+	var memoMu sync.Mutex
+	encMemo := func(id graph.EdgeID) []uint64 {
+		memoMu.Lock()
+		defer memoMu.Unlock()
+		if memo[id] == nil {
+			memo[id] = enc(id)
+		}
+		return memo[id]
+	}
+	s.engines = make([]*sketch.Engine, opts.Copies)
+	for c := range s.engines {
+		eng, err := sketch.NewEngine(g, layout, opts.Params, s.seedID,
+			xrand.DeriveSeed(opts.Seed, 0x5E, uint64(c)), encMemo)
+		if err != nil {
+			return nil, err
+		}
+		s.engines[c] = eng
+	}
+	return s, nil
+}
+
+// Copies returns the number of independent sketch copies f'.
+func (s *SketchScheme) Copies() int { return len(s.engines) }
+
+// Params returns the sketch sizing in use.
+func (s *SketchScheme) Params() sketch.Params { return s.engines[0].Params() }
+
+// Layout returns the extended-identifier layout.
+func (s *SketchScheme) Layout() *eid.Layout { return s.layout }
+
+// Graph returns the labeled graph.
+func (s *SketchScheme) Graph() *graph.Graph { return s.g }
+
+// Tree returns the spanning tree.
+func (s *SketchScheme) Tree() *graph.Tree { return s.tree }
+
+// Anc returns the ancestry label of local vertex v.
+func (s *SketchScheme) Anc(v int32) ancestry.Label { return s.anc[v] }
+
+// SketchVertexLabel is the vertex label of Eq. (3)/(6): ancestry label, id,
+// and (when routing is configured) the encoded tree-routing label payload.
+type SketchVertexLabel struct {
+	ID    int32
+	Anc   ancestry.Label
+	Extra []uint64
+}
+
+// BitLen returns the label size in bits (paper accounting: ancestry + id +
+// optional tree label payload).
+func (l SketchVertexLabel) BitLen(n int) int {
+	idBits := 0
+	for v := n; v > 0; v >>= 1 {
+		idBits++
+	}
+	return ancestry.BitLen(n) + idBits + 64*len(l.Extra)
+}
+
+// VertexLabel returns the label of local vertex v.
+func (s *SketchScheme) VertexLabel(v int32) SketchVertexLabel {
+	l := SketchVertexLabel{ID: v, Anc: s.anc[v]}
+	if s.opts.ExtraOf != nil {
+		l.Extra = s.opts.ExtraOf(v)
+	}
+	return l
+}
+
+// SketchEdgeLabel is the edge label of Section 3.2.1: the extended
+// identifier for every edge, plus — for tree edges — the subtree sketches,
+// the whole-graph sketch, and the seeds. Sketch content is realized lazily
+// through the scheme pointer (flyweight; the bits are exactly what the
+// label would carry, and BitLen accounts for them).
+type SketchEdgeLabel struct {
+	scheme *SketchScheme
+	E      graph.EdgeID
+	EID    []uint64
+	IsTree bool
+	// child is the endpoint that is the deeper (child) side for tree edges.
+	child int32
+}
+
+// EdgeLabel returns the label of local edge id.
+func (s *SketchScheme) EdgeLabel(id graph.EdgeID) SketchEdgeLabel {
+	l := SketchEdgeLabel{
+		scheme: s,
+		E:      id,
+		EID:    s.engines[0].Layout().Encode(s.seedID, s.fieldsOf(id)),
+		IsTree: s.tree.InTree[id],
+	}
+	if l.IsTree {
+		e := s.g.Edge(id)
+		if s.tree.Parent[e.V] == e.U {
+			l.child = e.V
+		} else {
+			l.child = e.U
+		}
+	}
+	return l
+}
+
+// fieldsOf assembles the identifier fields of an edge (same content the
+// engine encoder produces).
+func (s *SketchScheme) fieldsOf(id graph.EdgeID) eid.Fields {
+	e := s.g.Edge(id)
+	f := eid.Fields{U: e.U, V: e.V, AncU: s.anc[e.U], AncV: s.anc[e.V]}
+	if s.opts.PortOf != nil {
+		f.PortU = s.opts.PortOf(id, e.U)
+		f.PortV = s.opts.PortOf(id, e.V)
+	}
+	if s.opts.ExtraOf != nil {
+		f.ExtraU = s.opts.ExtraOf(e.U)
+		f.ExtraV = s.opts.ExtraOf(e.V)
+	}
+	return f
+}
+
+// Fields decodes the embedded extended identifier.
+func (l SketchEdgeLabel) Fields() eid.Fields { return l.scheme.layout.Decode(l.EID) }
+
+// ChildSubtreeSketch returns Sketch(V(T_child)) for tree edges under the
+// given copy — the Sketch'(C_j) of Step 2 of the decoder.
+func (l SketchEdgeLabel) ChildSubtreeSketch(copy int) sketch.Sketch {
+	if !l.IsTree {
+		panic("core: ChildSubtreeSketch on non-tree edge label")
+	}
+	return l.scheme.engines[copy].SubtreeSketch(l.scheme.tree, l.child)
+}
+
+// BitLen returns the label size in bits under the paper's accounting:
+// non-tree edges carry only the extended identifier; tree edges carry the
+// identifier, three sketches per copy, and the two seeds.
+func (l SketchEdgeLabel) BitLen() int {
+	bits := 64 * len(l.EID)
+	if l.IsTree {
+		bits += 3 * l.scheme.engines[0].Bits() * len(l.scheme.engines) // Sketch(T_u), Sketch(T_v), Sketch(V) per copy
+		bits += 2 * 64                                                 // seeds S_ID, S_h
+	}
+	return bits
+}
+
+// Verdict is the result of Decode.
+type Verdict struct {
+	Connected bool
+	// Path is a succinct s-t path description (Lemma 3.17); non-nil only
+	// when Connected and path output was requested. It has O(f) steps.
+	Path *SuccinctPath
+	// Phases is the number of Boruvka phases executed (diagnostics).
+	Phases int
+}
+
+// recoveryEdge records an outgoing edge found during the Boruvka
+// simulation, connecting two T\F components.
+type recoveryEdge struct {
+	fields eid.Fields
+	cu, cv int32 // components of fields.U / fields.V
+}
+
+// Decode decides whether s and t are connected in G\F from labels alone
+// (Theorem 3.7, decoder of Section 3.2.2), optionally producing a succinct
+// path (Lemma 3.17). copy selects which of the f' independent sketch copies
+// to use (Section 5.2 uses a fresh copy per routing iteration).
+//
+// The four steps: (1) identify the components of T\F via the component
+// tree; (2) compute each component's sketch from the subtree sketches;
+// (3) cancel the faulty edges' contributions; (4) simulate Boruvka with a
+// fresh basic unit per phase.
+func (s *SketchScheme) Decode(sv, tv SketchVertexLabel, faults []SketchEdgeLabel, copy int, wantPath bool) (Verdict, error) {
+	if copy < 0 || copy >= len(s.engines) {
+		return Verdict{}, fmt.Errorf("core: copy %d out of range [0,%d)", copy, len(s.engines))
+	}
+	eng := s.engines[copy]
+	if sv.ID == tv.ID {
+		v := Verdict{Connected: true}
+		if wantPath {
+			v.Path = &SuccinctPath{}
+		}
+		return v, nil
+	}
+
+	faults = dedupSketchLabels(faults)
+	var treeFaults []SketchEdgeLabel
+	for _, l := range faults {
+		if l.IsTree {
+			treeFaults = append(treeFaults, l)
+		}
+	}
+
+	// No tree faults: T is intact, s and t are connected through it.
+	if len(treeFaults) == 0 {
+		v := Verdict{Connected: true}
+		if wantPath {
+			v.Path = &SuccinctPath{Steps: []PathStep{treeStep(sv, tv)}}
+		}
+		return v, nil
+	}
+
+	// Step 1: component tree of T \ F_T from the child-side ancestry
+	// labels (Claim 3.14).
+	childLabels := make([]ancestry.Label, len(treeFaults))
+	for i, l := range treeFaults {
+		f := l.Fields()
+		child, _, ok := ancestry.ChildOf(f.AncU, f.AncV)
+		if !ok {
+			return Verdict{}, fmt.Errorf("core: tree-fault label %d has non-nested endpoint intervals", i)
+		}
+		childLabels[i] = child
+	}
+	ct, err := comptree.Build(childLabels)
+	if err != nil {
+		return Verdict{}, err
+	}
+	nc := int32(ct.NumComps())
+
+	// Step 2: component sketches (Claim 3.15). Sketch'(C_j) is the child
+	// subtree sketch from the fault label; the root's temporary sketch is
+	// Sketch(V), which is identically zero (every edge of the instance is
+	// internal to V and cancels).
+	temp := make([]sketch.Sketch, nc)
+	temp[comptree.RootComp] = eng.NewSketch()
+	for i, l := range treeFaults {
+		temp[i+1] = l.ChildSubtreeSketch(copy)
+	}
+	comps := make([]sketch.Sketch, nc)
+	for c := int32(0); c < nc; c++ {
+		comps[c] = temp[c].Clone()
+	}
+	for c := int32(1); c < nc; c++ {
+		comps[ct.Parent(c)].Xor(temp[c])
+	}
+
+	// Step 3: cancel every faulty edge whose endpoints lie in different
+	// components (same-component faults already cancelled inside the XOR).
+	for _, l := range faults {
+		f := l.Fields()
+		cu := ct.Locate(f.AncU)
+		cv := ct.Locate(f.AncV)
+		if cu == cv {
+			continue
+		}
+		eng.CancelEdge(comps[cu], f.UID, l.EID)
+		eng.CancelEdge(comps[cv], f.UID, l.EID)
+	}
+
+	// Step 4: Boruvka over the components with a fresh basic unit per
+	// phase. Group sketches live at the union-find roots.
+	uf := unionfind.New(int(nc))
+	cs := ct.Locate(sv.Anc)
+	ctc := ct.Locate(tv.Anc)
+	var recoveries []recoveryEdge
+	phases := 0
+	for phase := 0; phase < eng.Params().Units && !uf.Same(cs, ctc); phase++ {
+		phases++
+		type found struct {
+			f    eid.Fields
+			from int32
+		}
+		var cands []found
+		for c := int32(0); c < nc; c++ {
+			if uf.Find(c) != c {
+				continue
+			}
+			if f, ok := eng.FindOutgoing(comps[c], phase); ok {
+				cands = append(cands, found{f: f, from: c})
+			}
+		}
+		for _, cand := range cands {
+			cu := ct.Locate(cand.f.AncU)
+			cv := ct.Locate(cand.f.AncV)
+			ru, rv := uf.Find(cu), uf.Find(cv)
+			if ru == rv {
+				continue
+			}
+			root, _ := uf.Union(ru, rv)
+			merged := comps[ru]
+			merged.Xor(comps[rv])
+			comps[root] = merged
+			recoveries = append(recoveries, recoveryEdge{fields: cand.f, cu: cu, cv: cv})
+		}
+	}
+
+	if !uf.Same(cs, ctc) {
+		return Verdict{Connected: false, Phases: phases}, nil
+	}
+	v := Verdict{Connected: true, Phases: phases}
+	if wantPath {
+		p, err := assemblePath(sv, tv, cs, ctc, int(nc), recoveries)
+		if err != nil {
+			return Verdict{}, err
+		}
+		v.Path = p
+	}
+	return v, nil
+}
+
+// dedupSketchLabels removes duplicate fault labels by UID.
+func dedupSketchLabels(faults []SketchEdgeLabel) []SketchEdgeLabel {
+	seen := make(map[uint64]bool, len(faults))
+	out := faults[:0:0]
+	for _, l := range faults {
+		uid := l.EID[0]
+		if seen[uid] {
+			continue
+		}
+		seen[uid] = true
+		out = append(out, l)
+	}
+	return out
+}

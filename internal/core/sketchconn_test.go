@@ -1,0 +1,301 @@
+package core
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// buildSketchFor builds the sketch scheme over a connected graph.
+func buildSketchFor(t testing.TB, g *graph.Graph, opts SketchOptions) *SketchScheme {
+	t.Helper()
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// querySketch runs the decoder for a concrete fault set.
+func querySketch(t testing.TB, s *SketchScheme, src, dst int32, faults []graph.EdgeID, wantPath bool) Verdict {
+	t.Helper()
+	labels := make([]SketchEdgeLabel, len(faults))
+	for i, id := range faults {
+		labels[i] = s.EdgeLabel(id)
+	}
+	v, err := s.Decode(s.VertexLabel(src), s.VertexLabel(dst), labels, 0, wantPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSketchDecodeAgainstGroundTruth(t *testing.T) {
+	rng := xrand.NewSplitMix64(3)
+	for trial := 0; trial < 25; trial++ {
+		n := 20 + rng.Intn(40)
+		g := graph.RandomConnected(n, rng.Intn(2*n), uint64(trial)+9)
+		s := buildSketchFor(t, g, SketchOptions{Seed: uint64(trial)})
+		for q := 0; q < 20; q++ {
+			faults := graph.RandomFaults(g, rng.Intn(8), uint64(trial*91+q))
+			src, dst := int32(rng.Intn(n)), int32(rng.Intn(n))
+			got := querySketch(t, s, src, dst, faults, false).Connected
+			want := graph.SameComponent(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faults...)))
+			if got != want {
+				t.Fatalf("trial %d q %d: Decode=%v truth=%v (s=%d t=%d F=%v)", trial, q, got, want, src, dst, faults)
+			}
+		}
+	}
+}
+
+func TestSketchPathValidWheneverConnected(t *testing.T) {
+	rng := xrand.NewSplitMix64(4)
+	for trial := 0; trial < 25; trial++ {
+		n := 15 + rng.Intn(30)
+		g := graph.RandomConnected(n, rng.Intn(2*n), uint64(trial)+77)
+		s := buildSketchFor(t, g, SketchOptions{Seed: uint64(trial) + 1})
+		for q := 0; q < 15; q++ {
+			faultIDs := graph.RandomFaults(g, rng.Intn(7), uint64(trial*13+q))
+			faults := graph.NewEdgeSet(faultIDs...)
+			src, dst := int32(rng.Intn(n)), int32(rng.Intn(n))
+			v := querySketch(t, s, src, dst, faultIDs, true)
+			want := graph.SameComponent(g, src, dst, graph.SkipSet(faults))
+			if v.Connected != want {
+				t.Fatalf("trial %d q %d: verdict %v truth %v", trial, q, v.Connected, want)
+			}
+			if !v.Connected {
+				continue
+			}
+			if v.Path == nil {
+				t.Fatalf("trial %d q %d: connected verdict without path", trial, q)
+			}
+			path, err := ExpandPath(s, v.Path, src, dst, faults)
+			if err != nil {
+				t.Fatalf("trial %d q %d: invalid path: %v", trial, q, err)
+			}
+			if _, ok := graph.PathWeightOf(g, path, graph.SkipSet(faults)); !ok {
+				t.Fatalf("trial %d q %d: expanded path not realizable in G\\F", trial, q)
+			}
+		}
+	}
+}
+
+func TestSketchPathStepCountIsLinearInFaults(t *testing.T) {
+	// Lemma 3.17: the path description has O(f) steps — at most
+	// 2*|F_T|+1 segments plus the edge steps between them.
+	rng := xrand.NewSplitMix64(5)
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomConnected(60, 100, uint64(trial))
+		s := buildSketchFor(t, g, SketchOptions{Seed: uint64(trial) + 3})
+		f := 1 + rng.Intn(8)
+		faultIDs := graph.RandomFaults(g, f, uint64(trial)+200)
+		src, dst := int32(rng.Intn(60)), int32(rng.Intn(60))
+		v := querySketch(t, s, src, dst, faultIDs, true)
+		if !v.Connected {
+			continue
+		}
+		maxSteps := 4*f + 3
+		if len(v.Path.Steps) > maxSteps {
+			t.Fatalf("trial %d: %d path steps for %d faults (cap %d)", trial, len(v.Path.Steps), f, maxSteps)
+		}
+		// Alternation: no two consecutive edge steps share a tree hop
+		// around them incorrectly — formally: steps alternate starting
+		// from a tree hop or edge hop, never two tree hops in a row.
+		for i := 1; i < len(v.Path.Steps); i++ {
+			if v.Path.Steps[i].IsTreeHop && v.Path.Steps[i-1].IsTreeHop {
+				t.Fatalf("trial %d: consecutive tree hops at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSketchTreeSplitsExactly(t *testing.T) {
+	// On a tree, faults split components exactly; every pair must decode to
+	// "connected iff same component of T\F".
+	g := graph.RandomTree(40, 8)
+	s := buildSketchFor(t, g, SketchOptions{Seed: 5})
+	faultIDs := graph.RandomFaults(g, 5, 3)
+	skip := graph.SkipSet(graph.NewEdgeSet(faultIDs...))
+	for src := int32(0); src < 40; src += 3 {
+		for dst := int32(1); dst < 40; dst += 4 {
+			got := querySketch(t, s, src, dst, faultIDs, false).Connected
+			want := graph.SameComponent(g, src, dst, skip)
+			if got != want {
+				t.Fatalf("(%d,%d): got %v want %v", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestSketchSelfAndEmpty(t *testing.T) {
+	g := graph.RandomConnected(12, 8, 2)
+	s := buildSketchFor(t, g, SketchOptions{Seed: 1})
+	v := querySketch(t, s, 4, 4, graph.RandomFaults(g, 3, 1), true)
+	if !v.Connected || len(v.Path.Steps) != 0 {
+		t.Fatal("self query must be trivially connected with empty path")
+	}
+	v = querySketch(t, s, 0, 11, nil, true)
+	if !v.Connected {
+		t.Fatal("no faults must stay connected")
+	}
+	if len(v.Path.Steps) != 1 || !v.Path.Steps[0].IsTreeHop {
+		t.Fatal("fault-free path should be one tree hop")
+	}
+}
+
+func TestSketchDuplicateFaults(t *testing.T) {
+	g := graph.Path(8)
+	s := buildSketchFor(t, g, SketchOptions{Seed: 4})
+	cut, _ := g.FindEdge(3, 4)
+	l := s.EdgeLabel(cut)
+	v, err := s.Decode(s.VertexLabel(0), s.VertexLabel(7), []SketchEdgeLabel{l, l, l}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Connected {
+		t.Fatal("duplicate fault labels must not cancel")
+	}
+}
+
+func TestSketchIsolatingVertex(t *testing.T) {
+	g := graph.RandomConnected(15, 20, 7)
+	s := buildSketchFor(t, g, SketchOptions{Seed: 2})
+	var faults []graph.EdgeID
+	for _, a := range g.Adj(3) {
+		faults = append(faults, a.E)
+	}
+	for v := int32(0); v < 15; v++ {
+		if v == 3 {
+			continue
+		}
+		if querySketch(t, s, 3, v, faults, false).Connected {
+			t.Fatalf("isolated vertex still connected to %d", v)
+		}
+	}
+}
+
+func TestSketchCopiesIndependentButConsistent(t *testing.T) {
+	g := graph.RandomConnected(30, 45, 3)
+	s := buildSketchFor(t, g, SketchOptions{Seed: 6, Copies: 3})
+	if s.Copies() != 3 {
+		t.Fatalf("copies = %d", s.Copies())
+	}
+	rng := xrand.NewSplitMix64(8)
+	for q := 0; q < 20; q++ {
+		faultIDs := graph.RandomFaults(g, rng.Intn(5), uint64(q))
+		labels := make([]SketchEdgeLabel, len(faultIDs))
+		for i, id := range faultIDs {
+			labels[i] = s.EdgeLabel(id)
+		}
+		src, dst := int32(rng.Intn(30)), int32(rng.Intn(30))
+		want := graph.SameComponent(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faultIDs...)))
+		for c := 0; c < 3; c++ {
+			v, err := s.Decode(s.VertexLabel(src), s.VertexLabel(dst), labels, c, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Connected != want {
+				t.Fatalf("q %d copy %d: got %v want %v", q, c, v.Connected, want)
+			}
+		}
+	}
+	if _, err := s.Decode(s.VertexLabel(0), s.VertexLabel(1), nil, 5, false); err == nil {
+		t.Fatal("out-of-range copy accepted")
+	}
+}
+
+func TestSketchBuildErrors(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	if _, err := BuildSketch(g, tree, SketchOptions{}); err == nil {
+		t.Fatal("non-spanning tree accepted")
+	}
+	p := graph.Path(4)
+	pt := graph.BFSTree(p, 0, nil)
+	if _, err := BuildSketch(p, pt, SketchOptions{ExtraWords: 2}); err == nil {
+		t.Fatal("ExtraWords without ExtraOf accepted")
+	}
+}
+
+func TestSketchLabelBitsPolylog(t *testing.T) {
+	// Theorem 3.7: label length O(log^3 n), independent of f. Verify the
+	// tree-edge label grows polylogarithmically: bits(n=256)/bits(n=32)
+	// should be far below the linear ratio 8.
+	bitsAt := func(n int) int {
+		g := graph.RandomConnected(n, 2*n, 1)
+		s := buildSketchFor(t, g, SketchOptions{Seed: 1})
+		for id := graph.EdgeID(0); int(id) < g.M(); id++ {
+			l := s.EdgeLabel(id)
+			if l.IsTree {
+				return l.BitLen()
+			}
+		}
+		t.Fatal("no tree edge found")
+		return 0
+	}
+	small, large := bitsAt(32), bitsAt(256)
+	if ratio := float64(large) / float64(small); ratio > 4 {
+		t.Fatalf("label growth ratio %.2f too steep for polylog", ratio)
+	}
+}
+
+func TestSketchVertexLabelContents(t *testing.T) {
+	g := graph.Path(5)
+	s := buildSketchFor(t, g, SketchOptions{Seed: 9})
+	l := s.VertexLabel(3)
+	if l.ID != 3 || !l.Anc.Valid() {
+		t.Fatalf("vertex label malformed: %+v", l)
+	}
+	if l.BitLen(5) <= 0 {
+		t.Fatal("BitLen")
+	}
+}
+
+func TestSketchFalseNegativeRate(t *testing.T) {
+	// Repeated decoding of connected pairs across seeds: the Boruvka
+	// simulation must succeed in nearly all runs (w.h.p. guarantee).
+	fails, total := 0, 0
+	for seed := uint64(0); seed < 30; seed++ {
+		g := graph.RandomConnected(40, 70, seed)
+		s := buildSketchFor(t, g, SketchOptions{Seed: seed * 31})
+		rng := xrand.NewSplitMix64(seed)
+		for q := 0; q < 10; q++ {
+			faultIDs := graph.RandomFaults(g, 4, uint64(q)+seed)
+			src, dst := int32(rng.Intn(40)), int32(rng.Intn(40))
+			if !graph.SameComponent(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faultIDs...))) {
+				continue
+			}
+			total++
+			if !querySketch(t, s, src, dst, faultIDs, false).Connected {
+				fails++
+			}
+		}
+	}
+	if total < 100 {
+		t.Fatalf("too few connected samples: %d", total)
+	}
+	if fails > 0 {
+		t.Fatalf("%d false negatives out of %d connected queries", fails, total)
+	}
+}
+
+func BenchmarkSketchDecodeF8(b *testing.B) {
+	g := graph.RandomConnected(500, 1200, 1)
+	s := buildSketchFor(b, g, SketchOptions{Seed: 2})
+	faults := graph.RandomFaults(g, 8, 3)
+	labels := make([]SketchEdgeLabel, len(faults))
+	for i, id := range faults {
+		labels[i] = s.EdgeLabel(id)
+	}
+	sl, tl := s.VertexLabel(0), s.VertexLabel(499)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Decode(sl, tl, labels, 0, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

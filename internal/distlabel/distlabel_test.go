@@ -1,0 +1,218 @@
+package distlabel
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// checkEstimates runs random queries and asserts the two-sided Theorem 1.4
+// guarantee against Dijkstra ground truth.
+func checkEstimates(t *testing.T, g *graph.Graph, s *Scheme, f int, queries int, seed uint64) {
+	t.Helper()
+	rng := xrand.NewSplitMix64(seed)
+	n := int32(g.N())
+	for q := 0; q < queries; q++ {
+		faultIDs := graph.RandomFaults(g, rng.Intn(f+1), seed+uint64(q)*17)
+		src, dst := int32(rng.Intn(int(n))), int32(rng.Intn(int(n)))
+		sl, tl := s.VertexLabel(src), s.VertexLabel(dst)
+		fl := make([]EdgeLabel, len(faultIDs))
+		for i, id := range faultIDs {
+			fl[i] = s.EdgeLabel(id)
+		}
+		est, err := s.Decode(sl, tl, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := graph.Distance(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faultIDs...)))
+		if truth == graph.Inf {
+			if est != Unreachable {
+				t.Fatalf("q %d: disconnected pair got estimate %d", q, est)
+			}
+			continue
+		}
+		if est == Unreachable {
+			t.Fatalf("q %d: connected pair (d=%d) declared unreachable", q, truth)
+		}
+		if est < truth {
+			t.Fatalf("q %d: estimate %d below true distance %d", q, est, truth)
+		}
+		if bound := s.StretchBound(len(faultIDs)) * truth; est > bound {
+			t.Fatalf("q %d: estimate %d exceeds bound %d (d=%d, |F|=%d, k=%d)",
+				q, est, bound, truth, len(faultIDs), s.K())
+		}
+	}
+}
+
+func TestEstimatesUnweighted(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		g := graph.RandomConnected(45, 60, 3)
+		s, err := Build(g, 3, k, Options{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEstimates(t, g, s, 3, 40, 5)
+	}
+}
+
+func TestEstimatesWeighted(t *testing.T) {
+	g := graph.WithRandomWeights(graph.RandomConnected(40, 55, 9), 6, 2)
+	s, err := Build(g, 2, 2, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEstimates(t, g, s, 2, 40, 7)
+}
+
+func TestEstimatesGrid(t *testing.T) {
+	g := graph.Grid(6, 6)
+	s, err := Build(g, 4, 3, Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEstimates(t, g, s, 4, 30, 9)
+}
+
+func TestSelfDistanceZero(t *testing.T) {
+	g := graph.Path(6)
+	s, err := Build(g, 1, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Decode(s.VertexLabel(2), s.VertexLabel(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestDisconnectedByFaults(t *testing.T) {
+	g := graph.Path(8)
+	s, err := Build(g, 2, 2, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, _ := g.FindEdge(3, 4)
+	d, err := s.Decode(s.VertexLabel(0), s.VertexLabel(7), []EdgeLabel{s.EdgeLabel(cut)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != Unreachable {
+		t.Fatalf("cut pair got estimate %d", d)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	s, err := Build(g, 1, 2, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Decode(s.VertexLabel(0), s.VertexLabel(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != Unreachable {
+		t.Fatalf("cross-component pair got %d", d)
+	}
+	d, err = s.Decode(s.VertexLabel(0), s.VertexLabel(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == Unreachable || d < 2 {
+		t.Fatalf("same-component estimate %d", d)
+	}
+}
+
+func TestDuplicateFaultCounting(t *testing.T) {
+	g := graph.Cycle(10)
+	s, err := Build(g, 3, 2, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := g.FindEdge(0, 1)
+	l := s.EdgeLabel(e1)
+	// Passing the same fault three times must not inflate |F| in the
+	// estimate: compare against passing it once.
+	d1, err := s.Decode(s.VertexLabel(2), s.VertexLabel(8), []EdgeLabel{l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := s.Decode(s.VertexLabel(2), s.VertexLabel(8), []EdgeLabel{l, l, l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d3 {
+		t.Fatalf("duplicate faults changed estimate: %d vs %d", d1, d3)
+	}
+}
+
+func TestLabelSizeSublinear(t *testing.T) {
+	// Theorem 1.4: label length Õ(k * n^{1/k}) connectivity labels. For
+	// k=2 the per-vertex entry count must be far below the cluster count
+	// at each scale times scales. We check entries grow sublinearly in n.
+	entriesAt := func(n int) float64 {
+		g := graph.RandomConnected(n, 2*n, 13)
+		s, err := Build(g, 2, 2, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for v := int32(0); v < int32(n); v++ {
+			total += len(s.VertexLabel(v).Entries)
+		}
+		return float64(total) / float64(n)
+	}
+	small, large := entriesAt(30), entriesAt(120)
+	// n grew 4x; sqrt growth predicts 2x; allow up to 3x (plus log factors).
+	if large > small*3.2 {
+		t.Fatalf("avg entries grew %0.2f -> %0.2f; faster than Õ(n^(1/2))", small, large)
+	}
+}
+
+func TestVertexLabelBitsPositive(t *testing.T) {
+	g := graph.RandomConnected(25, 30, 4)
+	s, err := Build(g, 2, 2, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VertexLabelBits(0) <= 0 || s.EdgeLabelBits(0) <= 0 {
+		t.Fatal("bit accounting must be positive")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := Build(g, -1, 2, Options{}); err == nil {
+		t.Fatal("negative f accepted")
+	}
+	if _, err := Build(g, 1, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func BenchmarkDistanceDecode(b *testing.B) {
+	g := graph.RandomConnected(120, 200, 1)
+	s, err := Build(g, 3, 2, Options{Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faultIDs := graph.RandomFaults(g, 3, 2)
+	fl := make([]EdgeLabel, len(faultIDs))
+	for i, id := range faultIDs {
+		fl[i] = s.EdgeLabel(id)
+	}
+	sl, tl := s.VertexLabel(0), s.VertexLabel(119)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Decode(sl, tl, fl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package distlabel
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// TestEstimateMonotoneInFaults: adding a (distinct, real) fault never
+// decreases the estimate — the first connected scale can only move up and
+// the (|F|+1) multiplier grows. This is an invariant of the Section 4
+// decoder worth pinning: it means clients can use estimates as
+// conservative admission thresholds under growing failure sets.
+func TestEstimateMonotoneInFaults(t *testing.T) {
+	g := graph.RandomConnected(40, 60, 11)
+	s, err := Build(g, 4, 2, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewSplitMix64(17)
+	for trial := 0; trial < 25; trial++ {
+		pool := graph.RandomFaults(g, 4, uint64(trial)*29)
+		src, dst := int32(rng.Intn(40)), int32(rng.Intn(40))
+		sl, tl := s.VertexLabel(src), s.VertexLabel(dst)
+		prev := int64(-1)
+		for take := 0; take <= len(pool); take++ {
+			fl := make([]EdgeLabel, take)
+			for i := 0; i < take; i++ {
+				fl[i] = s.EdgeLabel(pool[i])
+			}
+			est, err := s.Decode(sl, tl, fl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev >= 0 && est < prev {
+				t.Fatalf("trial %d: estimate decreased %d -> %d when adding fault %d",
+					trial, prev, est, take)
+			}
+			prev = est
+		}
+	}
+}
+
+// TestEstimateScalesWithDistance: on a path, the estimate must grow with
+// the true distance (scale quantization allows plateaus, not inversions
+// across scale boundaries of factor > 2x distance change).
+func TestEstimateScalesWithDistance(t *testing.T) {
+	g := graph.Path(64)
+	s, err := Build(g, 1, 2, Options{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := s.VertexLabel(0)
+	var prevEst int64
+	for _, d := range []int32{1, 2, 4, 8, 16, 32, 63} {
+		est, err := s.Decode(sl, s.VertexLabel(d), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < int64(d) {
+			t.Fatalf("estimate %d below distance %d", est, d)
+		}
+		if est < prevEst {
+			t.Fatalf("estimate not monotone along a path: %d after %d", est, prevEst)
+		}
+		prevEst = est
+	}
+}
+
+// TestFaultOutsideEveryInstanceCounts: an edge label with no instance
+// entries (synthetic) still counts toward |F| in the estimate, never
+// panics.
+func TestFaultOutsideEveryInstanceCounts(t *testing.T) {
+	g := graph.Path(10)
+	s, err := Build(g, 2, 2, Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := EdgeLabel{} // adversarial: no entries at all
+	est, err := s.Decode(s.VertexLabel(0), s.VertexLabel(9), []EdgeLabel{empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est == Unreachable || est < 9 {
+		t.Fatalf("estimate %d with phantom fault", est)
+	}
+	// With a phantom fault, |F| = 1, so bound doubles vs no faults.
+	base, err := s.Decode(s.VertexLabel(0), s.VertexLabel(9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 2*base {
+		t.Fatalf("phantom fault should exactly double the estimate: %d vs %d", est, base)
+	}
+}

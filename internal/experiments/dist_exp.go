@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math"
+
+	"ftrouting/internal/distlabel"
+	"ftrouting/internal/graph"
+	"ftrouting/internal/treecover"
+	"ftrouting/internal/xrand"
+)
+
+// E8DistanceLabels measures the FT approximate distance labels
+// (Theorem 1.4): label size Õ(k n^{1/k} log(nW)) and stretch within
+// (8k-2)(|F|+1).
+func E8DistanceLabels(seed uint64) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "FT approximate distance labels",
+		Paper:  "Thm 1.4: size O(k n^{1/k} log(nW) log^3 n), stretch <= (8k-2)(|F|+1)",
+		Header: []string{"k", "f", "avgVertexKbits", "maxStretch", "meanStretch", "bound", "violations"},
+	}
+	g := graph.WithRandomWeights(graph.RandomConnected(100, 160, seed), 4, seed+1)
+	for _, k := range []int{1, 2, 3} {
+		for _, f := range []int{1, 3} {
+			s, err := distlabel.Build(g, f, k, distlabel.Options{Seed: seed + 2})
+			if err != nil {
+				panic(err)
+			}
+			var bitsTotal int64
+			for v := int32(0); v < 100; v++ {
+				bitsTotal += int64(s.VertexLabelBits(v))
+			}
+			rng := xrand.NewSplitMix64(seed + 3)
+			maxStretch, sumStretch, samples, violations := 0.0, 0.0, 0, 0
+			for q := 0; q < 150; q++ {
+				faultIDs := graph.RandomFaults(g, f, seed+uint64(q)*11)
+				src, dst := int32(rng.Intn(100)), int32(rng.Intn(100))
+				truth := graph.Distance(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faultIDs...)))
+				if truth == graph.Inf || truth == 0 {
+					continue
+				}
+				fl := make([]distlabel.EdgeLabel, len(faultIDs))
+				for i, id := range faultIDs {
+					fl[i] = s.EdgeLabel(id)
+				}
+				est, err := s.Decode(s.VertexLabel(src), s.VertexLabel(dst), fl)
+				if err != nil {
+					panic(err)
+				}
+				if est == distlabel.Unreachable || est < truth {
+					violations++
+					continue
+				}
+				stretch := float64(est) / float64(truth)
+				if stretch > float64(s.StretchBound(f)) {
+					violations++
+				}
+				sumStretch += stretch
+				samples++
+				if stretch > maxStretch {
+					maxStretch = stretch
+				}
+			}
+			mean := 0.0
+			if samples > 0 {
+				mean = sumStretch / float64(samples)
+			}
+			t.AddRow(i0(k), i0(f), f1(float64(bitsTotal)/100/1024),
+				f2(maxStretch), f2(mean), i64(s.StretchBound(f)), i0(violations))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"violations must be 0 (two-sided Thm 1.4 guarantee)",
+		"label size falls as k grows (n^{1/k}), stretch bound rises: the paper's tradeoff")
+	return t
+}
+
+// E14TreeCover measures cover quality (Definition 4.1 / Proposition 4.2):
+// radius vs (2k-1)rho and per-vertex overlap vs k n^{1/k}.
+func E14TreeCover(seed uint64) *Table {
+	t := &Table{
+		ID:     "E14",
+		Title:  "Tree cover quality",
+		Paper:  "Def 4.1: radius <= (2k-1)rho, overlap O(k n^{1/k})",
+		Header: []string{"graph", "k", "rho", "clusters", "maxRadius", "radiusBound", "maxOverlap", "overlapRef", "avgOverlap"},
+	}
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"random(200,400)", graph.RandomConnected(200, 200, seed)},
+		{"grid(14x14)", graph.Grid(14, 14)},
+	}
+	for _, gg := range graphs {
+		n := gg.g.N()
+		for _, k := range []int{1, 2, 3} {
+			for _, rho := range []int64{2, 8} {
+				c, err := treecover.Build(gg.g, rho, k)
+				if err != nil {
+					panic(err)
+				}
+				st := c.Stats(n)
+				ref := float64(k) * math.Pow(float64(n), 1/float64(k))
+				t.AddRow(gg.name, i0(k), i64(rho), i0(st.NumClusters),
+					i64(st.MaxRadius), i64(int64(2*k-1)*rho),
+					i0(st.MaxOverlap), f1(ref), f2(st.AvgOverlap))
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "overlapRef is the k*n^{1/k} of Def 4.1 property 3; measured max stays within a small constant of it")
+	return t
+}

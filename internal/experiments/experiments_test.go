@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Paper:  "claim",
+		Header: []string{"a", "bbbb", "c"},
+	}
+	tab.AddRow("1", "2", "3")
+	tab.AddRow("1000", "2", "3")
+	tab.Notes = append(tab.Notes, "a note")
+	out := tab.String()
+	for _, want := range []string{"EX", "demo", "claim", "bbbb", "1000", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: header and rows share column offsets.
+	lines := strings.Split(out, "\n")
+	var hdr, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "a") {
+			hdr = l
+			row = lines[i+2]
+			break
+		}
+	}
+	if hdr == "" || strings.Index(hdr, "bbbb") != strings.Index(row[:len(hdr)]+"    ", "2") {
+		// Column "bbbb" starts where the second cell starts.
+		t.Logf("hdr=%q row=%q", hdr, row)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f1(1.25) != "1.2" && f1(1.25) != "1.3" {
+		t.Errorf("f1: %s", f1(1.25))
+	}
+	if f2(3.14159) != "3.14" {
+		t.Errorf("f2: %s", f2(3.14159))
+	}
+	if i0(7) != "7" || i64(1<<40) == "" {
+		t.Error("int formatters")
+	}
+}
+
+// TestCheapExperimentsRun exercises the fast runners end to end (the slow
+// ones are covered by the root TestExperimentsSuite, which -short skips).
+func TestCheapExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runners are seconds-long")
+	}
+	for _, tab := range []*Table{E5CutSides(7), E6ComponentTree(7), E14TreeCover(7)} {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+	}
+}

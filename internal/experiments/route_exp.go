@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ftrouting/internal/baseline"
+	"ftrouting/internal/graph"
+	"ftrouting/internal/route"
+	"ftrouting/internal/xrand"
+)
+
+// routeStats aggregates routing query results.
+type routeStats struct {
+	samples       int
+	meanStretch   float64
+	maxStretch    float64
+	maxHeaderBits int
+	failures      int
+	detections    int
+}
+
+// runFTQueries drives RouteFT over random queries with exactly f faults.
+func runFTQueries(r *route.Router, g *graph.Graph, f, queries int, seed uint64) routeStats {
+	rng := xrand.NewSplitMix64(seed)
+	var st routeStats
+	sum := 0.0
+	for q := 0; q < queries; q++ {
+		faultIDs := graph.RandomFaults(g, f, seed+uint64(q)*23)
+		faults := graph.NewEdgeSet(faultIDs...)
+		s, d := int32(rng.Intn(g.N())), int32(rng.Intn(g.N()))
+		res, err := r.RouteFT(s, d, faults)
+		if err != nil {
+			panic(err)
+		}
+		if res.Opt == graph.Inf || res.Opt == 0 {
+			continue
+		}
+		if !res.Reached {
+			st.failures++
+			continue
+		}
+		st.samples++
+		sum += res.Stretch
+		if res.Stretch > st.maxStretch {
+			st.maxStretch = res.Stretch
+		}
+		if res.MaxHeaderBits > st.maxHeaderBits {
+			st.maxHeaderBits = res.MaxHeaderBits
+		}
+		st.detections += res.Detections
+	}
+	if st.samples > 0 {
+		st.meanStretch = sum / float64(st.samples)
+	}
+	return st
+}
+
+// E1Table1 reproduces Table 1: this paper's scheme measured against the
+// prior-work formulas and the full-knowledge interactive baseline at the
+// same operating points.
+func E1Table1(seed uint64) *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Table 1: FT routing schemes comparison",
+		Paper:  "Table 1 + Thm 5.8: stretch O(|F|^2 k), tables Õ(f^3 n^{1/k}) per vertex",
+		Header: []string{"scheme", "k", "f", "stretch(bound/meas)", "perVertexKbits", "space"},
+	}
+	const n, queries = 96, 15
+	g := graph.RandomConnected(n, 2*n, seed)
+	for _, k := range []int{1, 2} {
+		for _, f := range []int{1, 2} {
+			r, err := route.Build(g, f, k, route.Options{Seed: seed + 11, Balanced: true})
+			if err != nil {
+				panic(err)
+			}
+			st := runFTQueries(r, g, f, queries, seed+13)
+			t.AddRow("This paper (measured)", i0(k), i0(f),
+				fmt.Sprintf("%.1f (mean %.1f)", st.maxStretch, st.meanStretch),
+				f1(float64(r.MaxTableBits())/1024), "per-vertex")
+			// Interactive full-knowledge baseline at the same points.
+			bst := runInteractive(g, f, queries, seed+17)
+			t.AddRow("Interactive Dijkstra (measured)", i0(k), i0(f),
+				fmt.Sprintf("%.1f (mean %.1f)", bst.maxStretch, bst.meanStretch),
+				f1(float64(g.M())*64/1024), "per-vertex (full map)")
+			// Prior-work guarantee formulas.
+			for _, row := range baseline.Table1(n, g.MaxDegree(), k, f, 1) {
+				space := "total"
+				if row.PerVertex {
+					space = "per-vertex"
+				}
+				t.AddRow(row.Name+" (formula)", i0(k), i0(f),
+					f1(row.Stretch), f1(row.TableBits/1024), space)
+			}
+		}
+	}
+	// Scaling block: measured per-vertex table bits vs n for fixed (k, f),
+	// against the full-map baseline — the "who wins as n grows" shape of
+	// Table 1 (compact tables grow Õ(n^{1/k}); full maps grow Θ(m)).
+	for _, n2 := range []int{48, 96, 192} {
+		g2 := graph.RandomConnected(n2, 2*n2, seed+1)
+		r2, err := route.Build(g2, 1, 2, route.Options{Seed: seed + 53, Balanced: true})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fmt.Sprintf("This paper n=%d (measured)", n2), "2", "1",
+			"-", f1(float64(r2.MaxTableBits())/1024), "per-vertex")
+		t.AddRow(fmt.Sprintf("Full map n=%d (measured)", n2), "2", "1",
+			"-", f1(float64(g2.M())*64/1024), "per-vertex (full map)")
+	}
+	t.Notes = append(t.Notes,
+		"prior-work rows evaluate published worst-case formulas (DESIGN.md, Substitutions)",
+		"absolute measured table bits carry the log^3 n sketch constants, which dominate at laptop n;",
+		"the scaling block shows the Õ(n^{1/k}) vs Θ(m) growth that decides Table 1 asymptotically")
+	return t
+}
+
+// runInteractive mirrors runFTQueries for the baseline.
+func runInteractive(g *graph.Graph, f, queries int, seed uint64) routeStats {
+	rng := xrand.NewSplitMix64(seed)
+	var st routeStats
+	sum := 0.0
+	for q := 0; q < queries; q++ {
+		faults := graph.NewEdgeSet(graph.RandomFaults(g, f, seed+uint64(q)*29)...)
+		s, d := int32(rng.Intn(g.N())), int32(rng.Intn(g.N()))
+		res := baseline.InteractiveRoute(g, s, d, faults)
+		if res.Opt == graph.Inf || res.Opt == 0 || !res.Reached {
+			continue
+		}
+		st.samples++
+		sum += res.Stretch
+		if res.Stretch > st.maxStretch {
+			st.maxStretch = res.Stretch
+		}
+	}
+	if st.samples > 0 {
+		st.meanStretch = sum / float64(st.samples)
+	}
+	return st
+}
+
+// E9ForbiddenRouting measures forbidden-set routing (Theorem 5.3).
+func E9ForbiddenRouting(seed uint64) *Table {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Forbidden-set routing (faults known to source)",
+		Paper:  "Thm 5.3: stretch <= (8k-2)(|F|+1), header Õ(f)",
+		Header: []string{"f", "maxStretch", "meanStretch", "bound", "maxHeaderKbits", "failures"},
+	}
+	const n, k, queries = 110, 2, 60
+	g := graph.WithRandomWeights(graph.RandomConnected(n, 2*n, seed), 4, seed+1)
+	r, err := route.Build(g, 4, k, route.Options{Seed: seed + 19})
+	if err != nil {
+		panic(err)
+	}
+	rng := xrand.NewSplitMix64(seed + 23)
+	for _, f := range []int{0, 1, 2, 4} {
+		var st routeStats
+		sum := 0.0
+		for q := 0; q < queries; q++ {
+			faultIDs := graph.RandomFaults(g, f, seed+uint64(q)*31)
+			s, d := int32(rng.Intn(n)), int32(rng.Intn(n))
+			res, err := r.RouteForbidden(s, d, faultIDs)
+			if err != nil {
+				panic(err)
+			}
+			if res.Opt == graph.Inf || res.Opt == 0 {
+				continue
+			}
+			if !res.Reached {
+				st.failures++
+				continue
+			}
+			st.samples++
+			sum += res.Stretch
+			if res.Stretch > st.maxStretch {
+				st.maxStretch = res.Stretch
+			}
+			if res.MaxHeaderBits > st.maxHeaderBits {
+				st.maxHeaderBits = res.MaxHeaderBits
+			}
+		}
+		if st.samples > 0 {
+			st.meanStretch = sum / float64(st.samples)
+		}
+		t.AddRow(i0(f), f2(st.maxStretch), f2(st.meanStretch),
+			i64(r.StretchBoundForbidden(f)), f1(float64(st.maxHeaderBits)/1024), i0(st.failures))
+	}
+	t.Notes = append(t.Notes, "failures must be 0; measured stretch well below the (8k-2)(|F|+1) bound")
+	return t
+}
+
+// E10FTRouting measures fault-tolerant routing with unknown faults
+// (Theorems 5.5/5.8).
+func E10FTRouting(seed uint64) *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  "FT routing (faults unknown)",
+		Paper:  "Thm 5.8: stretch <= 32k(|F|+1)^2, tables Õ(f^3 n^{1/k}), header Õ(f^3)",
+		Header: []string{"graph", "f", "maxStretch", "meanStretch", "bound", "maxTableKbits", "maxHeaderKbits", "failures"},
+	}
+	type workload struct {
+		name string
+		g    *graph.Graph
+	}
+	ft, _ := graph.FatTree(4)
+	loads := []workload{
+		{"random(90,180)", graph.RandomConnected(90, 90, seed)},
+		{"fattree(k=4)", ft},
+	}
+	const k, queries = 2, 25
+	for _, w := range loads {
+		for _, f := range []int{1, 2, 3} {
+			r, err := route.Build(w.g, f, k, route.Options{Seed: seed + 29, Balanced: true})
+			if err != nil {
+				panic(err)
+			}
+			st := runFTQueries(r, w.g, f, queries, seed+31)
+			t.AddRow(w.name, i0(f), f2(st.maxStretch), f2(st.meanStretch),
+				i64(r.StretchBoundFT(f)),
+				f1(float64(r.MaxTableBits())/1024),
+				f1(float64(st.maxHeaderBits)/1024), i0(st.failures))
+		}
+	}
+	t.Notes = append(t.Notes, "failures must be 0 for |F| <= f; bound is the worst case, measured stays far below")
+	return t
+}
+
+// E11LowerBound reproduces Theorem 1.6 / Figure 4: expected stretch Ω(f)
+// on the f+1 disjoint-paths instance, for both this paper's router and the
+// full-knowledge baseline.
+func E11LowerBound(seed uint64) *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Stretch lower bound instance (Figure 4)",
+		Paper:  "Thm 1.6: expected stretch Ω(f) regardless of table size",
+		Header: []string{"f", "pathLen", "E[stretch] baseline", "E[stretch]/f", "E[stretch] this paper", "theory E[paths tried]"},
+	}
+	for _, f := range []int{1, 2, 4, 8} {
+		const pathLen = 24
+		g, s, dst, last := graph.LowerBoundGraph(f, pathLen)
+		r, err := route.Build(g, f, 2, route.Options{Seed: seed + 37})
+		if err != nil {
+			panic(err)
+		}
+		var sumBase, sumOurs float64
+		trials := 0
+		// Average over the adversary's uniform choice of surviving path.
+		for alive := 0; alive <= f; alive++ {
+			faults := graph.NewEdgeSet()
+			for i, e := range last {
+				if i != alive {
+					faults[e] = true
+				}
+			}
+			bres := baseline.InteractiveRoute(g, s, dst, faults)
+			if !bres.Reached {
+				panic("baseline failed on lower-bound graph")
+			}
+			sumBase += bres.Stretch
+			ores, err := r.RouteFT(s, dst, faults)
+			if err != nil {
+				panic(err)
+			}
+			if !ores.Reached {
+				panic("router failed on lower-bound graph")
+			}
+			sumOurs += ores.Stretch
+			trials++
+		}
+		eBase := sumBase / float64(trials)
+		eOurs := sumOurs / float64(trials)
+		// Theory: trying paths uniformly at random discovers the live one
+		// after (f+2)/2 attempts in expectation.
+		t.AddRow(i0(f), i0(pathLen), f2(eBase), f2(eBase/float64(f)),
+			f2(eOurs), f2(float64(f+2)/2))
+	}
+	t.Notes = append(t.Notes,
+		"E[stretch]/f of the baseline stays near a constant: the Ω(f) law",
+		"this paper's router pays extra constant factors (tree detours) on top of the same Ω(f)")
+	return t
+}
+
+// E12BalancedAblation compares the naive table placement with the Γ
+// load-balanced one (Claim 5.7) on a star-heavy topology.
+func E12BalancedAblation(seed uint64) *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "Ablation: naive vs Γ-balanced routing tables",
+		Paper:  "Claim 5.7: per-vertex tables drop from Θ(deg) to Õ(f^3 n^{1/k}) labels",
+		Header: []string{"tables", "f", "maxTableKbits", "totalTableMbits", "maxStretch", "meanStretch", "probes"},
+	}
+	// A wheel: failing spokes forces rerouting around the rim, and the hub
+	// has huge tree degree, so fetching a failed spoke's label from below
+	// exercises the Γ probes.
+	const nWheel = 64
+	g := graph.Wheel(nWheel)
+	const queries = 25
+	for _, balanced := range []bool{false, true} {
+		for _, f := range []int{1, 2} {
+			r, err := route.Build(g, f, 2, route.Options{Seed: seed + 41, Balanced: balanced})
+			if err != nil {
+				panic(err)
+			}
+			rng := xrand.NewSplitMix64(seed + 43)
+			var maxS, sumS float64
+			samples, probes := 0, 0
+			for q := 0; q < queries; q++ {
+				s, d := int32(1+rng.Intn(nWheel-1)), int32(1+rng.Intn(nWheel-1))
+				// Adversarial fault: the spoke into d (forces a rim detour
+				// and a hub-side label fetch), plus random extras.
+				faults := graph.NewEdgeSet()
+				if spoke, ok := g.FindEdge(0, d); ok && f > 0 {
+					faults[spoke] = true
+				}
+				for _, e := range graph.RandomFaults(g, f-len(faults), seed+uint64(q)*47) {
+					faults[e] = true
+				}
+				res, err := r.RouteFT(s, d, faults)
+				if err != nil {
+					panic(err)
+				}
+				if !res.Reached || res.Opt == 0 {
+					continue
+				}
+				samples++
+				sumS += res.Stretch
+				if res.Stretch > maxS {
+					maxS = res.Stretch
+				}
+				probes += res.Probes
+			}
+			mean := 0.0
+			if samples > 0 {
+				mean = sumS / float64(samples)
+			}
+			name := "naive"
+			if balanced {
+				name = "balanced"
+			}
+			t.AddRow(name, i0(f), f1(float64(r.MaxTableBits())/1024),
+				f2(float64(r.TotalTableBits())/1024/1024), f2(maxS), f2(mean), i0(probes))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"balancing trades a bounded number of Γ probes for a much smaller max table",
+		"total space grows by about f+1 from label duplication, as the paper states")
+	return t
+}

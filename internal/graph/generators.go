@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"fmt"
+
+	"ftrouting/internal/xrand"
+)
+
+// This file contains the workload generators used by tests, examples and
+// the experiment harness. All generators are deterministic in their seed.
+
+// Path returns the path graph 0-1-...-n-1 with unit weights.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := int32(0); i+1 < int32(n); i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// Cycle returns the n-cycle with unit weights (n >= 3).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.MustAddEdge(int32(n-1), 0, 1)
+	}
+	return g
+}
+
+// Complete returns K_n with unit weights.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := int32(0); u < int32(n); u++ {
+		for v := u + 1; v < int32(n); v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+// Star returns a star with center 0 and n-1 leaves. Stars are the
+// worst case for per-vertex routing tables (the load-balancing of
+// Claim 5.6/5.7 exists exactly for them).
+func Star(n int) *Graph {
+	g := New(n)
+	for v := int32(1); v < int32(n); v++ {
+		g.MustAddEdge(0, v, 1)
+	}
+	return g
+}
+
+// Wheel returns a wheel: vertex 0 is a hub joined to all rim vertices
+// 1..n-1, which form a cycle. Unlike a star, failing a spoke leaves the rim
+// detour available — the minimal topology where hub-adjacent faults force
+// rerouting through a high-degree vertex (the Γ-probing stress case of
+// Claim 5.6).
+func Wheel(n int) *Graph {
+	g := Star(n)
+	for v := int32(1); v < int32(n); v++ {
+		next := v + 1
+		if next == int32(n) {
+			next = 1
+		}
+		if n > 3 || v < next { // avoid duplicate edge in tiny wheels
+			g.MustAddEdge(v, next, 1)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph with unit weights; vertex (r,c)
+// is r*cols+c.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	at := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(at(r, c), at(r, c+1), 1)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(at(r, c), at(r+1, c), 1)
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols grid with wraparound edges (2-connected,
+// so any single fault leaves it connected).
+func Torus(rows, cols int) *Graph {
+	g := Grid(rows, cols)
+	at := func(r, c int) int32 { return int32(r*cols + c) }
+	if cols > 2 {
+		for r := 0; r < rows; r++ {
+			g.MustAddEdge(at(r, 0), at(r, cols-1), 1)
+		}
+	}
+	if rows > 2 {
+		for c := 0; c < cols; c++ {
+			g.MustAddEdge(at(0, c), at(rows-1, c), 1)
+		}
+	}
+	return g
+}
+
+// PreferentialAttachment returns a connected scale-free-ish graph: vertices
+// arrive one at a time and attach deg edges to endpoints of existing edges
+// (which biases toward high-degree vertices). Hub-heavy degree
+// distributions stress the Γ load balancing.
+func PreferentialAttachment(n, deg int, seed uint64) *Graph {
+	if n < 2 || deg < 1 {
+		panic("graph: PreferentialAttachment needs n >= 2, deg >= 1")
+	}
+	rng := xrand.NewSplitMix64(seed)
+	g := New(n)
+	g.MustAddEdge(0, 1, 1)
+	for v := int32(2); v < int32(n); v++ {
+		attached := map[int32]bool{}
+		for d := 0; d < deg && int(v) > len(attached); d++ {
+			// Pick a uniform endpoint of a uniform existing edge: vertex u
+			// is chosen with probability proportional to deg(u).
+			e := g.Edge(EdgeID(rng.Intn(g.M())))
+			u := e.U
+			if rng.Intn(2) == 1 {
+				u = e.V
+			}
+			if u == v || attached[u] {
+				continue
+			}
+			attached[u] = true
+			g.MustAddEdge(v, u, 1)
+		}
+		if len(attached) == 0 {
+			g.MustAddEdge(v, int32(rng.Intn(int(v))), 1)
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube (2^dim vertices).
+func Hypercube(dim int) *Graph {
+	n := 1 << uint(dim)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.MustAddEdge(int32(u), int32(v), 1)
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via a
+// random attachment sequence (each vertex i>=1 attaches to a uniform
+// earlier vertex after a random relabeling).
+func RandomTree(n int, seed uint64) *Graph {
+	rng := xrand.NewSplitMix64(seed)
+	perm := rng.Perm(n)
+	g := New(n)
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		g.MustAddEdge(int32(perm[i]), int32(perm[j]), 1)
+	}
+	return g
+}
+
+// RandomConnected returns a connected graph on n vertices with
+// approximately n-1+extra edges: a random spanning tree plus extra distinct
+// random non-tree edges (duplicates are retried a bounded number of times,
+// so very dense requests may fall slightly short).
+func RandomConnected(n, extra int, seed uint64) *Graph {
+	g := RandomTree(n, seed)
+	rng := xrand.NewSplitMix64(xrand.DeriveSeed(seed, 0xE))
+	have := make(map[[2]int32]bool, n-1+extra)
+	for _, e := range g.Edges() {
+		u, v := e.Canon()
+		have[[2]int32{u, v}] = true
+	}
+	maxEdges := n * (n - 1) / 2
+	if extra > maxEdges-(n-1) {
+		extra = maxEdges - (n - 1)
+	}
+	attempts := 0
+	for added := 0; added < extra && attempts < 50*extra+100; attempts++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if have[[2]int32{u, v}] {
+			continue
+		}
+		have[[2]int32{u, v}] = true
+		g.MustAddEdge(u, v, 1)
+		added++
+	}
+	return g
+}
+
+// GNM returns a (possibly disconnected) uniform random simple graph with n
+// vertices and m distinct edges.
+func GNM(n, m int, seed uint64) *Graph {
+	rng := xrand.NewSplitMix64(seed)
+	g := New(n)
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	have := make(map[[2]int32]bool, m)
+	for added := 0; added < m; {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if have[[2]int32{u, v}] {
+			continue
+		}
+		have[[2]int32{u, v}] = true
+		g.MustAddEdge(u, v, 1)
+		added++
+	}
+	return g
+}
+
+// RingOfCliques returns num cliques of the given size whose "gateway"
+// vertices are joined in a ring. Cutting a single ring edge forces long
+// detours, a classic stress case for fault-tolerant routing.
+func RingOfCliques(num, size int) *Graph {
+	g := New(num * size)
+	base := func(c int) int32 { return int32(c * size) }
+	for c := 0; c < num; c++ {
+		for i := int32(0); i < int32(size); i++ {
+			for j := i + 1; j < int32(size); j++ {
+				g.MustAddEdge(base(c)+i, base(c)+j, 1)
+			}
+		}
+	}
+	for c := 0; c < num; c++ {
+		g.MustAddEdge(base(c), base((c+1)%num), 1)
+	}
+	return g
+}
+
+// FatTree returns a three-level fat-tree (k-ary Clos) datacenter topology
+// for an even k: (k/2)^2 core switches, k pods of k/2 aggregation and k/2
+// edge switches, and k/2 hosts per edge switch. Host vertices come last.
+// It returns the graph and the index of the first host vertex.
+func FatTree(k int) (*Graph, int32) {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("graph: FatTree requires even k >= 2, got %d", k))
+	}
+	half := k / 2
+	numCore := half * half
+	numAgg := k * half
+	numEdge := k * half
+	numHost := k * half * half
+	g := New(numCore + numAgg + numEdge + numHost)
+	core := func(i int) int32 { return int32(i) }
+	agg := func(pod, i int) int32 { return int32(numCore + pod*half + i) }
+	edge := func(pod, i int) int32 { return int32(numCore + numAgg + pod*half + i) }
+	host := func(pod, e, i int) int32 {
+		return int32(numCore + numAgg + numEdge + (pod*half+e)*half + i)
+	}
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			// Each aggregation switch connects to half core switches.
+			for c := 0; c < half; c++ {
+				g.MustAddEdge(agg(pod, a), core(a*half+c), 1)
+			}
+			// Full bipartite agg-edge within the pod.
+			for e := 0; e < half; e++ {
+				g.MustAddEdge(agg(pod, a), edge(pod, e), 1)
+			}
+		}
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				g.MustAddEdge(edge(pod, e), host(pod, e, h), 1)
+			}
+		}
+	}
+	return g, int32(numCore + numAgg + numEdge)
+}
+
+// LowerBoundGraph builds the Theorem 1.6 instance: f+1 internally
+// vertex-disjoint s-t paths, each of pathLen edges. It returns the graph,
+// s, t, and the EdgeIDs of the last edge of each path (the adversary will
+// fail all but one of them).
+func LowerBoundGraph(f, pathLen int) (g *Graph, s, t int32, lastEdges []EdgeID) {
+	if f < 0 || pathLen < 1 {
+		panic("graph: LowerBoundGraph requires f >= 0, pathLen >= 1")
+	}
+	paths := f + 1
+	inner := pathLen - 1 // internal vertices per path
+	g = New(2 + paths*inner)
+	s, t = 0, 1
+	lastEdges = make([]EdgeID, paths)
+	for p := 0; p < paths; p++ {
+		prev := s
+		for i := 0; i < inner; i++ {
+			v := int32(2 + p*inner + i)
+			g.MustAddEdge(prev, v, 1)
+			prev = v
+		}
+		lastEdges[p] = g.MustAddEdge(prev, t, 1)
+	}
+	return g, s, t, lastEdges
+}
+
+// WithRandomWeights returns a copy of g whose edge weights are uniform in
+// [1, maxW]. Ports and EdgeIDs are preserved.
+func WithRandomWeights(g *Graph, maxW int64, seed uint64) *Graph {
+	if maxW < 1 {
+		panic("graph: maxW must be >= 1")
+	}
+	rng := xrand.NewSplitMix64(seed)
+	out := New(g.N())
+	for _, e := range g.Edges() {
+		out.MustAddEdge(e.U, e.V, 1+int64(rng.Intn(int(maxW))))
+	}
+	return out
+}
+
+// RandomFaults draws k distinct edges from g uniformly at random.
+func RandomFaults(g *Graph, k int, seed uint64) []EdgeID {
+	if k > g.M() {
+		k = g.M()
+	}
+	rng := xrand.NewSplitMix64(seed)
+	perm := rng.Perm(g.M())
+	out := make([]EdgeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = EdgeID(perm[i])
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftrouting/internal/xrand"
+)
+
+func TestWheel(t *testing.T) {
+	g := Wheel(8)
+	if g.N() != 8 || g.M() != 7+7 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !Connected(g, nil) {
+		t.Fatal("wheel disconnected")
+	}
+	if g.Degree(0) != 7 {
+		t.Fatalf("hub degree %d", g.Degree(0))
+	}
+	for v := int32(1); v < 8; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("rim vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+	// Failing any spoke leaves the wheel connected (rim detour).
+	for v := int32(1); v < 8; v++ {
+		spoke, ok := g.FindEdge(0, v)
+		if !ok {
+			t.Fatal("missing spoke")
+		}
+		if !Connected(g, SkipSet(NewEdgeSet(spoke))) {
+			t.Fatalf("spoke %d is a bridge", v)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// 2*rows*cols edges for a full torus: 4*5*2 = 40.
+	if g.M() != 40 {
+		t.Fatalf("M=%d", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2-edge-connectivity: no single edge disconnects.
+	for id := EdgeID(0); int(id) < g.M(); id++ {
+		if !Connected(g, SkipSet(NewEdgeSet(id))) {
+			t.Fatalf("edge %d is a bridge in a torus", id)
+		}
+	}
+	// Every vertex has degree 4.
+	for v := int32(0); v < 20; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree[%d] = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := PreferentialAttachment(200, 2, seed)
+		if g.N() != 200 {
+			t.Fatalf("N=%d", g.N())
+		}
+		if !Connected(g, nil) {
+			t.Fatal("disconnected")
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Hub-heavy: the max degree should be far above the mean.
+		mean := float64(2*g.M()) / 200
+		if float64(g.MaxDegree()) < 2.5*mean {
+			t.Fatalf("seed %d: max degree %d not hubby (mean %.1f)", seed, g.MaxDegree(), mean)
+		}
+	}
+}
+
+// TestGeneratorsAlwaysValid is a property test: every generator yields a
+// structurally valid graph for arbitrary small parameters.
+func TestGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.NewSplitMix64(seed)
+		n := 3 + rng.Intn(40)
+		graphs := []*Graph{
+			Path(n), Cycle(n), Star(n), Wheel(n),
+			Grid(1+rng.Intn(6), 1+rng.Intn(6)),
+			Torus(3+rng.Intn(4), 3+rng.Intn(4)),
+			RandomTree(n, seed),
+			RandomConnected(n, rng.Intn(2*n), seed),
+			GNM(n, rng.Intn(n), seed),
+			PreferentialAttachment(n, 1+rng.Intn(3), seed),
+		}
+		for _, g := range graphs {
+			if g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDijkstraTriangleInequality is a property test on the metric produced
+// by shortest paths: d(a,c) <= d(a,b) + d(b,c) for random weighted graphs.
+func TestDijkstraTriangleInequality(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.NewSplitMix64(seed)
+		n := 5 + rng.Intn(30)
+		g := WithRandomWeights(RandomConnected(n, rng.Intn(2*n), seed), 9, seed+1)
+		a := int32(rng.Intn(n))
+		b := int32(rng.Intn(n))
+		c := int32(rng.Intn(n))
+		dab := Distance(g, a, b, nil)
+		dbc := Distance(g, b, c, nil)
+		dac := Distance(g, a, c, nil)
+		return dac <= dab+dbc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistanceSymmetry: undirected shortest paths are symmetric.
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.NewSplitMix64(seed)
+		n := 4 + rng.Intn(25)
+		g := WithRandomWeights(RandomConnected(n, rng.Intn(n), seed), 5, seed+3)
+		faults := NewEdgeSet(RandomFaults(g, rng.Intn(4), seed+7)...)
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		return Distance(g, a, b, SkipSet(faults)) == Distance(g, b, a, SkipSet(faults))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"ftrouting/internal/xrand"
+)
+
+func TestAddEdgeAndPorts(t *testing.T) {
+	g := New(4)
+	id0, err := g.AddEdge(0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := g.AddEdge(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	e0 := g.Edge(id0)
+	if e0.U != 0 || e0.V != 1 || e0.W != 5 {
+		t.Fatalf("edge 0 = %+v", e0)
+	}
+	// Port symmetry: following the stored port must land on the edge.
+	if a := g.ArcAt(0, e0.PortU); a.To != 1 || a.E != id0 {
+		t.Fatalf("port at U broken: %+v", a)
+	}
+	if a := g.ArcAt(1, e0.PortV); a.To != 0 || a.E != id0 {
+		t.Fatalf("port at V broken: %+v", a)
+	}
+	e1 := g.Edge(id1)
+	if e1.PortV != 0 || e1.PortU != 1 {
+		// vertex 1 got edge id0 at port 0, id1 at port 1; vertex 2 port 0.
+		t.Fatalf("edge 1 ports = %d,%d", e1.PortU, e1.PortV)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	cases := []struct {
+		u, v int32
+		w    int64
+	}{
+		{0, 0, 1},  // self-loop
+		{-1, 1, 1}, // negative
+		{0, 3, 1},  // out of range
+		{0, 1, 0},  // zero weight
+	}
+	for _, c := range cases {
+		if _, err := g.AddEdge(c.u, c.v, c.w); !errors.Is(err, ErrBadEdge) {
+			t.Errorf("AddEdge(%d,%d,%d): want ErrBadEdge, got %v", c.u, c.v, c.w, err)
+		}
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	e := Edge{U: 3, V: 1, W: 2, PortU: 7, PortV: 9}
+	if e.Other(3) != 1 || e.Other(1) != 3 {
+		t.Fatal("Other broken")
+	}
+	if e.PortAt(3) != 7 || e.PortAt(1) != 9 {
+		t.Fatal("PortAt broken")
+	}
+	if a, b := e.Canon(); a != 1 || b != 3 {
+		t.Fatal("Canon broken")
+	}
+}
+
+func TestFindEdge(t *testing.T) {
+	g := Cycle(5)
+	if id, ok := g.FindEdge(0, 1); !ok || g.Edge(id).Other(0) != 1 {
+		t.Fatal("FindEdge(0,1) failed")
+	}
+	if id, ok := g.FindEdge(4, 0); !ok || g.Edge(id).Other(4) != 0 {
+		t.Fatal("FindEdge(4,0) failed")
+	}
+	if _, ok := g.FindEdge(0, 2); ok {
+		t.Fatal("FindEdge found non-edge")
+	}
+	if !g.HasEdge(2, 3) || g.HasEdge(1, 3) {
+		t.Fatal("HasEdge broken")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := RandomConnected(20, 15, 1)
+	c := g.Clone()
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatal("clone size mismatch")
+	}
+	c.MustAddEdge(0, 19, 1)
+	if c.M() == g.M() {
+		t.Fatal("clone shares edge storage")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       *Graph
+		n, m    int
+		connect bool
+	}{
+		{"Path(6)", Path(6), 6, 5, true},
+		{"Cycle(6)", Cycle(6), 6, 6, true},
+		{"Complete(5)", Complete(5), 5, 10, true},
+		{"Star(7)", Star(7), 7, 6, true},
+		{"Grid(3,4)", Grid(3, 4), 12, 17, true},
+		{"Hypercube(4)", Hypercube(4), 16, 32, true},
+		{"RingOfCliques(4,3)", RingOfCliques(4, 3), 12, 16, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.g.N() != c.n || c.g.M() != c.m {
+				t.Fatalf("N=%d M=%d, want %d,%d", c.g.N(), c.g.M(), c.n, c.m)
+			}
+			if Connected(c.g, nil) != c.connect {
+				t.Fatalf("connectivity = %v, want %v", Connected(c.g, nil), c.connect)
+			}
+			if err := c.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := RandomTree(30, seed)
+		if g.M() != 29 {
+			t.Fatalf("tree has %d edges", g.M())
+		}
+		if !Connected(g, nil) {
+			t.Fatal("random tree disconnected")
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := RandomConnected(50, 80, seed)
+		if !Connected(g, nil) {
+			t.Fatal("disconnected")
+		}
+		if g.M() != 49+80 {
+			t.Fatalf("m = %d, want %d", g.M(), 49+80)
+		}
+		// Simplicity: no duplicate edges.
+		seen := map[[2]int32]bool{}
+		for _, e := range g.Edges() {
+			u, v := e.Canon()
+			if seen[[2]int32{u, v}] {
+				t.Fatalf("duplicate edge %d-%d", u, v)
+			}
+			seen[[2]int32{u, v}] = true
+		}
+	}
+}
+
+func TestRandomConnectedCapsExtra(t *testing.T) {
+	g := RandomConnected(5, 1000, 3)
+	if g.M() != 10 {
+		t.Fatalf("m = %d, want complete graph 10", g.M())
+	}
+}
+
+func TestGNM(t *testing.T) {
+	g := GNM(30, 40, 9)
+	if g.N() != 30 || g.M() != 40 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	g, firstHost := FatTree(4)
+	// k=4: 4 core, 8 agg, 8 edge, 16 hosts = 36 vertices.
+	if g.N() != 36 {
+		t.Fatalf("N = %d, want 36", g.N())
+	}
+	if firstHost != 20 {
+		t.Fatalf("firstHost = %d, want 20", firstHost)
+	}
+	if !Connected(g, nil) {
+		t.Fatal("fat-tree disconnected")
+	}
+	// Every host has degree 1; every edge switch degree k.
+	for v := firstHost; v < int32(g.N()); v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("host %d degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestLowerBoundGraph(t *testing.T) {
+	g, s, tt, last := LowerBoundGraph(3, 5)
+	if len(last) != 4 {
+		t.Fatalf("last edges = %d, want 4", len(last))
+	}
+	if d := Distance(g, s, tt, nil); d != 5 {
+		t.Fatalf("dist = %d, want 5", d)
+	}
+	// Failing all but one last edge leaves distance 5.
+	faults := NewEdgeSet(last[0], last[1], last[2])
+	if d := Distance(g, s, tt, SkipSet(faults)); d != 5 {
+		t.Fatalf("dist with faults = %d, want 5", d)
+	}
+	// Failing all last edges disconnects.
+	all := NewEdgeSet(last...)
+	if d := Distance(g, s, tt, SkipSet(all)); d != Inf {
+		t.Fatalf("dist = %d, want Inf", d)
+	}
+}
+
+func TestWithRandomWeights(t *testing.T) {
+	g := Grid(4, 4)
+	w := WithRandomWeights(g, 10, 5)
+	if w.M() != g.M() || w.N() != g.N() {
+		t.Fatal("size changed")
+	}
+	for i, e := range w.Edges() {
+		if e.W < 1 || e.W > 10 {
+			t.Fatalf("weight %d out of range", e.W)
+		}
+		if o := g.Edge(EdgeID(i)); o.U != e.U || o.V != e.V {
+			t.Fatal("edge order changed")
+		}
+	}
+	if w.MaxWeight() < 2 {
+		t.Fatal("suspiciously uniform weights")
+	}
+}
+
+func TestRandomFaultsDistinct(t *testing.T) {
+	g := Complete(10)
+	f := RandomFaults(g, 12, 3)
+	seen := NewEdgeSet()
+	for _, id := range f {
+		if seen[id] {
+			t.Fatal("duplicate fault")
+		}
+		seen[id] = true
+	}
+	if len(f) != 12 {
+		t.Fatalf("len = %d", len(f))
+	}
+	if len(RandomFaults(g, 1000, 4)) != g.M() {
+		t.Fatal("over-request not capped")
+	}
+}
+
+func TestEdgeSet(t *testing.T) {
+	s := NewEdgeSet(1, 2, 3)
+	if len(s.Slice()) != 3 {
+		t.Fatal("slice size")
+	}
+	if SkipSet(nil) != nil {
+		t.Fatal("nil set should give nil skip")
+	}
+	skip := SkipSet(s)
+	if !skip(2) || skip(4) {
+		t.Fatal("skip misbehaves")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := Path(3)
+	g.edges[0].PortU = 99
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed corrupted port")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := RandomConnected(40, 60, 77)
+	b := RandomConnected(40, 60, 77)
+	if a.M() != b.M() {
+		t.Fatal("nondeterministic generator")
+	}
+	for i := range a.Edges() {
+		if a.Edges()[i] != b.Edges()[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	_ = xrand.Hash(0) // keep import if cases shrink
+}

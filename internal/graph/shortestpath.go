@@ -1,0 +1,169 @@
+package graph
+
+import "container/heap"
+
+// distHeap is a binary min-heap keyed by tentative distance.
+type distHeap struct {
+	v    []int32
+	d    []int64
+	pos  []int32 // pos[v] = index in heap, -1 if absent
+	dist []int64 // shared tentative distances
+}
+
+func (h *distHeap) Len() int { return len(h.v) }
+func (h *distHeap) Less(i, j int) bool {
+	if h.d[i] != h.d[j] {
+		return h.d[i] < h.d[j]
+	}
+	return h.v[i] < h.v[j] // deterministic tie-break
+}
+func (h *distHeap) Swap(i, j int) {
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+	h.d[i], h.d[j] = h.d[j], h.d[i]
+	h.pos[h.v[i]] = int32(i)
+	h.pos[h.v[j]] = int32(j)
+}
+func (h *distHeap) Push(x any) {
+	it := x.(heapItem)
+	h.pos[it.v] = int32(len(h.v))
+	h.v = append(h.v, it.v)
+	h.d = append(h.d, it.d)
+}
+func (h *distHeap) Pop() any {
+	n := len(h.v) - 1
+	it := heapItem{v: h.v[n], d: h.d[n]}
+	h.pos[it.v] = -1
+	h.v = h.v[:n]
+	h.d = h.d[:n]
+	return it
+}
+
+type heapItem struct {
+	v int32
+	d int64
+}
+
+// Dijkstra computes single-source shortest paths from src over non-skipped
+// edges. dist is Inf for unreachable vertices; order lists vertices in
+// finalization order (so parents precede children).
+func Dijkstra(g *Graph, src int32, skip SkipFunc) (dist []int64, parent []int32, parentEdge []EdgeID, order []int32) {
+	return dijkstraMulti(g, []int32{src}, skip, Inf)
+}
+
+// MultiSourceDijkstra computes shortest distances from the nearest of the
+// given sources, exploring only vertices at distance <= limit (pass Inf for
+// no limit). It is the ball-growing primitive of the tree cover (Def 4.1).
+func MultiSourceDijkstra(g *Graph, sources []int32, skip SkipFunc, limit int64) (dist []int64, parent []int32, parentEdge []EdgeID, order []int32) {
+	return dijkstraMulti(g, sources, skip, limit)
+}
+
+func dijkstraMulti(g *Graph, sources []int32, skip SkipFunc, limit int64) (dist []int64, parent []int32, parentEdge []EdgeID, order []int32) {
+	n := g.N()
+	dist = make([]int64, n)
+	parent = make([]int32, n)
+	parentEdge = make([]EdgeID, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+		parentEdge[i] = -1
+	}
+	h := &distHeap{pos: make([]int32, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	for _, s := range sources {
+		if dist[s] != 0 {
+			dist[s] = 0
+			heap.Push(h, heapItem{v: s, d: 0})
+		}
+	}
+	done := make([]bool, n)
+	order = make([]int32, 0, n)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		u := it.v
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		order = append(order, u)
+		for _, a := range g.Adj(u) {
+			if skip != nil && skip(a.E) {
+				continue
+			}
+			nd := dist[u] + a.W
+			if nd > limit {
+				continue
+			}
+			if nd < dist[a.To] && !done[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = u
+				parentEdge[a.To] = a.E
+				if p := h.pos[a.To]; p >= 0 {
+					h.d[p] = nd
+					heap.Fix(h, int(p))
+				} else {
+					heap.Push(h, heapItem{v: a.To, d: nd})
+				}
+			}
+		}
+	}
+	return dist, parent, parentEdge, order
+}
+
+// Distance returns dist_{G\F}(s,t) where F is given as a skip function, or
+// Inf if disconnected. This is the ground-truth oracle used to measure
+// stretch in every experiment.
+func Distance(g *Graph, s, t int32, skip SkipFunc) int64 {
+	if s == t {
+		return 0
+	}
+	dist, _, _, _ := Dijkstra(g, s, skip)
+	return dist[t]
+}
+
+// Eccentricity returns the largest finite shortest-path distance from v.
+func Eccentricity(g *Graph, v int32, skip SkipFunc) int64 {
+	dist, _, _, _ := Dijkstra(g, v, skip)
+	var ecc int64
+	for _, d := range dist {
+		if d != Inf && d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// DiameterUpperBound returns an upper bound on the weighted diameter of
+// every component: twice the maximum eccentricity over one representative
+// per component. The distance-label hierarchy uses it to choose the number
+// of scales K = ceil(log2(bound)).
+func DiameterUpperBound(g *Graph) int64 {
+	comp, count := Components(g, nil)
+	seen := make([]bool, count)
+	var bound int64 = 1
+	for v := int32(0); v < int32(g.N()); v++ {
+		if seen[comp[v]] {
+			continue
+		}
+		seen[comp[v]] = true
+		if e := 2 * Eccentricity(g, v, nil); e > bound {
+			bound = e
+		}
+	}
+	return bound
+}
+
+// PathWeightOf returns the total weight of a vertex path, verifying each
+// consecutive pair is an actual non-skipped edge; ok is false otherwise.
+// Used by tests to validate routes produced by decoders.
+func PathWeightOf(g *Graph, path []int32, skip SkipFunc) (w int64, ok bool) {
+	for i := 1; i < len(path); i++ {
+		id, found := g.FindEdge(path[i-1], path[i])
+		if !found || (skip != nil && skip(id)) {
+			return 0, false
+		}
+		w += g.Edge(id).W
+	}
+	return w, true
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subgraph is an induced subgraph with local vertex numbering plus the
+// mappings back to the parent graph. Tree-cover instances G_{i,j} =
+// G[V(T_{i,j})] (Section 4) are materialized this way: ancestry labels,
+// sketches and extended edge identifiers all speak local IDs, while
+// EdgeToGlobal lets the routing layer recover global edges and hence the
+// real port numbers (DESIGN.md, "Local instance graphs").
+type Subgraph struct {
+	Local        *Graph
+	ToGlobal     []int32          // local vertex -> global vertex
+	ToLocal      map[int32]int32  // global vertex -> local vertex
+	EdgeToGlobal []EdgeID         // local edge -> global edge
+	EdgeToLocal  map[EdgeID]int32 // global edge -> local edge
+}
+
+// Induced builds the subgraph of g induced by the given global vertices,
+// keeping only edges of weight <= maxW (pass Inf to keep all). Local vertex
+// IDs follow the order of vertices; duplicate vertices are an error.
+func Induced(g *Graph, vertices []int32, maxW int64) (*Subgraph, error) {
+	sub := &Subgraph{
+		Local:       New(len(vertices)),
+		ToGlobal:    append([]int32(nil), vertices...),
+		ToLocal:     make(map[int32]int32, len(vertices)),
+		EdgeToLocal: make(map[EdgeID]int32),
+	}
+	for i, v := range vertices {
+		if v < 0 || int(v) >= g.N() {
+			return nil, fmt.Errorf("graph: induced vertex %d out of range", v)
+		}
+		if _, dup := sub.ToLocal[v]; dup {
+			return nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
+		}
+		sub.ToLocal[v] = int32(i)
+	}
+	// Deterministic edge order: scan global edges in EdgeID order.
+	for id := EdgeID(0); int(id) < g.M(); id++ {
+		e := g.Edge(id)
+		if e.W > maxW {
+			continue
+		}
+		lu, okU := sub.ToLocal[e.U]
+		lv, okV := sub.ToLocal[e.V]
+		if !okU || !okV {
+			continue
+		}
+		lid, err := sub.Local.AddEdge(lu, lv, e.W)
+		if err != nil {
+			return nil, err
+		}
+		if int(lid) != len(sub.EdgeToGlobal) {
+			return nil, fmt.Errorf("graph: unexpected local edge id %d", lid)
+		}
+		sub.EdgeToGlobal = append(sub.EdgeToGlobal, id)
+		sub.EdgeToLocal[id] = lid
+	}
+	return sub, nil
+}
+
+// Contains reports whether the global vertex v belongs to the subgraph.
+func (s *Subgraph) Contains(v int32) bool {
+	_, ok := s.ToLocal[v]
+	return ok
+}
+
+// PortIn returns the port of the global counterpart of local edge le at
+// local vertex lv, in the adjacency of the parent graph g (this is what a
+// router must put on the wire).
+func (s *Subgraph) PortIn(g *Graph, le EdgeID, lv int32) int32 {
+	return g.Edge(s.EdgeToGlobal[le]).PortAt(s.ToGlobal[lv])
+}
+
+// SortedCopy returns the vertices sorted ascending (helper for
+// deterministic cluster construction).
+func SortedCopy(vs []int32) []int32 {
+	out := append([]int32(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"testing"
+
+	"ftrouting/internal/xrand"
+)
+
+func TestBFSOnPath(t *testing.T) {
+	g := Path(5)
+	parent, parentEdge, order := BFS(g, 0, nil)
+	if len(order) != 5 {
+		t.Fatalf("order covers %d vertices", len(order))
+	}
+	for v := int32(1); v < 5; v++ {
+		if parent[v] != v-1 {
+			t.Fatalf("parent[%d] = %d", v, parent[v])
+		}
+		if g.Edge(parentEdge[v]).Other(v) != v-1 {
+			t.Fatalf("parentEdge[%d] wrong", v)
+		}
+	}
+	if parent[0] != -1 {
+		t.Fatal("root parent must be -1")
+	}
+}
+
+func TestBFSWithSkip(t *testing.T) {
+	g := Cycle(6)
+	cut, _ := g.FindEdge(0, 5)
+	parent, _, order := BFS(g, 0, SkipSet(NewEdgeSet(cut)))
+	if len(order) != 6 {
+		t.Fatal("cycle minus one edge still connected")
+	}
+	if parent[5] != 4 {
+		t.Fatalf("parent[5] = %d, want 4 (long way around)", parent[5])
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	comp, count := Components(g, nil)
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] {
+		t.Fatalf("comp = %v", comp)
+	}
+	if comp[5] == comp[6] {
+		t.Fatal("isolated vertices merged")
+	}
+}
+
+func TestSameComponentMatchesSkip(t *testing.T) {
+	g := RandomConnected(40, 30, 5)
+	rng := xrand.NewSplitMix64(6)
+	for trial := 0; trial < 50; trial++ {
+		faults := NewEdgeSet(RandomFaults(g, rng.Intn(8), uint64(trial))...)
+		s, tt := int32(rng.Intn(40)), int32(rng.Intn(40))
+		got := SameComponent(g, s, tt, SkipSet(faults))
+		want := Distance(g, s, tt, SkipSet(faults)) != Inf
+		if got != want {
+			t.Fatalf("trial %d: SameComponent=%v, Distance says %v", trial, got, want)
+		}
+	}
+}
+
+func TestBFSTreeStructure(t *testing.T) {
+	g := Grid(4, 5)
+	tree := BFSTree(g, 0, nil)
+	if tree.Size() != 20 {
+		t.Fatalf("tree size %d", tree.Size())
+	}
+	if tree.Root != 0 || tree.Depth[0] != 0 {
+		t.Fatal("root broken")
+	}
+	inTreeCount := 0
+	for _, b := range tree.InTree {
+		if b {
+			inTreeCount++
+		}
+	}
+	if inTreeCount != 19 {
+		t.Fatalf("tree edges = %d, want n-1", inTreeCount)
+	}
+	// Depth consistency and children backlinks.
+	for _, v := range tree.Order {
+		if v == tree.Root {
+			continue
+		}
+		p := tree.Parent[v]
+		if tree.Depth[v] != tree.Depth[p]+1 {
+			t.Fatalf("depth[%d] inconsistent", v)
+		}
+		found := false
+		for _, c := range tree.Children[p] {
+			if c == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d missing from parent's children", v)
+		}
+	}
+	// BFS tree depth = hop distance.
+	for v := int32(0); v < 20; v++ {
+		if int64(tree.Depth[v]) != Distance(g, 0, v, nil) {
+			t.Fatalf("depth[%d] = %d != BFS distance", v, tree.Depth[v])
+		}
+	}
+}
+
+func TestTreePathTo(t *testing.T) {
+	g := Grid(3, 3)
+	tree := BFSTree(g, 0, nil)
+	for u := int32(0); u < 9; u++ {
+		for v := int32(0); v < 9; v++ {
+			p := tree.PathTo(u, v)
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("path endpoints wrong: %v", p)
+			}
+			for i := 1; i < len(p); i++ {
+				id, ok := g.FindEdge(p[i-1], p[i])
+				if !ok || !tree.InTree[id] {
+					t.Fatalf("path %v uses non-tree edge", p)
+				}
+			}
+		}
+	}
+}
+
+func TestTreePathWeight(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3)
+	g.MustAddEdge(2, 3, 4)
+	tree := BFSTree(g, 0, nil)
+	if w := tree.PathWeight(0, 3); w != 9 {
+		t.Fatalf("weight = %d, want 9", w)
+	}
+	if w := tree.PathWeight(3, 1); w != 7 {
+		t.Fatalf("weight = %d, want 7", w)
+	}
+	if w := tree.PathWeight(2, 2); w != 0 {
+		t.Fatalf("weight = %d, want 0", w)
+	}
+}
+
+func TestWeightedDepth(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 7)
+	tree := BFSTree(g, 0, nil)
+	d := tree.WeightedDepth()
+	if d[0] != 0 || d[1] != 5 || d[2] != 12 {
+		t.Fatalf("weighted depth = %v", d)
+	}
+}
+
+func TestTreeOutsideComponent(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	tree := BFSTree(g, 0, nil)
+	if tree.Contains(2) || !tree.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+	if tree.Size() != 2 {
+		t.Fatalf("size = %d", tree.Size())
+	}
+}

@@ -1,0 +1,77 @@
+package route
+
+import (
+	"fmt"
+
+	"ftrouting/internal/core"
+	"ftrouting/internal/graph"
+)
+
+// RouteForbidden routes under the forbidden-set model of Section 5.1
+// (Theorem 5.3): the labels of the faulty edges are known to the source, so
+// each distance scale needs a single decode, the chosen path avoids F by
+// construction, and the walk is one-way. The stretch is bounded by
+// (8k-2)(|F|+1).
+func (r *Router) RouteForbidden(s, t int32, faultIDs []graph.EdgeID) (Result, error) {
+	faults := graph.NewEdgeSet(faultIDs...)
+	res := Result{Opt: graph.Distance(r.g, s, t, graph.SkipSet(faults))}
+	res.Trace = append(res.Trace, s)
+	if s == t {
+		res.Reached = true
+		res.Stretch = 1
+		return res, nil
+	}
+	for i := range r.inst {
+		// Section 5.1 phases use the instance covering the 2^i-ball of s.
+		j := r.hier.Home(i, s)
+		inst := r.inst[i][j]
+		lt, ok := inst.Cluster.Sub.ToLocal[t]
+		if !ok {
+			continue
+		}
+		ls, ok := inst.Cluster.Sub.ToLocal[s]
+		if !ok {
+			return res, fmt.Errorf("route: s=%d missing from its home instance (%d,%d)", s, i, j)
+		}
+		res.Phases++
+		// The forbidden-set labels of F restricted to this instance.
+		var fl []core.SketchEdgeLabel
+		for _, id := range faultIDs {
+			if le, ok := inst.Cluster.Sub.EdgeToLocal[id]; ok {
+				fl = append(fl, inst.Conn.EdgeLabel(le))
+			}
+		}
+		verdict, err := inst.Conn.Decode(inst.Conn.VertexLabel(ls), inst.Conn.VertexLabel(lt), fl, 0, true)
+		if err != nil {
+			return res, err
+		}
+		if !verdict.Connected {
+			continue
+		}
+		if hb := r.headerBits(inst, verdict.Path, nil); hb > res.MaxHeaderBits {
+			res.MaxHeaderBits = hb
+		}
+		out, err := r.walkPath(inst, verdict.Path, faults)
+		res.Cost += out.cost
+		res.Hops += out.hops
+		res.Trace = append(res.Trace, out.visited...)
+		if err != nil {
+			return res, err
+		}
+		if !out.reached {
+			// The decoded path avoids all of F; hitting a fault means the
+			// decoder and the walker disagree — a bug, not a protocol event.
+			return res, fmt.Errorf("route: forbidden-set walk hit fault (local edge %d)", out.faultLocal)
+		}
+		res.Reached = true
+		res.finish()
+		return res, nil
+	}
+	res.finish()
+	return res, nil
+}
+
+// StretchBoundForbidden returns the Theorem 5.3 guarantee (8k-2)(|F|+1).
+func (r *Router) StretchBoundForbidden(numFaults int) int64 {
+	return int64(8*r.k-2) * int64(numFaults+1)
+}

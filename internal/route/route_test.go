@@ -1,0 +1,270 @@
+package route
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// buildRouter is a helper with error checking.
+func buildRouter(t testing.TB, g *graph.Graph, f, k int, opts Options) *Router {
+	t.Helper()
+	r, err := Build(g, f, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// checkFT runs random FT routing queries and asserts delivery and the
+// Theorem 5.8 stretch bound against ground truth.
+func checkFT(t *testing.T, g *graph.Graph, r *Router, f, queries int, seed uint64) {
+	t.Helper()
+	rng := xrand.NewSplitMix64(seed)
+	n := g.N()
+	for q := 0; q < queries; q++ {
+		numF := rng.Intn(f + 1)
+		faultIDs := graph.RandomFaults(g, numF, seed+uint64(q)*31)
+		faults := graph.NewEdgeSet(faultIDs...)
+		s, dst := int32(rng.Intn(n)), int32(rng.Intn(n))
+		res, err := r.RouteFT(s, dst, faults)
+		if err != nil {
+			t.Fatalf("q %d: RouteFT error: %v", q, err)
+		}
+		connected := res.Opt != graph.Inf
+		if res.Reached != connected {
+			t.Fatalf("q %d: Reached=%v but connected=%v (s=%d t=%d F=%v)", q, res.Reached, connected, s, dst, faultIDs)
+		}
+		if !connected {
+			continue
+		}
+		if res.Cost < res.Opt {
+			t.Fatalf("q %d: cost %d below optimum %d", q, res.Cost, res.Opt)
+		}
+		if bound := r.StretchBoundFT(len(faultIDs)) * res.Opt; res.Cost > bound {
+			t.Fatalf("q %d: cost %d exceeds 32k(|F|+1)^2 bound %d (opt=%d, |F|=%d)",
+				q, res.Cost, bound, res.Opt, len(faultIDs))
+		}
+	}
+}
+
+func TestFTRoutingUnweighted(t *testing.T) {
+	g := graph.RandomConnected(40, 60, 5)
+	r := buildRouter(t, g, 3, 2, Options{Seed: 7})
+	checkFT(t, g, r, 3, 30, 11)
+}
+
+func TestFTRoutingWeighted(t *testing.T) {
+	g := graph.WithRandomWeights(graph.RandomConnected(35, 50, 2), 6, 4)
+	r := buildRouter(t, g, 2, 2, Options{Seed: 13})
+	checkFT(t, g, r, 2, 25, 17)
+}
+
+func TestFTRoutingBalancedTables(t *testing.T) {
+	g := graph.RandomConnected(40, 60, 5)
+	r := buildRouter(t, g, 3, 2, Options{Seed: 7, Balanced: true})
+	checkFT(t, g, r, 3, 30, 19)
+}
+
+func TestFTRoutingGrid(t *testing.T) {
+	g := graph.Grid(6, 6)
+	r := buildRouter(t, g, 2, 3, Options{Seed: 23})
+	checkFT(t, g, r, 2, 25, 29)
+}
+
+func TestFTRoutingStar(t *testing.T) {
+	// Stars stress the Γ machinery: the center has huge tree degree.
+	g := graph.Star(30)
+	r := buildRouter(t, g, 2, 2, Options{Seed: 31, Balanced: true})
+	checkFT(t, g, r, 2, 25, 37)
+}
+
+func TestFTRoutingRingOfCliques(t *testing.T) {
+	g := graph.RingOfCliques(4, 5)
+	r := buildRouter(t, g, 2, 2, Options{Seed: 41})
+	checkFT(t, g, r, 2, 25, 43)
+}
+
+func TestForbiddenSetRouting(t *testing.T) {
+	g := graph.WithRandomWeights(graph.RandomConnected(40, 55, 3), 4, 9)
+	r := buildRouter(t, g, 3, 2, Options{Seed: 47})
+	rng := xrand.NewSplitMix64(53)
+	for q := 0; q < 30; q++ {
+		faultIDs := graph.RandomFaults(g, rng.Intn(4), uint64(q)*7)
+		s, dst := int32(rng.Intn(40)), int32(rng.Intn(40))
+		res, err := r.RouteForbidden(s, dst, faultIDs)
+		if err != nil {
+			t.Fatalf("q %d: %v", q, err)
+		}
+		connected := res.Opt != graph.Inf
+		if res.Reached != connected {
+			t.Fatalf("q %d: Reached=%v connected=%v", q, res.Reached, connected)
+		}
+		if !connected {
+			continue
+		}
+		if res.Cost < res.Opt {
+			t.Fatalf("q %d: cost below optimum", q)
+		}
+		if bound := r.StretchBoundForbidden(len(faultIDs)) * res.Opt; res.Cost > bound {
+			t.Fatalf("q %d: cost %d exceeds (8k-2)(|F|+1) bound %d", q, res.Cost, bound)
+		}
+		if res.Detections != 0 {
+			t.Fatalf("q %d: forbidden-set routing detected a fault", q)
+		}
+	}
+}
+
+func TestSelfRoute(t *testing.T) {
+	g := graph.Path(5)
+	r := buildRouter(t, g, 1, 2, Options{Seed: 3})
+	res, err := r.RouteFT(2, 2, nil)
+	if err != nil || !res.Reached || res.Cost != 0 {
+		t.Fatalf("self route: %+v, %v", res, err)
+	}
+}
+
+func TestDisconnectedByFaults(t *testing.T) {
+	g := graph.Path(8)
+	r := buildRouter(t, g, 2, 2, Options{Seed: 5})
+	cut, _ := g.FindEdge(3, 4)
+	res, err := r.RouteFT(0, 7, graph.NewEdgeSet(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Fatal("reached across a cut")
+	}
+	res, err = r.RouteForbidden(0, 7, []graph.EdgeID{cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Fatal("forbidden-set reached across a cut")
+	}
+}
+
+func TestZeroFaultRoutingIsCheap(t *testing.T) {
+	// Without faults the first connected phase routes on a tree path of
+	// the scale matching the distance: stretch <= 32k.
+	g := graph.RandomConnected(50, 80, 9)
+	r := buildRouter(t, g, 2, 2, Options{Seed: 59})
+	rng := xrand.NewSplitMix64(61)
+	for q := 0; q < 20; q++ {
+		s, dst := int32(rng.Intn(50)), int32(rng.Intn(50))
+		res, err := r.RouteFT(s, dst, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reached {
+			t.Fatal("unreachable without faults")
+		}
+		if res.Detections != 0 || res.Probes != 0 {
+			t.Fatal("phantom detections")
+		}
+		if s != dst && res.Cost > r.StretchBoundFT(0)*res.Opt {
+			t.Fatalf("q %d: fault-free stretch too high: %d vs opt %d", q, res.Cost, res.Opt)
+		}
+	}
+}
+
+func TestBalancedTablesShrinkMaxTable(t *testing.T) {
+	// On a star, the naive placement stores all n-1 child edge labels at
+	// the center; the balanced placement caps per-vertex storage at O(f)
+	// labels per tree (Claim 5.7).
+	g := graph.Star(60)
+	f := 2
+	naive := buildRouter(t, g, f, 2, Options{Seed: 67})
+	balanced := buildRouter(t, g, f, 2, Options{Seed: 67, Balanced: true})
+	nb, bb := naive.MaxTableBits(), balanced.MaxTableBits()
+	if bb*3 > nb {
+		t.Fatalf("balanced max table %d not much smaller than naive %d", bb, nb)
+	}
+	// Both still route correctly.
+	checkFT(t, g, balanced, f, 15, 71)
+}
+
+func TestHeaderBitsBounded(t *testing.T) {
+	g := graph.RandomConnected(45, 70, 11)
+	r := buildRouter(t, g, 3, 2, Options{Seed: 73})
+	rng := xrand.NewSplitMix64(79)
+	worst := 0
+	for q := 0; q < 20; q++ {
+		faultIDs := graph.RandomFaults(g, 3, uint64(q)*3)
+		s, dst := int32(rng.Intn(45)), int32(rng.Intn(45))
+		res, err := r.RouteFT(s, dst, graph.NewEdgeSet(faultIDs...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxHeaderBits > worst {
+			worst = res.MaxHeaderBits
+		}
+	}
+	if worst == 0 {
+		t.Fatal("no headers measured")
+	}
+	// Õ(f^3) with log^3 n factors; assert a generous absolute cap to catch
+	// blowups (e.g. accidentally embedding whole tables).
+	if worst > 1<<22 {
+		t.Fatalf("header bits %d unreasonably large", worst)
+	}
+}
+
+func TestLabelAndTableAccounting(t *testing.T) {
+	g := graph.RandomConnected(30, 45, 13)
+	r := buildRouter(t, g, 2, 2, Options{Seed: 83})
+	if r.LabelBits(0) <= 0 {
+		t.Fatal("label bits")
+	}
+	if r.TableBits(0) <= 0 {
+		t.Fatal("table bits")
+	}
+	if r.TotalTableBits() < int64(r.MaxTableBits()) {
+		t.Fatal("total < max")
+	}
+	if r.F() != 2 || r.K() != 2 || r.Scales() < 2 {
+		t.Fatal("accessors")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := Build(g, -1, 2, Options{}); err == nil {
+		t.Fatal("negative f accepted")
+	}
+	if _, err := Build(g, 1, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestManyFaultsBeyondBoundIsSafe(t *testing.T) {
+	// More faults than f: the router may fail to deliver but must not
+	// error out or claim false delivery.
+	g := graph.RandomConnected(30, 50, 17)
+	r := buildRouter(t, g, 1, 2, Options{Seed: 89})
+	faultIDs := graph.RandomFaults(g, 6, 97)
+	faults := graph.NewEdgeSet(faultIDs...)
+	res, err := r.RouteFT(0, 29, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached && res.Opt == graph.Inf {
+		t.Fatal("claimed delivery across a cut")
+	}
+}
+
+func BenchmarkRouteFT(b *testing.B) {
+	g := graph.RandomConnected(60, 100, 1)
+	r, err := Build(g, 2, 2, Options{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := graph.NewEdgeSet(graph.RandomFaults(g, 2, 3)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RouteFT(0, 59, faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

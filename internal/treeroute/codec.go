@@ -1,0 +1,112 @@
+package treeroute
+
+import (
+	"fmt"
+
+	"ftrouting/internal/ancestry"
+)
+
+// Codec packs routing labels into a fixed number of 64-bit words so they
+// can ride inside extended edge identifiers (the L_T(u), L_T(v) fields of
+// Eq. 5). XOR-ability of sketches requires every encoded label of an
+// instance to have identical width, so the codec is sized by the
+// instance-wide maximum light depth and the Γ parameter.
+//
+// Layout:
+//
+//	word 0:             Anc.In | Anc.Out<<32
+//	word 1:             hop count
+//	per hop:            1 word  ParentIn | Port<<32 | gammaLen<<48
+//	                    gammaWords words of packed 16-bit Γ ports
+type Codec struct {
+	MaxHops int
+	GammaF  int
+}
+
+// NewCodec returns the codec of a scheme (shared by all labels of its
+// instance).
+func (s *Scheme) NewCodec() Codec {
+	return Codec{MaxHops: s.maxHops, GammaF: s.gammaF}
+}
+
+// gammaWords is the per-hop word count reserved for Γ ports.
+func (c Codec) gammaWords() int {
+	if c.GammaF <= 0 {
+		return 0
+	}
+	maxGamma := 2*c.GammaF + 1
+	return (maxGamma*16 + 63) / 64
+}
+
+// hopWords is the per-hop encoded width.
+func (c Codec) hopWords() int { return 1 + c.gammaWords() }
+
+// Words returns the fixed encoded width.
+func (c Codec) Words() int { return 2 + c.MaxHops*c.hopWords() }
+
+// Encode packs a label. It fails if the label exceeds the codec's bounds
+// or any port exceeds 16 bits (a constraint of the compact encoding; all
+// simulated topologies are far below it).
+func (c Codec) Encode(l Label) ([]uint64, error) {
+	if len(l.Hops) > c.MaxHops {
+		return nil, fmt.Errorf("treeroute: label has %d hops, codec allows %d", len(l.Hops), c.MaxHops)
+	}
+	out := make([]uint64, c.Words())
+	out[0] = uint64(l.Anc.In) | uint64(l.Anc.Out)<<32
+	out[1] = uint64(len(l.Hops))
+	w := 2
+	for _, h := range l.Hops {
+		if h.Port < 0 || h.Port >= 1<<16 {
+			return nil, fmt.Errorf("treeroute: port %d does not fit in 16 bits", h.Port)
+		}
+		if len(h.Gamma) > 2*c.GammaF+1 {
+			return nil, fmt.Errorf("treeroute: %d gamma ports exceed block bound %d", len(h.Gamma), 2*c.GammaF+1)
+		}
+		out[w] = uint64(h.ParentIn) | uint64(uint16(h.Port))<<32 | uint64(len(h.Gamma))<<48
+		w++
+		gw := c.gammaWords()
+		for i, p := range h.Gamma {
+			if p < 0 || p >= 1<<16 {
+				return nil, fmt.Errorf("treeroute: gamma port %d does not fit in 16 bits", p)
+			}
+			out[w+i/4] |= uint64(uint16(p)) << (16 * (uint(i) % 4))
+		}
+		w += gw
+	}
+	return out, nil
+}
+
+// Decode unpacks a label previously produced by Encode.
+func (c Codec) Decode(words []uint64) (Label, error) {
+	if len(words) != c.Words() {
+		return Label{}, fmt.Errorf("treeroute: encoded label has %d words, codec expects %d", len(words), c.Words())
+	}
+	l := Label{Anc: ancestry.Label{In: uint32(words[0]), Out: uint32(words[0] >> 32)}}
+	hops := int(words[1])
+	if hops > c.MaxHops {
+		return Label{}, fmt.Errorf("treeroute: encoded hop count %d exceeds codec max %d", hops, c.MaxHops)
+	}
+	w := 2
+	for i := 0; i < hops; i++ {
+		hw := words[w]
+		h := LightHop{
+			ParentIn: uint32(hw),
+			Port:     int32(uint16(hw >> 32)),
+		}
+		gLen := int(hw >> 48)
+		w++
+		gw := c.gammaWords()
+		if gLen > 0 {
+			if gLen > 2*c.GammaF+1 {
+				return Label{}, fmt.Errorf("treeroute: encoded gamma length %d exceeds bound", gLen)
+			}
+			h.Gamma = make([]int32, gLen)
+			for j := 0; j < gLen; j++ {
+				h.Gamma[j] = int32(uint16(words[w+j/4] >> (16 * (uint(j) % 4))))
+			}
+		}
+		w += gw
+		l.Hops = append(l.Hops, h)
+	}
+	return l, nil
+}

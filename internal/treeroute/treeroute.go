@@ -1,0 +1,292 @@
+// Package treeroute implements compact routing on trees in the style of
+// Thorup–Zwick (Fact 5.1) via heavy-light decomposition, plus the
+// Γ_T(e)-augmented variant of Claim 5.6 used by the load-balanced routing
+// tables of Section 5.2.
+//
+// Every vertex gets a label (its DFS interval plus the light edges on its
+// root path, O(log^2 n) bits) and a table (its interval, parent port, heavy
+// child port/interval, O(log n) bits). Given the table of the current
+// vertex and the label of the target, NextHop computes the port of the next
+// edge on the tree path in O(light-depth) time.
+//
+// With gammaF = f > 0, labels and tables additionally carry, for each light
+// (resp. heavy) edge they describe, the ports of the edge's Γ_T(e) block —
+// the f+1..2f+1 vertices that store the edge's connectivity label — so that
+// a router standing at a fault can fetch the label from a surviving block
+// member (Claim 5.6's modification of the [TZ01] scheme).
+package treeroute
+
+import (
+	"fmt"
+
+	"ftrouting/internal/ancestry"
+	"ftrouting/internal/graph"
+)
+
+// PortFunc supplies the network port of tree edge e at endpoint v. The
+// routing layer passes global ports; tests may pass local ones.
+type PortFunc func(e graph.EdgeID, at int32) int32
+
+// LightHop describes one light edge on a root-to-target path.
+type LightHop struct {
+	ParentIn uint32  // DFS entry time of the branching vertex
+	Port     int32   // port at the branching vertex toward the path child
+	Gamma    []int32 // ports at the branching vertex to the Γ block (balanced mode; nil when the endpoints store the label)
+}
+
+// Label is the routing label L_T(v) of Fact 5.1 / Claim 5.6.
+type Label struct {
+	Anc  ancestry.Label
+	Hops []LightHop // light edges on the root-to-v path, top-down
+}
+
+// Table is the routing table R_T(v).
+type Table struct {
+	Anc        ancestry.Label
+	ParentPort int32          // -1 at the root
+	HeavyPort  int32          // -1 at a leaf
+	HeavyAnc   ancestry.Label // interval of the heavy child (zero at a leaf)
+	GammaHeavy []int32        // Γ block ports for the heavy child edge (balanced mode)
+}
+
+// Scheme holds the routing labels and tables of one tree.
+type Scheme struct {
+	tree   *graph.Tree
+	anc    []ancestry.Label
+	port   PortFunc
+	gammaF int
+	heavy  []int32
+	labels []Label
+	tables []Table
+	// gammaIdx caches, per vertex, the Γ block ports of its parent edge's
+	// block members at the parent (used to compute storage sets).
+	maxHops int
+}
+
+// Build constructs the scheme for a tree. anc must be ancestry labels of
+// the same tree (shared with the connectivity scheme so the DFS intervals
+// agree). gammaF <= 0 disables the Γ augmentation (plain Fact 5.1).
+func Build(t *graph.Tree, anc []ancestry.Label, port PortFunc, gammaF int) (*Scheme, error) {
+	if port == nil {
+		g := t.G
+		port = func(e graph.EdgeID, at int32) int32 { return g.Edge(e).PortAt(at) }
+	}
+	if gammaF < 0 {
+		gammaF = 0
+	}
+	n := t.G.N()
+	s := &Scheme{
+		tree:   t,
+		anc:    anc,
+		port:   port,
+		gammaF: gammaF,
+		heavy:  make([]int32, n),
+		labels: make([]Label, n),
+		tables: make([]Table, n),
+	}
+	// Subtree sizes and heavy children, leaves-to-root over the preorder.
+	size := make([]int32, n)
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		size[v]++
+		if p := t.Parent[v]; p >= 0 {
+			size[p] += size[v]
+		}
+	}
+	for i := range s.heavy {
+		s.heavy[i] = -1
+	}
+	for _, v := range t.Order {
+		var best int32 = -1
+		for _, c := range t.Children[v] {
+			if best == -1 || size[c] > size[best] || (size[c] == size[best] && c < best) {
+				best = c
+			}
+		}
+		s.heavy[v] = best
+	}
+	// Tables.
+	for _, v := range t.Order {
+		tab := Table{Anc: anc[v], ParentPort: -1, HeavyPort: -1}
+		if p := t.Parent[v]; p >= 0 {
+			tab.ParentPort = port(t.ParentEdge[v], v)
+		}
+		if h := s.heavy[v]; h >= 0 {
+			tab.HeavyPort = port(t.ParentEdge[h], v)
+			tab.HeavyAnc = anc[h]
+			if gammaF > 0 {
+				tab.GammaHeavy = s.gammaPortsAt(v, h)
+			}
+		}
+		s.tables[v] = tab
+	}
+	// Labels by preorder DFS, extending the parent's hop list.
+	for _, v := range t.Order {
+		l := Label{Anc: anc[v]}
+		if p := t.Parent[v]; p >= 0 {
+			parentHops := s.labels[p].Hops
+			if s.heavy[p] == v {
+				l.Hops = parentHops // heavy edge: no new hop; safe to share (append copies below)
+			} else {
+				hop := LightHop{
+					ParentIn: anc[p].In,
+					Port:     port(t.ParentEdge[v], p),
+				}
+				if gammaF > 0 {
+					hop.Gamma = s.gammaPortsAt(p, v)
+				}
+				l.Hops = make([]LightHop, len(parentHops)+1)
+				copy(l.Hops, parentHops)
+				l.Hops[len(parentHops)] = hop
+			}
+		}
+		s.labels[v] = l
+		if len(l.Hops) > s.maxHops {
+			s.maxHops = len(l.Hops)
+		}
+	}
+	return s, nil
+}
+
+// treeDegree returns deg(v, T): tree children plus the parent edge.
+func (s *Scheme) treeDegree(v int32) int {
+	d := len(s.tree.Children[v])
+	if s.tree.Parent[v] >= 0 {
+		d++
+	}
+	return d
+}
+
+// gammaBlock returns the Γ_T(e) member vertices for the tree edge from
+// parent u to child v (Claim 5.6): nil when deg(u,T) <= f+1 (then both
+// endpoints store the label), else v's block among u's ID-ordered children
+// — blocks of f+1, last block absorbing the remainder (f+1..2f+1 members).
+func (s *Scheme) gammaBlock(u, v int32) []int32 {
+	f := s.gammaF
+	if f <= 0 || s.treeDegree(u) <= f+1 {
+		return nil
+	}
+	kids := graph.SortedCopy(s.tree.Children[u])
+	idx := -1
+	for i, c := range kids {
+		if c == v {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("treeroute: %d is not a child of %d", v, u))
+	}
+	// Consecutive blocks of f+1; the last block absorbs the remainder, so
+	// block sizes are in [f+1, 2f+1] (paper's partition).
+	blockSize := f + 1
+	numBlocks := len(kids) / blockSize
+	if numBlocks == 0 {
+		numBlocks = 1
+	}
+	b := idx / blockSize
+	if b >= numBlocks {
+		b = numBlocks - 1
+	}
+	start := b * blockSize
+	end := start + blockSize
+	if b == numBlocks-1 {
+		end = len(kids)
+	}
+	return kids[start:end]
+}
+
+// gammaPortsAt returns the ports at u toward the Γ block members of the
+// edge (u, v).
+func (s *Scheme) gammaPortsAt(u, v int32) []int32 {
+	block := s.gammaBlock(u, v)
+	if block == nil {
+		return nil
+	}
+	ports := make([]int32, len(block))
+	for i, w := range block {
+		ports[i] = s.port(s.tree.ParentEdge[w], u)
+	}
+	return ports
+}
+
+// GammaVertices returns the vertices that store the routing label of tree
+// edge e under the Claim 5.6 placement: the two endpoints when the parent's
+// tree degree is small, otherwise the child's block.
+func (s *Scheme) GammaVertices(e graph.EdgeID) []int32 {
+	ge := s.tree.G.Edge(e)
+	var u, v int32 // parent, child
+	if s.tree.Parent[ge.V] == ge.U {
+		u, v = ge.U, ge.V
+	} else if s.tree.Parent[ge.U] == ge.V {
+		u, v = ge.V, ge.U
+	} else {
+		panic(fmt.Sprintf("treeroute: edge %d is not a tree edge", e))
+	}
+	if block := s.gammaBlock(u, v); block != nil {
+		return block
+	}
+	return []int32{u, v}
+}
+
+// Label returns L_T(v).
+func (s *Scheme) Label(v int32) Label { return s.labels[v] }
+
+// Table returns R_T(v).
+func (s *Scheme) Table(v int32) Table { return s.tables[v] }
+
+// MaxHops returns the maximum light depth over all labels.
+func (s *Scheme) MaxHops() int { return s.maxHops }
+
+// GammaF returns the fault parameter of the Γ augmentation (0 = disabled).
+func (s *Scheme) GammaF() int { return s.gammaF }
+
+// Hop is NextHop's result.
+type Hop struct {
+	Arrived bool
+	Port    int32
+	// Gamma are the ports (at the current vertex) of the Γ block members of
+	// the edge behind Port, when the label/table carries them.
+	Gamma []int32
+	// Up reports that the hop goes to the parent.
+	Up bool
+}
+
+// NextHop computes the next port on the tree path from the vertex owning
+// tab toward the vertex owning target (Fact 5.1: O(1) plus the O(log n)
+// scan of the target's light hops).
+func NextHop(tab Table, target Label) (Hop, error) {
+	switch {
+	case tab.Anc == target.Anc:
+		return Hop{Arrived: true}, nil
+	case !tab.Anc.IsAncestorOf(target.Anc):
+		if tab.ParentPort < 0 {
+			return Hop{}, fmt.Errorf("treeroute: target %v not under root table %v", target.Anc, tab.Anc)
+		}
+		return Hop{Port: tab.ParentPort, Up: true}, nil
+	case tab.HeavyAnc.Valid() && tab.HeavyAnc.IsAncestorOf(target.Anc):
+		return Hop{Port: tab.HeavyPort, Gamma: tab.GammaHeavy}, nil
+	default:
+		for _, h := range target.Hops {
+			if h.ParentIn == tab.Anc.In {
+				return Hop{Port: h.Port, Gamma: h.Gamma}, nil
+			}
+		}
+		return Hop{}, fmt.Errorf("treeroute: no light hop for current vertex (corrupt label?)")
+	}
+}
+
+// LabelBits returns the label size in bits under the paper's accounting:
+// interval + per-hop (parent id + port + Γ ports).
+func (l Label) BitLen(n int) int {
+	bits := ancestry.BitLen(n)
+	for _, h := range l.Hops {
+		bits += 32 + 16 + 16*len(h.Gamma)
+	}
+	return bits
+}
+
+// BitLen returns the table size in bits.
+func (t Table) BitLen(n int) int {
+	return ancestry.BitLen(n)*2 + 2*16 + 16*len(t.GammaHeavy)
+}

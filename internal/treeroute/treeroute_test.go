@@ -1,0 +1,314 @@
+package treeroute
+
+import (
+	"testing"
+
+	"ftrouting/internal/ancestry"
+	"ftrouting/internal/graph"
+	"ftrouting/internal/xrand"
+)
+
+// buildFor constructs a scheme over the BFS tree of g rooted at root.
+func buildFor(t testing.TB, g *graph.Graph, root int32, gammaF int) (*Scheme, *graph.Tree) {
+	t.Helper()
+	tree := graph.BFSTree(g, root, nil)
+	anc := ancestry.Build(tree)
+	s, err := Build(tree, anc, nil, gammaF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tree
+}
+
+// walk routes from src to dst using only tables, labels and ports,
+// returning the vertex sequence.
+func walk(t *testing.T, g *graph.Graph, s *Scheme, src, dst int32) []int32 {
+	t.Helper()
+	target := s.Label(dst)
+	cur := src
+	path := []int32{src}
+	for steps := 0; steps < g.N()+5; steps++ {
+		hop, err := NextHop(s.Table(cur), target)
+		if err != nil {
+			t.Fatalf("NextHop at %d: %v", cur, err)
+		}
+		if hop.Arrived {
+			return path
+		}
+		a := g.ArcAt(cur, hop.Port)
+		cur = a.To
+		path = append(path, cur)
+	}
+	t.Fatalf("routing %d -> %d did not terminate: %v", src, dst, path)
+	return nil
+}
+
+func TestRoutingFollowsTreePath(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := graph.RandomConnected(50, 60, seed)
+		s, tree := buildFor(t, g, 0, 0)
+		rng := xrand.NewSplitMix64(seed)
+		for q := 0; q < 40; q++ {
+			src, dst := int32(rng.Intn(50)), int32(rng.Intn(50))
+			got := walk(t, g, s, src, dst)
+			want := tree.PathTo(src, dst)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: path %v, want %v", seed, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d: path %v, want %v", seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutingOnPathAndStar(t *testing.T) {
+	p := graph.Path(30)
+	s, _ := buildFor(t, p, 0, 0)
+	if got := walk(t, p, s, 29, 3); len(got) != 27 {
+		t.Fatalf("path walk length %d, want 27", len(got))
+	}
+	st := graph.Star(20)
+	s2, _ := buildFor(t, st, 0, 0)
+	if got := walk(t, st, s2, 5, 17); len(got) != 3 {
+		t.Fatalf("star walk %v, want via center", got)
+	}
+}
+
+func TestLightDepthLogarithmic(t *testing.T) {
+	// Heavy-light: max light hops <= log2(n).
+	for seed := uint64(0); seed < 5; seed++ {
+		g := graph.RandomTree(1000, seed)
+		s, _ := buildFor(t, g, 0, 0)
+		if s.MaxHops() > 10 { // log2(1000) ~ 10
+			t.Fatalf("seed %d: light depth %d > log2(n)", seed, s.MaxHops())
+		}
+	}
+}
+
+func TestGammaBlocks(t *testing.T) {
+	// Star with 10 leaves, f=2: children of center are split into blocks of
+	// 3, last block absorbing the remainder (block sizes in [3,5]).
+	g := graph.Star(11)
+	s, tree := buildFor(t, g, 0, 2)
+	seenSizes := map[int]int{}
+	for leaf := int32(1); leaf <= 10; leaf++ {
+		e := tree.ParentEdge[leaf]
+		block := s.GammaVertices(e)
+		if len(block) < 3 || len(block) > 5 {
+			t.Fatalf("leaf %d: block size %d outside [3,5]", leaf, len(block))
+		}
+		// The child itself must be in its block (paper: v in Gamma_T(e)).
+		found := false
+		for _, w := range block {
+			if w == leaf {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("leaf %d missing from its own block", leaf)
+		}
+		seenSizes[len(block)]++
+	}
+	if len(seenSizes) == 0 {
+		t.Fatal("no blocks formed")
+	}
+}
+
+func TestGammaSmallDegreeUsesEndpoints(t *testing.T) {
+	// Path tree: every vertex has tree degree <= 2 <= f+1, so Γ = endpoints.
+	g := graph.Path(6)
+	s, tree := buildFor(t, g, 0, 3)
+	for v := int32(1); v < 6; v++ {
+		e := tree.ParentEdge[v]
+		got := s.GammaVertices(e)
+		if len(got) != 2 {
+			t.Fatalf("edge above %d: gamma %v, want the two endpoints", v, got)
+		}
+	}
+}
+
+func TestGammaStorageBoundPerVertex(t *testing.T) {
+	// Claim 5.7: each vertex stores O(f) edge labels per tree. Count, for
+	// every vertex, the edges whose Γ set contains it.
+	for seed := uint64(0); seed < 4; seed++ {
+		g := graph.RandomTree(300, seed)
+		f := 2
+		s, tree := buildFor(t, g, 0, f)
+		stores := make([]int, g.N())
+		for e := graph.EdgeID(0); int(e) < g.M(); e++ {
+			if !tree.InTree[e] {
+				continue
+			}
+			for _, w := range s.GammaVertices(e) {
+				stores[w]++
+			}
+		}
+		bound := 2*(2*f+1) + (f + 1) + 2 // own block + parent small-deg + own child edges
+		for v, c := range stores {
+			if c > bound {
+				t.Fatalf("seed %d: vertex %d stores %d labels, bound %d", seed, v, c, bound)
+			}
+		}
+	}
+}
+
+func TestNextHopGammaExposedOnLightAndHeavy(t *testing.T) {
+	// Build a tree where the root has many children (light edges from root)
+	// and check that NextHop exposes Γ ports when routing into them.
+	g := graph.Star(12)
+	s, _ := buildFor(t, g, 0, 2)
+	target := s.Label(7)
+	hop, err := NextHop(s.Table(0), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hop.Arrived || hop.Up {
+		t.Fatal("hop from root into child must go down")
+	}
+	if len(hop.Gamma) < 3 {
+		t.Fatalf("expected gamma ports on down hop, got %v", hop.Gamma)
+	}
+	// The gamma ports must be real ports of the root pointing at block
+	// members.
+	for _, p := range hop.Gamma {
+		a := g.ArcAt(0, p)
+		if a.To == 0 {
+			t.Fatal("gamma port loops back")
+		}
+	}
+}
+
+func TestNextHopErrors(t *testing.T) {
+	g := graph.Path(4)
+	s, _ := buildFor(t, g, 0, 0)
+	// A foreign label (invalid interval outside the tree) routed from the
+	// root must error rather than loop.
+	if _, err := NextHop(s.Table(0), Label{Anc: ancestry.Label{In: 9999, Out: 10000}}); err == nil {
+		t.Fatal("foreign target accepted at root")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, gammaF := range []int{0, 1, 3} {
+		g := graph.RandomConnected(80, 40, 7)
+		s, _ := buildFor(t, g, 0, gammaF)
+		c := s.NewCodec()
+		for v := int32(0); v < 80; v++ {
+			enc, err := c.Encode(s.Label(v))
+			if err != nil {
+				t.Fatalf("gammaF=%d v=%d: %v", gammaF, v, err)
+			}
+			if len(enc) != c.Words() {
+				t.Fatalf("encoded width %d != %d", len(enc), c.Words())
+			}
+			dec, err := c.Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Anc != s.Label(v).Anc || len(dec.Hops) != len(s.Label(v).Hops) {
+				t.Fatalf("gammaF=%d v=%d: round trip mismatch", gammaF, v)
+			}
+			for i, h := range s.Label(v).Hops {
+				d := dec.Hops[i]
+				if d.ParentIn != h.ParentIn || d.Port != h.Port || len(d.Gamma) != len(h.Gamma) {
+					t.Fatalf("hop %d mismatch: %+v vs %+v", i, d, h)
+				}
+				for j := range h.Gamma {
+					if d.Gamma[j] != h.Gamma[j] {
+						t.Fatalf("gamma %d mismatch", j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCodecRejects(t *testing.T) {
+	c := Codec{MaxHops: 1, GammaF: 1}
+	if _, err := c.Encode(Label{Hops: make([]LightHop, 5)}); err == nil {
+		t.Fatal("too many hops accepted")
+	}
+	if _, err := c.Encode(Label{Hops: []LightHop{{Port: 1 << 20}}}); err == nil {
+		t.Fatal("oversized port accepted")
+	}
+	if _, err := c.Decode(make([]uint64, 1)); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestRoutingViaDecodedLabels(t *testing.T) {
+	// Routing must work with labels that went through the codec (as they do
+	// when travelling inside extended identifiers).
+	g := graph.RandomConnected(40, 50, 3)
+	s, tree := buildFor(t, g, 0, 2)
+	c := s.NewCodec()
+	rng := xrand.NewSplitMix64(1)
+	for q := 0; q < 30; q++ {
+		src, dst := int32(rng.Intn(40)), int32(rng.Intn(40))
+		enc, err := c.Encode(s.Label(dst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := src
+		want := tree.PathTo(src, dst)
+		for i := 1; i < len(want); i++ {
+			hop, err := NextHop(s.Table(cur), dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hop.Arrived {
+				t.Fatalf("arrived early at %d", cur)
+			}
+			cur = g.ArcAt(cur, hop.Port).To
+			if cur != want[i] {
+				t.Fatalf("digressed to %d, want %d", cur, want[i])
+			}
+		}
+		if hop, _ := NextHop(s.Table(cur), dec); !hop.Arrived {
+			t.Fatal("did not arrive")
+		}
+	}
+}
+
+func TestLabelTableBits(t *testing.T) {
+	g := graph.RandomTree(500, 2)
+	s, _ := buildFor(t, g, 0, 2)
+	maxLabel := 0
+	for v := int32(0); v < 500; v++ {
+		if b := s.Label(v).BitLen(500); b > maxLabel {
+			maxLabel = b
+		}
+		if s.Table(v).BitLen(500) <= 0 {
+			t.Fatal("table bits")
+		}
+	}
+	// O(f log^2 n): generous cap to catch regressions to linear size.
+	if maxLabel > 64*64 {
+		t.Fatalf("label bits %d suspiciously large", maxLabel)
+	}
+}
+
+func BenchmarkNextHop(b *testing.B) {
+	g := graph.RandomTree(10000, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	anc := ancestry.Build(tree)
+	s, err := Build(tree, anc, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := s.Label(9999)
+	tab := s.Table(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NextHop(tab, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package unionfind provides a disjoint-set forest with union by rank and
+// path compression. The decoder of Section 3.2.2 uses it to merge
+// components during the Boruvka simulation (Claim 3.16).
+package unionfind
+
+// UF is a disjoint-set forest over elements 0..n-1.
+type UF struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UF {
+	u := &UF{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UF) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and reports whether a merge happened
+// (false if they were already in the same set). The returned root is the
+// representative of the merged set.
+func (u *UF) Union(a, b int32) (root int32, merged bool) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra, false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return ra, true
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UF) Same(a, b int32) bool { return u.Find(a) == u.Find(b) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// Len returns the number of elements.
+func (u *UF) Len() int { return len(u.parent) }

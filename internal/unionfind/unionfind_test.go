@@ -1,0 +1,94 @@
+package unionfind
+
+import (
+	"testing"
+
+	"ftrouting/internal/xrand"
+)
+
+func TestSingletons(t *testing.T) {
+	u := New(5)
+	if u.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", u.Sets())
+	}
+	for i := int32(0); i < 5; i++ {
+		if u.Find(i) != i {
+			t.Fatalf("Find(%d) = %d", i, u.Find(i))
+		}
+	}
+	if u.Same(0, 1) {
+		t.Fatal("fresh elements must be disjoint")
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	u := New(6)
+	if _, merged := u.Union(0, 1); !merged {
+		t.Fatal("expected merge")
+	}
+	if _, merged := u.Union(0, 1); merged {
+		t.Fatal("expected no merge on repeat")
+	}
+	u.Union(2, 3)
+	u.Union(1, 3)
+	if !u.Same(0, 2) {
+		t.Fatal("0 and 2 should be connected")
+	}
+	if u.Same(0, 4) {
+		t.Fatal("0 and 4 should be disjoint")
+	}
+	if u.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", u.Sets())
+	}
+	if u.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", u.Len())
+	}
+}
+
+// TestAgainstNaive cross-checks against an O(n) label-propagation model on
+// random operation sequences.
+func TestAgainstNaive(t *testing.T) {
+	rng := xrand.NewSplitMix64(17)
+	const n = 60
+	for trial := 0; trial < 30; trial++ {
+		u := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for op := 0; op < 150; op++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				u.Union(a, b)
+				if label[a] != label[b] {
+					relabel(label[a], label[b])
+				}
+			} else if got, want := u.Same(a, b), label[a] == label[b]; got != want {
+				t.Fatalf("trial %d op %d: Same(%d,%d)=%v, naive %v", trial, op, a, b, got, want)
+			}
+		}
+		// Final set count must agree.
+		distinct := make(map[int]bool)
+		for _, l := range label {
+			distinct[l] = true
+		}
+		if u.Sets() != len(distinct) {
+			t.Fatalf("Sets = %d, naive %d", u.Sets(), len(distinct))
+		}
+	}
+}
+
+func TestUnionReturnsRoot(t *testing.T) {
+	u := New(4)
+	root, _ := u.Union(0, 1)
+	if u.Find(0) != root || u.Find(1) != root {
+		t.Fatal("returned root is not the representative")
+	}
+}
