@@ -1,0 +1,29 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml so local and CI
+# invocations stay in sync.
+
+GO ?= go
+
+.PHONY: all build test race bench lint
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi

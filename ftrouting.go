@@ -21,6 +21,15 @@
 // and are fully deterministic for a fixed seed. Graphs may be weighted
 // (positive integer weights) and disconnected (schemes are applied per
 // component, as in the paper).
+//
+// Preprocessing is parallel: construction fans out across connected
+// components, tree-cover scales and clusters, sketch copies, and vertices
+// on a bounded worker pool (package internal/parallel). The Parallelism
+// field on ConnOptions and RouterOptions (and on the internal distlabel
+// and route Options) selects the worker count — 0 uses GOMAXPROCS, 1
+// restores sequential construction. All randomness is derived from the
+// seed and the item's index, never from execution order, so equal seeds
+// produce bit-identical labels, tables, and routes at any parallelism.
 package ftrouting
 
 import (
@@ -29,6 +38,7 @@ import (
 	"ftrouting/internal/core"
 	"ftrouting/internal/distlabel"
 	"ftrouting/internal/graph"
+	"ftrouting/internal/parallel"
 	"ftrouting/internal/route"
 	"ftrouting/internal/xrand"
 )
@@ -139,6 +149,10 @@ type ConnOptions struct {
 	MaxFaults int
 	// Seed drives all randomness; equal seeds give identical labelings.
 	Seed uint64
+	// Parallelism bounds the worker goroutines used during construction:
+	// 0 uses GOMAXPROCS, 1 builds sequentially. Labels are bit-identical
+	// at any parallelism for a fixed seed.
+	Parallelism int
 }
 
 // ConnLabels is an f-FT connectivity labeling of a graph. Labels are
@@ -192,30 +206,38 @@ func BuildConnectivityLabels(g *Graph, opts ConnOptions) (*ConnLabels, error) {
 	for v := int32(0); v < int32(g.N()); v++ {
 		members[comp[v]] = append(members[comp[v]], v)
 	}
-	for ci := 0; ci < count; ci++ {
+	// Components are independent instances (Section 3 tags labels with a
+	// component id), so their schemes build concurrently; each derives its
+	// randomness from the component index.
+	c.subs = make([]*graph.Subgraph, count)
+	c.cuts = make([]*core.CutScheme, count)
+	c.sketches = make([]*core.SketchScheme, count)
+	err := parallel.ForEach(opts.Parallelism, count, func(ci int) error {
 		sub, err := graph.Induced(g, members[ci], graph.Inf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tree := graph.BFSTree(sub.Local, 0, nil)
 		seed := xrand.DeriveSeed(opts.Seed, uint64(ci))
-		c.subs = append(c.subs, sub)
+		c.subs[ci] = sub
 		switch opts.Scheme {
 		case CutBased:
 			s, err := core.BuildCut(sub.Local, tree, core.CutOptions{MaxFaults: opts.MaxFaults, Seed: seed})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			c.cuts = append(c.cuts, s)
-			c.sketches = append(c.sketches, nil)
+			c.cuts[ci] = s
 		case SketchBased:
 			s, err := core.BuildSketch(sub.Local, tree, core.SketchOptions{Seed: seed})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			c.sketches = append(c.sketches, s)
-			c.cuts = append(c.cuts, nil)
+			c.sketches[ci] = s
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -354,6 +376,10 @@ type RouterOptions struct {
 	// Balanced enables the Γ-load-balanced tables of Claim 5.7, bounding
 	// every individual table by Õ(f^3 n^{1/k}) bits.
 	Balanced bool
+	// Parallelism bounds the worker goroutines used during preprocessing:
+	// 0 uses GOMAXPROCS, 1 builds sequentially. Tables and labels are
+	// bit-identical at any parallelism for a fixed seed.
+	Parallelism int
 }
 
 // RouteResult reports one routing simulation (cost, optimum, stretch,
@@ -362,7 +388,7 @@ type RouteResult = route.Result
 
 // NewRouter preprocesses g for fault bound f and stretch parameter k.
 func NewRouter(g *Graph, f, k int, opts RouterOptions) (*Router, error) {
-	inner, err := route.Build(g, f, k, route.Options{Seed: opts.Seed, Balanced: opts.Balanced})
+	inner, err := route.Build(g, f, k, route.Options{Seed: opts.Seed, Balanced: opts.Balanced, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}

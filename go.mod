@@ -1,0 +1,3 @@
+module ftrouting
+
+go 1.22

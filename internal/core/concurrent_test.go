@@ -62,3 +62,91 @@ func TestConcurrentDecodes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConcurrentBuilds stress-tests parallel construction itself (run
+// with -race): many goroutines each build multi-copy schemes with an
+// internal worker fan-out, then immediately decode against them, while
+// other goroutines build against the same shared input graph.
+func TestConcurrentBuilds(t *testing.T) {
+	g := graph.RandomConnected(80, 140, 3)
+	tree := graph.BFSTree(g, 0, nil)
+	const builders = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, builders)
+	for w := 0; w < builders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				s, err := BuildSketch(g, tree, SketchOptions{
+					Seed:        uint64(w),
+					Copies:      3,
+					Parallelism: 1 + round, // mix sequential and parallel builds
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				faults := graph.RandomFaults(g, 3, uint64(w*10+round))
+				labels := make([]SketchEdgeLabel, len(faults))
+				for i, id := range faults {
+					labels[i] = s.EdgeLabel(id)
+				}
+				src, dst := int32(w), int32(79-w)
+				want := graph.SameComponent(g, src, dst, graph.SkipSet(graph.NewEdgeSet(faults...)))
+				v, err := s.Decode(s.VertexLabel(src), s.VertexLabel(dst), labels, round%3, false)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.Connected != want {
+					t.Errorf("worker %d round %d: decode wrong", w, round)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildSketchBitIdenticalAcrossParallelism checks the engine copies
+// land in the same slots with the same randomness regardless of how many
+// workers built them: edge labels and per-copy subtree sketches match.
+func TestBuildSketchBitIdenticalAcrossParallelism(t *testing.T) {
+	g := graph.RandomConnected(50, 90, 17)
+	tree := graph.BFSTree(g, 0, nil)
+	seq, err := BuildSketch(g, tree, SketchOptions{Seed: 5, Copies: 4, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildSketch(g, tree, SketchOptions{Seed: 5, Copies: 4, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := graph.EdgeID(0); int(id) < g.M(); id++ {
+		la, lb := seq.EdgeLabel(id), par.EdgeLabel(id)
+		if la.IsTree != lb.IsTree || la.BitLen() != lb.BitLen() {
+			t.Fatalf("edge %d: label shape differs", id)
+		}
+		for w := range la.EID {
+			if la.EID[w] != lb.EID[w] {
+				t.Fatalf("edge %d: EID word %d differs", id, w)
+			}
+		}
+		if !la.IsTree {
+			continue
+		}
+		for c := 0; c < seq.Copies(); c++ {
+			sa, sb := la.ChildSubtreeSketch(c), lb.ChildSubtreeSketch(c)
+			for w := range sa {
+				if sa[w] != sb[w] {
+					t.Fatalf("edge %d copy %d: sketch word %d differs", id, c, w)
+				}
+			}
+		}
+	}
+}

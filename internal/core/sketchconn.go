@@ -8,6 +8,7 @@ import (
 	"ftrouting/internal/comptree"
 	"ftrouting/internal/eid"
 	"ftrouting/internal/graph"
+	"ftrouting/internal/parallel"
 	"ftrouting/internal/sketch"
 	"ftrouting/internal/unionfind"
 	"ftrouting/internal/xrand"
@@ -33,6 +34,11 @@ type SketchOptions struct {
 	ExtraOf func(v int32) []uint64
 	// ExtraWords is the fixed width of the ExtraOf payload.
 	ExtraWords int
+	// Parallelism bounds the worker goroutines used to build the f'
+	// sketch engine copies: 0 uses GOMAXPROCS, 1 builds sequentially.
+	// Seeds are derived per copy index, so the labeling is bit-identical
+	// at any parallelism.
+	Parallelism int
 }
 
 // SketchScheme holds the sketch-based FT connectivity labeling of one
@@ -107,14 +113,21 @@ func BuildSketch(g *graph.Graph, tree *graph.Tree, opts SketchOptions) (*SketchS
 		}
 		return memo[id]
 	}
+	// The f' copies differ only in their per-copy unit seed, so they can
+	// be built concurrently; each engine derives its sampling hashes and
+	// UID cache independently (levels within a copy share nothing).
 	s.engines = make([]*sketch.Engine, opts.Copies)
-	for c := range s.engines {
+	err = parallel.ForEach(opts.Parallelism, opts.Copies, func(c int) error {
 		eng, err := sketch.NewEngine(g, layout, opts.Params, s.seedID,
 			xrand.DeriveSeed(opts.Seed, 0x5E, uint64(c)), encMemo)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.engines[c] = eng
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"ftrouting/internal/core"
 	"ftrouting/internal/graph"
+	"ftrouting/internal/parallel"
 	"ftrouting/internal/sketch"
 	"ftrouting/internal/treecover"
 	"ftrouting/internal/xrand"
@@ -31,6 +32,11 @@ type Options struct {
 	Seed uint64
 	// Params overrides per-instance sketch sizing (zero = automatic).
 	Params sketch.Params
+	// Parallelism bounds the worker goroutines used to build the
+	// per-(scale, cluster) connectivity instances: 0 uses GOMAXPROCS, 1
+	// builds sequentially. Instance seeds are derived from (scale,
+	// cluster), so labels are bit-identical at any parallelism.
+	Parallelism int
 }
 
 // Instance is one (scale, cluster) connectivity labeling.
@@ -58,19 +64,35 @@ func Build(g *graph.Graph, f, k int, opts Options) (*Scheme, error) {
 		return nil, err
 	}
 	s := &Scheme{g: g, f: f, k: k, hier: hier}
+	// Instances are independent across scales and clusters; flatten the
+	// (scale, cluster) grid so large clusters of one scale do not
+	// serialize behind another scale's row. Each instance's seed depends
+	// only on its (i, j) coordinates, never on build order.
+	type coord struct {
+		i, j int
+	}
+	var coords []coord
 	for i, cover := range hier.Scales {
-		row := make([]*Instance, len(cover.Clusters))
-		for j, cl := range cover.Clusters {
-			conn, err := core.BuildSketch(cl.Sub.Local, cl.Tree, core.SketchOptions{
-				Seed:   xrand.DeriveSeed(opts.Seed, uint64(i), uint64(j)),
-				Params: opts.Params,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("distlabel: instance (%d,%d): %w", i, j, err)
-			}
-			row[j] = &Instance{Scale: i, Cluster: cl, Conn: conn}
+		s.inst = append(s.inst, make([]*Instance, len(cover.Clusters)))
+		for j := range cover.Clusters {
+			coords = append(coords, coord{i, j})
 		}
-		s.inst = append(s.inst, row)
+	}
+	err = parallel.ForEach(opts.Parallelism, len(coords), func(idx int) error {
+		i, j := coords[idx].i, coords[idx].j
+		cl := hier.Scales[i].Clusters[j]
+		conn, err := core.BuildSketch(cl.Sub.Local, cl.Tree, core.SketchOptions{
+			Seed:   xrand.DeriveSeed(opts.Seed, uint64(i), uint64(j)),
+			Params: opts.Params,
+		})
+		if err != nil {
+			return fmt.Errorf("distlabel: instance (%d,%d): %w", i, j, err)
+		}
+		s.inst[i][j] = &Instance{Scale: i, Cluster: cl, Conn: conn}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }

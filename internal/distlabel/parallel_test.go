@@ -1,0 +1,77 @@
+package distlabel
+
+import (
+	"reflect"
+	"testing"
+
+	"ftrouting/internal/graph"
+)
+
+// TestBuildBitIdenticalAcrossParallelism: the per-instance seeds are keyed
+// by (scale, cluster), so the full label bundle of every vertex and edge
+// must be identical whether instances were built by 1 worker or many.
+func TestBuildBitIdenticalAcrossParallelism(t *testing.T) {
+	g := graph.WithRandomWeights(graph.RandomConnected(60, 110, 9), 3, 4)
+	seq, err := Build(g, 2, 2, Options{Seed: 21, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 8} {
+		par, err := Build(g, 2, 2, Options{Seed: 21, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Scales() != par.Scales() {
+			t.Fatalf("p=%d: scale count %d vs %d", p, seq.Scales(), par.Scales())
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			if !reflect.DeepEqual(seq.VertexLabel(v), par.VertexLabel(v)) {
+				t.Fatalf("p=%d: vertex %d label differs", p, v)
+			}
+			if a, b := seq.VertexLabelBits(v), par.VertexLabelBits(v); a != b {
+				t.Fatalf("p=%d: vertex %d label bits %d vs %d", p, v, a, b)
+			}
+		}
+		for e := graph.EdgeID(0); int(e) < g.M(); e++ {
+			la, lb := seq.EdgeLabel(e), par.EdgeLabel(e)
+			if len(la.Entries) != len(lb.Entries) {
+				t.Fatalf("p=%d: edge %d entry count differs", p, e)
+			}
+			for i := range la.Entries {
+				a, b := la.Entries[i], lb.Entries[i]
+				// Sketch edge labels carry a flyweight scheme pointer;
+				// compare coordinates and serialized identifier bits.
+				if a.Scale != b.Scale || a.Cluster != b.Cluster ||
+					a.L.IsTree != b.L.IsTree || !reflect.DeepEqual(a.L.EID, b.L.EID) {
+					t.Fatalf("p=%d: edge %d entry %d differs", p, e, i)
+				}
+			}
+			if a, b := seq.EdgeLabelBits(e), par.EdgeLabelBits(e); a != b {
+				t.Fatalf("p=%d: edge %d label bits %d vs %d", p, e, a, b)
+			}
+		}
+		// Decoded estimates must agree query for query.
+		for i := 0; i < 40; i++ {
+			s := int32((i * 11) % g.N())
+			d := int32((i*31 + 2) % g.N())
+			faults := graph.RandomFaults(g, i%3, uint64(i))
+			fa := make([]EdgeLabel, len(faults))
+			fb := make([]EdgeLabel, len(faults))
+			for j, id := range faults {
+				fa[j] = seq.EdgeLabel(id)
+				fb[j] = par.EdgeLabel(id)
+			}
+			ea, err := seq.Decode(seq.VertexLabel(s), seq.VertexLabel(d), fa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eb, err := par.Decode(par.VertexLabel(s), par.VertexLabel(d), fb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ea != eb {
+				t.Fatalf("p=%d: query %d estimate %d vs %d", p, i, ea, eb)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package parallel is the shared concurrency substrate for label
+// construction. Every build path in the repository (connectivity schemes
+// per component, distance/routing instances per tree-cover scale and
+// cluster, sketch engines per copy, per-vertex label and table assembly)
+// has embarrassingly parallel structure: the work items are independent
+// and their randomness is derived up front from the master seed via
+// xrand.DeriveSeed keyed by the item's index. This package provides the
+// bounded worker pool those paths share.
+//
+// Determinism contract: callers must derive all per-item randomness from
+// the item index before or inside the item function, never from execution
+// order. Under that discipline, ForEach and Map produce results that are
+// bit-identical at any parallelism level, and the error returned is the
+// one of the lowest-indexed failing item regardless of scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a Parallelism option value to a worker count:
+// values <= 0 select runtime.GOMAXPROCS(0) (use every available core),
+// 1 selects sequential execution, and larger values are used as given.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// ForEach runs fn(i) for every i in [0, n), using at most
+// Workers(parallelism) concurrent goroutines. All items run even if some
+// fail (builds validate inputs up front, so item errors are exceptional);
+// the returned error is the lowest-indexed one, which makes the result
+// independent of goroutine scheduling.
+func ForEach(parallelism, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) under the same pool and error
+// discipline as ForEach and returns the results in index order.
+func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(parallelism, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Group is an error-collecting task group with bounded concurrency, for
+// build phases whose tasks are heterogeneous rather than indexed. The
+// zero value is not usable; construct with NewGroup.
+type Group struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	seq int // submission index of the next Go call
+	// firstSeq/firstErr track the error of the earliest submitted failing
+	// task, mirroring the lowest-index rule of ForEach.
+	firstSeq int
+	firstErr error
+}
+
+// NewGroup returns a group running at most Workers(parallelism) tasks
+// concurrently.
+func NewGroup(parallelism int) *Group {
+	return &Group{sem: make(chan struct{}, Workers(parallelism)), firstSeq: -1}
+}
+
+// Go submits a task. It blocks while the pool is saturated, so a
+// submitting loop cannot race ahead of the workers unboundedly.
+func (g *Group) Go(fn func() error) {
+	g.mu.Lock()
+	seq := g.seq
+	g.seq++
+	g.mu.Unlock()
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.firstSeq < 0 || seq < g.firstSeq {
+				g.firstSeq, g.firstErr = seq, err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every submitted task has finished and returns the
+// error of the earliest submitted failing task, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstErr
+}

@@ -24,6 +24,7 @@ import (
 	"ftrouting/internal/ancestry"
 	"ftrouting/internal/core"
 	"ftrouting/internal/graph"
+	"ftrouting/internal/parallel"
 	"ftrouting/internal/sketch"
 	"ftrouting/internal/treecover"
 	"ftrouting/internal/treeroute"
@@ -37,6 +38,12 @@ type Options struct {
 	Params sketch.Params
 	// Balanced enables the Γ-load-balanced tables of Claim 5.6/5.7.
 	Balanced bool
+	// Parallelism bounds the worker goroutines used during preprocessing
+	// (per-instance builds, per-vertex label encoding, table accounting):
+	// 0 uses GOMAXPROCS, 1 builds sequentially. Instance seeds are
+	// derived from (scale, cluster), so the preprocessed scheme is
+	// bit-identical at any parallelism.
+	Parallelism int
 }
 
 // Instance couples one tree-cover cluster with its tree-routing scheme and
@@ -75,21 +82,54 @@ func Build(g *graph.Graph, f, k int, opts Options) (*Router, error) {
 	if opts.Balanced {
 		gammaF = f
 	}
+	// Instances are independent across scales and clusters; flatten the
+	// (scale, cluster) grid so one scale's large clusters do not
+	// serialize behind another's. Seeds depend only on (scale, cluster).
+	type coord struct {
+		i, j int
+	}
+	var coords []coord
 	for i, cover := range hier.Scales {
-		row := make([]*Instance, len(cover.Clusters))
-		for j, cl := range cover.Clusters {
-			inst, err := buildInstance(g, i, int32(j), cl, f, gammaF, opts)
-			if err != nil {
-				return nil, fmt.Errorf("route: instance (%d,%d): %w", i, j, err)
-			}
-			row[j] = inst
+		r.inst = append(r.inst, make([]*Instance, len(cover.Clusters)))
+		for j := range cover.Clusters {
+			coords = append(coords, coord{i, j})
 		}
-		r.inst = append(r.inst, row)
+	}
+	// Split the worker budget between the instance fan-out and the
+	// per-vertex fan-out inside each instance so the total stays within
+	// Workers(Parallelism): outer instances run concurrently, and each
+	// gets budget/outer workers for its inner loops.
+	budget := parallel.Workers(opts.Parallelism)
+	outer := budget
+	if outer > len(coords) {
+		outer = len(coords)
+	}
+	inner := 1
+	if outer > 0 {
+		inner = budget / outer
+	}
+	if inner < 1 {
+		inner = 1
+	}
+	err = parallel.ForEach(outer, len(coords), func(idx int) error {
+		i, j := coords[idx].i, coords[idx].j
+		inst, err := buildInstance(g, i, int32(j), hier.Scales[i].Clusters[j], f, gammaF, inner, opts)
+		if err != nil {
+			return fmt.Errorf("route: instance (%d,%d): %w", i, j, err)
+		}
+		r.inst[i][j] = inst
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
 
-func buildInstance(g *graph.Graph, scale int, idx int32, cl *treecover.Cluster, f, gammaF int, opts Options) (*Instance, error) {
+// buildInstance builds one (scale, cluster) instance; parallelism bounds
+// the workers of its per-vertex and per-copy inner loops (the caller has
+// already divided the global budget across concurrent instance builds).
+func buildInstance(g *graph.Graph, scale int, idx int32, cl *treecover.Cluster, f, gammaF, parallelism int, opts Options) (*Instance, error) {
 	// Ancestry labels must agree between tree routing and the connectivity
 	// scheme; ancestry.Build is deterministic on the tree, so building
 	// twice yields identical labels (asserted in tests).
@@ -101,22 +141,23 @@ func buildInstance(g *graph.Graph, scale int, idx int32, cl *treecover.Cluster, 
 	}
 	codec := tr.NewCodec()
 	// Pre-encode every vertex's tree-routing label; Encode validates port
-	// widths, so errors surface at preprocessing time.
-	encoded := make([][]uint64, cl.Sub.Local.N())
-	for v := int32(0); v < int32(cl.Sub.Local.N()); v++ {
-		enc, err := codec.Encode(tr.Label(v))
-		if err != nil {
-			return nil, err
-		}
-		encoded[v] = enc
+	// widths, so errors surface at preprocessing time. Encoding is pure
+	// per vertex, so the assembly fans out across vertices on this
+	// instance's share of the worker budget.
+	encoded, err := parallel.Map(parallelism, cl.Sub.Local.N(), func(v int) ([]uint64, error) {
+		return codec.Encode(tr.Label(int32(v)))
+	})
+	if err != nil {
+		return nil, err
 	}
 	conn, err := core.BuildSketch(cl.Sub.Local, cl.Tree, core.SketchOptions{
-		Copies:     f + 1,
-		Seed:       xrand.DeriveSeed(opts.Seed, 0x70, uint64(scale), uint64(idx)),
-		Params:     opts.Params,
-		PortOf:     portOf,
-		ExtraOf:    func(v int32) []uint64 { return encoded[v] },
-		ExtraWords: codec.Words(),
+		Copies:      f + 1,
+		Seed:        xrand.DeriveSeed(opts.Seed, 0x70, uint64(scale), uint64(idx)),
+		Params:      opts.Params,
+		PortOf:      portOf,
+		ExtraOf:     func(v int32) []uint64 { return encoded[v] },
+		ExtraWords:  codec.Words(),
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -236,11 +277,21 @@ func (r *Router) TableBits(v int32) int {
 	return bits
 }
 
+// tableBitsPerVertex computes TableBits for every vertex concurrently
+// (the accounting walks every instance containing the vertex, which makes
+// the whole-graph aggregates below quadratic-ish and worth fanning out).
+func (r *Router) tableBitsPerVertex() []int {
+	bits, _ := parallel.Map(r.opts.Parallelism, r.g.N(), func(v int) (int, error) {
+		return r.TableBits(int32(v)), nil
+	})
+	return bits
+}
+
 // MaxTableBits returns the largest per-vertex table.
 func (r *Router) MaxTableBits() int {
 	max := 0
-	for v := int32(0); v < int32(r.g.N()); v++ {
-		if b := r.TableBits(v); b > max {
+	for _, b := range r.tableBitsPerVertex() {
+		if b > max {
 			max = b
 		}
 	}
@@ -250,8 +301,8 @@ func (r *Router) MaxTableBits() int {
 // TotalTableBits returns the global space (Theorem 5.5's Õ(f n^{1+1/k})).
 func (r *Router) TotalTableBits() int64 {
 	var total int64
-	for v := int32(0); v < int32(r.g.N()); v++ {
-		total += int64(r.TableBits(v))
+	for _, b := range r.tableBitsPerVertex() {
+		total += int64(b)
 	}
 	return total
 }

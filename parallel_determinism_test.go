@@ -1,0 +1,205 @@
+package ftrouting
+
+import (
+	"reflect"
+	"testing"
+)
+
+// multiComponentGraph returns a deterministic graph with several
+// components of different shapes, so the per-component parallel fan-out
+// of BuildConnectivityLabels actually has work to distribute.
+func multiComponentGraph() *Graph {
+	g := NewGraph(100)
+	// Component 0: path on 0..29.
+	for v := int32(0); v < 29; v++ {
+		g.MustAddEdge(v, v+1, 1)
+	}
+	// Component 1: cycle on 30..59.
+	for v := int32(30); v < 59; v++ {
+		g.MustAddEdge(v, v+1, 1)
+	}
+	g.MustAddEdge(59, 30, 1)
+	// Component 2: grid-ish mesh on 60..95 (6x6).
+	for r := int32(0); r < 6; r++ {
+		for c := int32(0); c < 6; c++ {
+			v := 60 + r*6 + c
+			if c < 5 {
+				g.MustAddEdge(v, v+1, 1)
+			}
+			if r < 5 {
+				g.MustAddEdge(v, v+6, 1)
+			}
+		}
+	}
+	// Components 3..6: isolated vertices 96..99.
+	return g
+}
+
+// sameConnLabels compares the observable content of two connectivity
+// labelings built over the same graph: per-vertex and per-edge label bits
+// and the underlying label payloads.
+func sameConnLabels(t *testing.T, a, b *ConnLabels) {
+	t.Helper()
+	g := a.g
+	for v := int32(0); v < int32(g.N()); v++ {
+		la, lb := a.VertexLabel(v), b.VertexLabel(v)
+		if la.comp != lb.comp || la.bits != lb.bits {
+			t.Fatalf("vertex %d: label header differs: (%d,%d) vs (%d,%d)", v, la.comp, la.bits, lb.comp, lb.bits)
+		}
+		if !reflect.DeepEqual(la.cut, lb.cut) {
+			t.Fatalf("vertex %d: cut label differs", v)
+		}
+		if !reflect.DeepEqual(la.sketch, lb.sketch) {
+			t.Fatalf("vertex %d: sketch label differs", v)
+		}
+	}
+	for e := EdgeID(0); int(e) < g.M(); e++ {
+		ea, eb := a.EdgeLabel(e), b.EdgeLabel(e)
+		if ea.comp != eb.comp || ea.bits != eb.bits {
+			t.Fatalf("edge %d: label header differs", e)
+		}
+		if !reflect.DeepEqual(ea.cut, eb.cut) {
+			t.Fatalf("edge %d: cut label differs", e)
+		}
+		// Sketch edge labels carry a scheme pointer for flyweight sketch
+		// realization; compare the bits they would serialize instead.
+		if !reflect.DeepEqual(ea.sketch.EID, eb.sketch.EID) || ea.sketch.IsTree != eb.sketch.IsTree {
+			t.Fatalf("edge %d: sketch label differs", e)
+		}
+	}
+}
+
+// TestConnLabelsBitIdenticalAcrossParallelism is the tentpole guarantee:
+// equal seeds give bit-identical labels no matter how many workers built
+// them.
+func TestConnLabelsBitIdenticalAcrossParallelism(t *testing.T) {
+	g := multiComponentGraph()
+	for _, scheme := range []ConnSchemeKind{CutBased, SketchBased} {
+		seq, err := BuildConnectivityLabels(g, ConnOptions{Scheme: scheme, MaxFaults: 3, Seed: 42, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{0, 2, 8} {
+			par, err := BuildConnectivityLabels(g, ConnOptions{Scheme: scheme, MaxFaults: 3, Seed: 42, Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameConnLabels(t, seq, par)
+		}
+	}
+}
+
+// TestConnQueriesAgreeAcrossParallelism cross-checks decode behavior, not
+// just label bits, between sequential and parallel builds.
+func TestConnQueriesAgreeAcrossParallelism(t *testing.T) {
+	g := multiComponentGraph()
+	seq, err := BuildConnectivityLabels(g, ConnOptions{Seed: 7, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildConnectivityLabels(g, ConnOptions{Seed: 7, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		s := int32((i * 13) % g.N())
+		d := int32((i*29 + 7) % g.N())
+		faults := RandomFaults(g, i%4, uint64(i))
+		a, err := seq.Connected(s, d, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Connected(s, d, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("query %d: sequential says %v, parallel says %v", i, a, b)
+		}
+	}
+}
+
+// TestRouterBitIdenticalAcrossParallelism builds the full routing scheme
+// sequentially and with 8 workers and requires identical tables, labels,
+// and routing outcomes (including traces).
+func TestRouterBitIdenticalAcrossParallelism(t *testing.T) {
+	g := RandomConnected(80, 150, 3)
+	seq, err := NewRouter(g, 2, 2, RouterOptions{Seed: 11, Balanced: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewRouter(g, 2, 2, RouterOptions{Seed: 11, Balanced: true, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := seq.MaxTableBits(), par.MaxTableBits(); a != b {
+		t.Fatalf("MaxTableBits: %d vs %d", a, b)
+	}
+	if a, b := seq.TotalTableBits(), par.TotalTableBits(); a != b {
+		t.Fatalf("TotalTableBits: %d vs %d", a, b)
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if a, b := seq.LabelBits(v), par.LabelBits(v); a != b {
+			t.Fatalf("LabelBits(%d): %d vs %d", v, a, b)
+		}
+		if !reflect.DeepEqual(seq.inner.Label(v), par.inner.Label(v)) {
+			t.Fatalf("routing label of %d differs between parallelism levels", v)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		s := int32((i * 17) % g.N())
+		d := int32((i*41 + 3) % g.N())
+		fs := RandomFaults(g, i%3, uint64(100+i))
+		ra, err := seq.Route(s, d, NewEdgeSet(fs...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := par.Route(s, d, NewEdgeSet(fs...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("Route(%d,%d) differs:\nseq: %+v\npar: %+v", s, d, ra, rb)
+		}
+		fa, err := seq.RouteForbidden(s, d, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := par.RouteForbidden(s, d, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fa, fb) {
+			t.Fatalf("RouteForbidden(%d,%d) differs", s, d)
+		}
+	}
+}
+
+// TestDistanceLabelsAgreeAcrossParallelism checks estimates through the
+// facade are unchanged by the (default, parallel) build.
+func TestDistanceLabelsAgreeAcrossParallelism(t *testing.T) {
+	g := WithRandomWeights(RandomConnected(70, 120, 5), 4, 6)
+	d, err := BuildDistanceLabels(g, 2, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		s := int32((i * 7) % g.N())
+		tt := int32((i*23 + 5) % g.N())
+		faults := RandomFaults(g, i%3, uint64(i))
+		est, err := d.Estimate(s, tt, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Distance(g, s, tt, NewEdgeSet(faults...))
+		if opt == Inf {
+			if est != Unreachable {
+				t.Fatalf("pair %d: disconnected but estimate %d", i, est)
+			}
+			continue
+		}
+		if est < opt {
+			t.Fatalf("pair %d: estimate %d under true distance %d", i, est, opt)
+		}
+	}
+}
