@@ -2,8 +2,28 @@
 # invocations stay in sync.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race bench lint
+# Every decoder has a FuzzUnmarshal*/FuzzDecode*/FuzzLoad* target; `make
+# fuzz` runs each for FUZZTIME (package:target pairs, one -fuzz pattern
+# per `go test` invocation as the fuzzer requires).
+FUZZ_TARGETS = \
+	./internal/codec:FuzzDecodeGraph \
+	./internal/codec:FuzzDecodeTree \
+	./internal/codec:FuzzDecodeSubgraph \
+	./internal/codec:FuzzDecodeHierarchy \
+	./internal/core:FuzzUnmarshalCutVertexLabel \
+	./internal/core:FuzzUnmarshalCutEdgeLabel \
+	./internal/core:FuzzUnmarshalSketchVertexLabel \
+	./internal/core:FuzzUnmarshalSketchEdgeLabel \
+	./internal/distlabel:FuzzUnmarshalDistVertexLabel \
+	./internal/distlabel:FuzzUnmarshalDistEdgeLabel \
+	./internal/route:FuzzUnmarshalRouteLabel \
+	.:FuzzLoadConnLabels \
+	.:FuzzLoadDistLabels \
+	.:FuzzLoadRouter
+
+.PHONY: all build test race bench lint fuzz
 
 all: build lint test
 
@@ -18,6 +38,13 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%:*}; name=$${t#*:}; \
+		echo "fuzzing $$name in $$pkg for $(FUZZTIME)"; \
+		$(GO) test -run=NONE -fuzz="^$$name\$$" -fuzztime=$(FUZZTIME) $$pkg; \
+	done
 
 lint:
 	$(GO) vet ./...

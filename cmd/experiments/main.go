@@ -1,6 +1,8 @@
 // Command experiments regenerates every table and figure of the paper's
 // quantitative claims (Table 1, Figures 1-4, and the theorem bounds) and
 // prints them as aligned text tables. EXPERIMENTS.md records one run.
+// E15 additionally measures the persisted schemes of internal/codec:
+// scheme-file sizes and encoded label sizes in bits, on the wire.
 //
 // Usage:
 //
@@ -26,7 +28,8 @@ func main() {
 	fmt.Printf("reproducing: Dory, Parter. Fault-Tolerant Labeling and Compact Routing Schemes. PODC 2021.\n\n")
 
 	ran := 0
-	for _, table := range experiments.All(*seed) {
+	tables := append(experiments.All(*seed), persistedSizes(*seed))
+	for _, table := range tables {
 		if *only != "" && table.ID != *only {
 			continue
 		}

@@ -1,6 +1,7 @@
 // Command ftroute is a CLI for the ftrouting library: generate graphs,
 // build fault-tolerant labels, answer connectivity/distance queries under
-// faults, and run routing simulations.
+// faults, run routing simulations, and persist preprocessed schemes to
+// disk so queries are served without rebuilding.
 //
 // Usage:
 //
@@ -9,14 +10,22 @@
 //	ftroute route -graph fattree -ft-k 4 -f 2 -k 2 -s 20 -t 35 -faults 7,9
 //	ftroute sweep -graph random -n 100 -f 2 -queries 100
 //	ftroute lower -f 4 -len 32
+//
+// Build-once-serve-many (the preprocessing runs once; queries load the
+// scheme file and answer bit-identically to the freshly built scheme):
+//
+//	ftroute build -type conn  -graph random -n 100 -f 3 -out conn.ftl
+//	ftroute build -type dist  -graph grid -rows 8 -cols 8 -f 2 -k 2 -out dist.ftl
+//	ftroute build -type route -graph fattree -ft-k 4 -f 2 -k 2 -out route.ftl
+//	ftroute query -in conn.ftl -s 0 -t 99 -faults 1,2,3
+//	ftroute query -in dist.ftl -s 0 -t 63 -faults 5
+//	ftroute route -in route.ftl -s 20 -t 35 -faults 7,9
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"ftrouting"
 )
@@ -39,6 +48,10 @@ func main() {
 		err = runLower(args)
 	case "sweep":
 		err = runSweep(args)
+	case "build":
+		err = runBuild(args)
+	case "query":
+		err = runQuery(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -50,12 +63,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query> [flags]
   conn   connectivity query under faults from labels
   dist   approximate distance query under faults from labels
-  route  fault-tolerant routing simulation
+  route  fault-tolerant routing simulation (-in loads a saved router)
   sweep  aggregate routing statistics over many random queries
-  lower  Theorem 1.6 lower-bound experiment`)
+  lower  Theorem 1.6 lower-bound experiment
+  build  preprocess once and write a scheme file (-type conn|dist|route)
+  query  answer from a scheme file without rebuilding`)
 }
 
 // graphFlags declares the shared topology flags on a FlagSet.
@@ -114,19 +129,7 @@ func addGraphFlags(fs *flag.FlagSet) *graphFlags {
 }
 
 func (gf *graphFlags) faultIDs() ([]ftrouting.EdgeID, error) {
-	if *gf.faults == "" {
-		return nil, nil
-	}
-	parts := strings.Split(*gf.faults, ",")
-	out := make([]ftrouting.EdgeID, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad fault id %q: %w", p, err)
-		}
-		out = append(out, ftrouting.EdgeID(v))
-	}
-	return out, nil
+	return parseFaultList(*gf.faults)
 }
 
 func runConn(args []string) error {
@@ -215,16 +218,32 @@ func runRoute(args []string) error {
 	k := fs.Int("k", 2, "stretch parameter")
 	balanced := fs.Bool("balanced", true, "use Γ-load-balanced tables (Claim 5.7)")
 	forbidden := fs.Bool("forbidden", false, "forbidden-set mode (faults known to source)")
+	in := fs.String("in", "", "load a saved router (ftroute build -type route) instead of building")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := gf.builder()
-	if err != nil {
-		return err
-	}
-	router, err := ftrouting.NewRouter(g, *f, *k, ftrouting.RouterOptions{Seed: *gf.seed, Balanced: *balanced})
-	if err != nil {
-		return err
+	var router *ftrouting.Router
+	if *in != "" {
+		file, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		router, err = ftrouting.LoadRouter(file)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded router from %s\n", *in)
+	} else {
+		g, err := gf.builder()
+		if err != nil {
+			return err
+		}
+		router, err = ftrouting.NewRouter(g, *f, *k, ftrouting.RouterOptions{Seed: *gf.seed, Balanced: *balanced})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
 	}
 	faults, err := gf.faultIDs()
 	if err != nil {
@@ -239,16 +258,10 @@ func runRoute(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: n=%d m=%d   route: s=%d t=%d |F|=%d\n", g.N(), g.M(), *gf.s, *gf.t, len(faults))
+	fmt.Printf("route: s=%d t=%d |F|=%d\n", *gf.s, *gf.t, len(faults))
 	fmt.Printf("max table: %.1f Kbit   label(t): %d bits\n",
 		float64(router.MaxTableBits())/1024, router.LabelBits(int32(*gf.t)))
-	if !res.Reached {
-		fmt.Println("result: destination unreachable in G\\F")
-		return nil
-	}
-	fmt.Printf("result: delivered, cost=%d (optimal %d, stretch %.2f)\n", res.Cost, res.Opt, res.Stretch)
-	fmt.Printf("        hops=%d detections=%d probes=%d header<=%d bits\n",
-		res.Hops, res.Detections, res.Probes, res.MaxHeaderBits)
+	printRouteResult(res)
 	return nil
 }
 

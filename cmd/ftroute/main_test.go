@@ -2,6 +2,8 @@ package main
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -99,5 +101,66 @@ func TestSubcommandsEndToEnd(t *testing.T) {
 	}
 	if err := runSweep([]string{"-graph", "path", "-n", "12", "-f", "1", "-queries", "5", "-forbidden"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBuildQueryWorkflow drives the build-once-serve-many path: build
+// writes a scheme file, query and route -in serve from it.
+func TestBuildQueryWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	connFile := filepath.Join(dir, "conn.ftl")
+	distFile := filepath.Join(dir, "dist.ftl")
+	routeFile := filepath.Join(dir, "route.ftl")
+
+	if err := runBuild([]string{"-type", "conn", "-graph", "random", "-n", "30", "-extra", "40", "-f", "2", "-out", connFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBuild([]string{"-type", "conn", "-scheme", "cut", "-graph", "path", "-n", "9", "-out", filepath.Join(dir, "cut.ftl")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBuild([]string{"-type", "dist", "-graph", "grid", "-rows", "3", "-cols", "4", "-f", "1", "-out", distFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBuild([]string{"-type", "route", "-graph", "path", "-n", "12", "-f", "1", "-out", routeFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBuild([]string{"-type", "nope", "-out", filepath.Join(dir, "x.ftl")}); err == nil {
+		t.Fatal("unknown -type accepted")
+	}
+
+	if err := runQuery([]string{"-in", connFile, "-s", "0", "-t", "29", "-faults", "1,2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", filepath.Join(dir, "cut.ftl"), "-s", "0", "-t", "8", "-faults", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", distFile, "-s", "0", "-t", "11"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", routeFile, "-s", "0", "-t", "11", "-faults", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", routeFile, "-s", "0", "-t", "11", "-faults", "4", "-forbidden"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRoute([]string{"-in", routeFile, "-s", "0", "-t", "11", "-faults", "4"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing and corrupt files fail cleanly.
+	if err := runQuery([]string{"-in", filepath.Join(dir, "absent.ftl")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	garbled := filepath.Join(dir, "garbled.ftl")
+	data, err := os.ReadFile(connFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(garbled, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", garbled, "-s", "0", "-t", "1"}); err == nil {
+		t.Fatal("corrupt file accepted")
 	}
 }

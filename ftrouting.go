@@ -30,6 +30,13 @@
 // restores sequential construction. All randomness is derived from the
 // seed and the item's index, never from execution order, so equal seeds
 // produce bit-identical labels, tables, and routes at any parallelism.
+//
+// Schemes persist: SaveConnLabels/SaveDistLabels/SaveRouter write a
+// self-describing versioned binary file (package internal/codec) and the
+// matching Load functions reconstitute a scheme answering queries
+// bit-identically to the saved one, without re-running the graph-search
+// preprocessing — build once, serve from disk (see persist.go and the
+// ftroute build/query subcommands).
 package ftrouting
 
 import (
@@ -217,29 +224,44 @@ func BuildConnectivityLabels(g *Graph, opts ConnOptions) (*ConnLabels, error) {
 		if err != nil {
 			return err
 		}
-		tree := graph.BFSTree(sub.Local, 0, nil)
-		seed := xrand.DeriveSeed(opts.Seed, uint64(ci))
 		c.subs[ci] = sub
-		switch opts.Scheme {
-		case CutBased:
-			s, err := core.BuildCut(sub.Local, tree, core.CutOptions{MaxFaults: opts.MaxFaults, Seed: seed})
-			if err != nil {
-				return err
-			}
-			c.cuts[ci] = s
-		case SketchBased:
-			s, err := core.BuildSketch(sub.Local, tree, core.SketchOptions{Seed: seed})
-			if err != nil {
-				return err
-			}
-			c.sketches[ci] = s
-		}
-		return nil
+		return c.buildComponentScheme(ci, graph.BFSTree(sub.Local, 0, nil))
 	})
 	if err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// buildComponentScheme labels component ci on its subgraph with the given
+// spanning tree, deriving the component seed from (Seed, ci). Both the
+// fresh build above and LoadConnLabels go through here, so a loaded
+// labeling is bit-identical to the originally built one.
+func (c *ConnLabels) buildComponentScheme(ci int, tree *graph.Tree) error {
+	seed := xrand.DeriveSeed(c.opts.Seed, uint64(ci))
+	switch c.opts.Scheme {
+	case CutBased:
+		s, err := core.BuildCut(c.subs[ci].Local, tree, core.CutOptions{MaxFaults: c.opts.MaxFaults, Seed: seed})
+		if err != nil {
+			return err
+		}
+		c.cuts[ci] = s
+	case SketchBased:
+		s, err := core.BuildSketch(c.subs[ci].Local, tree, core.SketchOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		c.sketches[ci] = s
+	}
+	return nil
+}
+
+// componentTree returns the spanning tree component ci was labeled on.
+func (c *ConnLabels) componentTree(ci int) *graph.Tree {
+	if c.cuts[ci] != nil {
+		return c.cuts[ci].Tree()
+	}
+	return c.sketches[ci].Tree()
 }
 
 // compBits is the component-id tag length added to every label.

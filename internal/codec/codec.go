@@ -1,0 +1,145 @@
+// Package codec is the versioned binary wire format shared by every
+// serialized artifact of this repository: whole-scheme files (connectivity
+// labelings, distance labelings, preprocessed routers) and individual
+// labels (cut labels, sketch labels, distance bundles, routing labels).
+//
+// # Format
+//
+// Every artifact is self-describing. It opens with the shared 8-byte
+// header
+//
+//	offset  size  field
+//	0       4     magic "FTLB" (fault-tolerant labels, binary)
+//	4       2     format version, little-endian (currently 1)
+//	6       2     artifact kind, little-endian (see Kind)
+//
+// followed by a kind-specific payload. Scheme files additionally close
+// with a CRC32-C checksum (little-endian, over header and payload), so
+// bit corruption anywhere in a file is detected; individual labels are
+// short and rely on exhaustive length validation instead.
+//
+// All integers are little-endian. Counts are uint32, vertex/edge ids are
+// int32, weights/distances are int64, seeds and sketch words are uint64.
+// Variable-length sections are count-prefixed.
+//
+// # Versioning and compatibility policy
+//
+// The version field covers the entire artifact. Decoders accept exactly
+// the versions they know (currently only Version); newer versions are
+// rejected with ErrVersion rather than misread. Any change to a payload
+// layout bumps Version for every kind — one magic, one version counter,
+// no per-kind sub-versions. Readers of version N+1 are expected to keep
+// decoding version N files (additive evolution); writers always emit the
+// current version.
+//
+// # Strictness
+//
+// Decoding never panics and never trusts a declared count: truncated
+// input yields ErrTruncated, structural nonsense (out-of-range ids,
+// non-canonical orderings, impossible counts) yields ErrCorrupt, a wrong
+// magic/version/kind yields ErrBadMagic/ErrVersion/ErrKind, and a failed
+// checksum yields ErrChecksum. All are typed sentinels, testable with
+// errors.Is.
+//
+// # What scheme files store
+//
+// A scheme file persists the materialized topology — the graph, the
+// per-component subgraphs, the spanning trees, the tree-cover hierarchy —
+// together with the seeds and parameters of the labeling. Per-edge label
+// content (cycle-space vectors, sketch cells, tree-routing tables) is
+// re-derived from the seeds on load in linear time, exactly as the
+// flyweight design re-derives it on demand at query time; the repo's
+// determinism invariant (equal seeds give bit-identical labels at any
+// parallelism) makes the loaded scheme answer queries bit-identically to
+// the freshly built one. The expensive preprocessing stages — component
+// decomposition, BFS/Dijkstra trees, tree-cover region growing — are
+// never re-run on load.
+package codec
+
+import "errors"
+
+// Magic opens every serialized artifact.
+const Magic = "FTLB"
+
+// Version is the current format version, shared by all kinds.
+const Version = 1
+
+// HeaderLen is the encoded header size in bytes.
+const HeaderLen = 8
+
+// Kind identifies what an artifact contains.
+type Kind uint16
+
+const (
+	// Whole-scheme files (CRC-trailed).
+	KindConnLabels Kind = 1
+	KindDistLabels Kind = 2
+	KindRouter     Kind = 3
+
+	// Individual labels.
+	KindCutVertexLabel    Kind = 16
+	KindCutEdgeLabel      Kind = 17
+	KindSketchVertexLabel Kind = 18
+	KindSketchEdgeLabel   Kind = 19
+	KindDistVertexLabel   Kind = 20
+	KindDistEdgeLabel     Kind = 21
+	KindRouteLabel        Kind = 22
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindConnLabels:
+		return "connectivity labeling"
+	case KindDistLabels:
+		return "distance labeling"
+	case KindRouter:
+		return "router"
+	case KindCutVertexLabel:
+		return "cut vertex label"
+	case KindCutEdgeLabel:
+		return "cut edge label"
+	case KindSketchVertexLabel:
+		return "sketch vertex label"
+	case KindSketchEdgeLabel:
+		return "sketch edge label"
+	case KindDistVertexLabel:
+		return "distance vertex label"
+	case KindDistEdgeLabel:
+		return "distance edge label"
+	case KindRouteLabel:
+		return "routing label"
+	default:
+		return "unknown kind"
+	}
+}
+
+// Typed decode errors. Every decoder failure unwraps to exactly one of
+// these (or to an underlying I/O error from the reader).
+var (
+	// ErrBadMagic: the input does not start with Magic.
+	ErrBadMagic = errors.New("codec: bad magic")
+	// ErrVersion: the format version is not supported by this decoder.
+	ErrVersion = errors.New("codec: unsupported format version")
+	// ErrKind: the artifact kind differs from what the caller expects.
+	ErrKind = errors.New("codec: artifact kind mismatch")
+	// ErrTruncated: the input ended before the payload was complete.
+	ErrTruncated = errors.New("codec: truncated input")
+	// ErrCorrupt: the payload is structurally invalid.
+	ErrCorrupt = errors.New("codec: corrupt payload")
+	// ErrChecksum: the file checksum does not match its content.
+	ErrChecksum = errors.New("codec: checksum mismatch")
+)
+
+// MaxElems caps every decoded count, bounding a single allocation forced
+// by adversarial input (reads are incremental, so a lying count under the
+// cap still fails with ErrTruncated, not an over-allocation).
+const MaxElems = 1 << 28
+
+// MaxGraphVertices caps the vertex count of a decoded graph. Unlike every
+// other count, n drives an up-front allocation (the adjacency index) that
+// no wire bytes substantiate — isolated vertices are free on the wire —
+// so it gets a tighter, allocation-safe bound: 2^21 vertices cost ~50 MB
+// of adjacency headers, well past the experiment scales in ROADMAP.md. A
+// decoder-side constant only; raising it is not a format change.
+const MaxGraphVertices = 1 << 21

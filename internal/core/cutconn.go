@@ -125,6 +125,10 @@ func BuildCut(g *graph.Graph, tree *graph.Tree, opts CutOptions) (*CutScheme, er
 // Bits returns the cycle-space width b in use.
 func (s *CutScheme) Bits() int { return s.b }
 
+// Tree returns the spanning tree (persistence serializes it so a loaded
+// scheme rebuilds on the identical tree).
+func (s *CutScheme) Tree() *graph.Tree { return s.tree }
+
 // VertexLabel returns the label of v.
 func (s *CutScheme) VertexLabel(v int32) CutVertexLabel {
 	return CutVertexLabel{Anc: s.anc[v]}

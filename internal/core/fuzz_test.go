@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+)
+
+// Fuzz targets for the label decoders: arbitrary bytes must either fail
+// with a typed error or round trip back to identical bytes (the formats
+// are canonical — no two distinct encodings decode equal).
+
+func FuzzUnmarshalCutVertexLabel(f *testing.F) {
+	g := graph.Cycle(9)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildCut(g, tree, CutOptions{MaxFaults: 2, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for v := int32(0); v < 3; v++ {
+		data, _ := s.VertexLabel(v).MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l CutVertexLabel
+		if err := l.UnmarshalBinary(data); err != nil {
+			return
+		}
+		back, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal of decoded label failed: %v", err)
+		}
+		if string(back) != string(data) {
+			t.Fatal("vertex label encoding is not canonical")
+		}
+	})
+}
+
+func FuzzUnmarshalCutEdgeLabel(f *testing.F) {
+	g := graph.RandomConnected(12, 18, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildCut(g, tree, CutOptions{MaxFaults: 3, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for e := graph.EdgeID(0); e < 4; e++ {
+		data, _ := s.EdgeLabel(e).MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l CutEdgeLabel
+		if err := l.UnmarshalBinary(data); err != nil {
+			return
+		}
+		back, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal of decoded label failed: %v", err)
+		}
+		if string(back) != string(data) {
+			t.Fatal("edge label encoding is not canonical")
+		}
+		// Decoded labels must be safe to hand to the decoder.
+		DecodeCut(CutVertexLabel{Anc: l.AncU}, CutVertexLabel{Anc: l.AncV}, []CutEdgeLabel{l})
+	})
+}
+
+func FuzzUnmarshalSketchVertexLabel(f *testing.F) {
+	g := graph.Cycle(9)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for v := int32(0); v < 3; v++ {
+		data, _ := s.VertexLabel(v).MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l SketchVertexLabel
+		if err := l.UnmarshalBinary(data); err != nil {
+			return
+		}
+		back, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal of decoded label failed: %v", err)
+		}
+		if string(back) != string(data) {
+			t.Fatal("sketch vertex label encoding is not canonical")
+		}
+	})
+}
+
+func FuzzUnmarshalSketchEdgeLabel(f *testing.F) {
+	g := graph.RandomConnected(12, 18, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for e := graph.EdgeID(0); e < 4; e++ {
+		data, _ := s.EdgeLabel(e).MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := s.UnmarshalEdgeLabel(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded label is bound to the scheme and must be
+		// usable in a decode without panicking.
+		if _, err := s.Decode(s.VertexLabel(0), s.VertexLabel(5), []SketchEdgeLabel{l}, 0, false); err != nil {
+			t.Fatalf("decode with unmarshaled label: %v", err)
+		}
+	})
+}

@@ -6,42 +6,47 @@ import (
 
 	"ftrouting/internal/ancestry"
 	"ftrouting/internal/bitvec"
+	"ftrouting/internal/codec"
 )
 
 // Wire formats for the cut-based labels, so they can actually be
 // distributed: a labeling scheme is only a *distributed* data structure if
-// the labels can leave the process. The sketch-based labels are
-// intentionally not serialized here — their dominant content is the
-// flyweight-realized sketches (DESIGN.md); they serialize naturally as
-// (seed, instance id, edge id) references in a deployment that shares the
-// preprocessing.
+// the labels can leave the process. Every label opens with the shared
+// versioned header of package codec (magic, format version, artifact
+// kind); sketch-based labels are serialized in sketchmarshal.go.
 //
-// Encoding (little endian):
+// Encoding (little endian, after the 8-byte header):
 //
 //	vertex label: In(4) Out(4)
 //	edge label:   In(4) Out(4) In(4) Out(4) flags(1) phiBits(4) phiWords(8 each)
 
 const (
-	cutVertexWire = 8
+	cutVertexWire = codec.HeaderLen + 8
+	cutEdgeFixed  = codec.HeaderLen + 16 + 1 + 4
 	flagTree      = 1
+	maxPhiBits    = 1 << 24
 )
 
-// MarshalBinary encodes the vertex label in 8 bytes.
+// MarshalBinary encodes the vertex label in 16 bytes (header + interval).
 func (l CutVertexLabel) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, cutVertexWire)
-	binary.LittleEndian.PutUint32(buf[0:], l.Anc.In)
-	binary.LittleEndian.PutUint32(buf[4:], l.Anc.Out)
+	buf := codec.AppendHeader(make([]byte, 0, cutVertexWire), codec.KindCutVertexLabel)
+	buf = binary.LittleEndian.AppendUint32(buf, l.Anc.In)
+	buf = binary.LittleEndian.AppendUint32(buf, l.Anc.Out)
 	return buf, nil
 }
 
 // UnmarshalBinary decodes a vertex label.
 func (l *CutVertexLabel) UnmarshalBinary(data []byte) error {
-	if len(data) != cutVertexWire {
-		return fmt.Errorf("core: vertex label wire length %d, want %d", len(data), cutVertexWire)
+	body, err := codec.ConsumeHeader(data, codec.KindCutVertexLabel)
+	if err != nil {
+		return err
+	}
+	if len(body) != 8 {
+		return fmt.Errorf("%w: vertex label body %d bytes, want 8", codec.ErrTruncated, len(body))
 	}
 	l.Anc = ancestry.Label{
-		In:  binary.LittleEndian.Uint32(data[0:]),
-		Out: binary.LittleEndian.Uint32(data[4:]),
+		In:  binary.LittleEndian.Uint32(body[0:]),
+		Out: binary.LittleEndian.Uint32(body[4:]),
 	}
 	return nil
 }
@@ -50,41 +55,57 @@ func (l *CutVertexLabel) UnmarshalBinary(data []byte) error {
 // and the phi bit vector.
 func (l CutEdgeLabel) MarshalBinary() ([]byte, error) {
 	words := l.Phi.Words()
-	buf := make([]byte, 16+1+4+8*len(words))
-	binary.LittleEndian.PutUint32(buf[0:], l.AncU.In)
-	binary.LittleEndian.PutUint32(buf[4:], l.AncU.Out)
-	binary.LittleEndian.PutUint32(buf[8:], l.AncV.In)
-	binary.LittleEndian.PutUint32(buf[12:], l.AncV.Out)
+	buf := codec.AppendHeader(make([]byte, 0, cutEdgeFixed+8*len(words)), codec.KindCutEdgeLabel)
+	buf = binary.LittleEndian.AppendUint32(buf, l.AncU.In)
+	buf = binary.LittleEndian.AppendUint32(buf, l.AncU.Out)
+	buf = binary.LittleEndian.AppendUint32(buf, l.AncV.In)
+	buf = binary.LittleEndian.AppendUint32(buf, l.AncV.Out)
+	var flags byte
 	if l.IsTree {
-		buf[16] = flagTree
+		flags = flagTree
 	}
-	binary.LittleEndian.PutUint32(buf[17:], uint32(l.Phi.Len()))
-	for i, w := range words {
-		binary.LittleEndian.PutUint64(buf[21+8*i:], w)
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.Phi.Len()))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
 	}
 	return buf, nil
 }
 
 // UnmarshalBinary decodes an edge label.
 func (l *CutEdgeLabel) UnmarshalBinary(data []byte) error {
-	if len(data) < 21 {
-		return fmt.Errorf("core: edge label wire too short: %d bytes", len(data))
+	body, err := codec.ConsumeHeader(data, codec.KindCutEdgeLabel)
+	if err != nil {
+		return err
 	}
-	l.AncU = ancestry.Label{In: binary.LittleEndian.Uint32(data[0:]), Out: binary.LittleEndian.Uint32(data[4:])}
-	l.AncV = ancestry.Label{In: binary.LittleEndian.Uint32(data[8:]), Out: binary.LittleEndian.Uint32(data[12:])}
-	l.IsTree = data[16]&flagTree != 0
-	bits := int(binary.LittleEndian.Uint32(data[17:]))
-	if bits < 0 || bits > 1<<24 {
-		return fmt.Errorf("core: edge label phi length %d out of range", bits)
+	const fixed = cutEdgeFixed - codec.HeaderLen
+	if len(body) < fixed {
+		return fmt.Errorf("%w: edge label body %d bytes, want >= %d", codec.ErrTruncated, len(body), fixed)
+	}
+	if body[16]&^flagTree != 0 {
+		return fmt.Errorf("%w: edge label flags %#x", codec.ErrCorrupt, body[16])
+	}
+	bits := int(binary.LittleEndian.Uint32(body[17:]))
+	if bits < 0 || bits > maxPhiBits {
+		return fmt.Errorf("%w: edge label phi length %d out of range", codec.ErrCorrupt, bits)
 	}
 	wantWords := (bits + 63) / 64
-	if len(data) != 21+8*wantWords {
-		return fmt.Errorf("core: edge label wire length %d, want %d", len(data), 21+8*wantWords)
+	if len(body) != fixed+8*wantWords {
+		return fmt.Errorf("%w: edge label body %d bytes, want %d", codec.ErrTruncated, len(body), fixed+8*wantWords)
 	}
 	words := make([]uint64, wantWords)
 	for i := range words {
-		words[i] = binary.LittleEndian.Uint64(data[21+8*i:])
+		words[i] = binary.LittleEndian.Uint64(body[21+8*i:])
 	}
-	l.Phi = bitvec.FromWords(bits, words)
+	phi := bitvec.FromWords(bits, words)
+	// Reject set bits beyond the declared length: two distinct byte
+	// strings must never decode to labels that compare equal.
+	if tail := bits % 64; tail != 0 && wantWords > 0 && words[wantWords-1]>>uint(tail) != 0 {
+		return fmt.Errorf("%w: edge label phi padding bits set", codec.ErrCorrupt)
+	}
+	l.AncU = ancestry.Label{In: binary.LittleEndian.Uint32(body[0:]), Out: binary.LittleEndian.Uint32(body[4:])}
+	l.AncV = ancestry.Label{In: binary.LittleEndian.Uint32(body[8:]), Out: binary.LittleEndian.Uint32(body[12:])}
+	l.IsTree = body[16]&flagTree != 0
+	l.Phi = phi
 	return nil
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
+	"ftrouting/internal/codec"
 	"ftrouting/internal/graph"
 	"ftrouting/internal/xrand"
 )
@@ -86,16 +88,115 @@ func TestCutDecodeOverTheWire(t *testing.T) {
 	}
 }
 
+func TestSketchLabelWireRoundTrip(t *testing.T) {
+	g := graph.RandomConnected(24, 36, 5)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		l := s.VertexLabel(v)
+		data, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back SketchVertexLabel
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if back.ID != l.ID || back.Anc != l.Anc || len(back.Extra) != len(l.Extra) {
+			t.Fatalf("vertex label %d round trip mismatch", v)
+		}
+	}
+	for id := graph.EdgeID(0); int(id) < g.M(); id++ {
+		l := s.EdgeLabel(id)
+		data, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := s.UnmarshalEdgeLabel(data)
+		if err != nil {
+			t.Fatalf("edge %d: %v", id, err)
+		}
+		if back.E != l.E || back.IsTree != l.IsTree {
+			t.Fatalf("edge label %d round trip mismatch", id)
+		}
+		for i := range l.EID {
+			if back.EID[i] != l.EID[i] {
+				t.Fatalf("edge label %d EID word %d mismatch", id, i)
+			}
+		}
+	}
+	// Decode over the wire must agree with direct decode.
+	faultIDs := graph.RandomFaults(g, 3, 2)
+	var wire []SketchEdgeLabel
+	for _, id := range faultIDs {
+		data, err := s.EdgeLabel(id).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := s.UnmarshalEdgeLabel(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire = append(wire, l)
+	}
+	direct := make([]SketchEdgeLabel, len(faultIDs))
+	for i, id := range faultIDs {
+		direct[i] = s.EdgeLabel(id)
+	}
+	for sVtx := int32(0); sVtx < 6; sVtx++ {
+		a, err := s.Decode(s.VertexLabel(sVtx), s.VertexLabel(20), wire, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Decode(s.VertexLabel(sVtx), s.VertexLabel(20), direct, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Connected != b.Connected {
+			t.Fatalf("wire and direct decode disagree for s=%d", sVtx)
+		}
+	}
+}
+
+func TestSketchEdgeLabelRejectsForeignScheme(t *testing.T) {
+	g := graph.Cycle(10)
+	tree := graph.BFSTree(g, 0, nil)
+	s1, err := BuildSketch(g, tree, SketchOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSketch(g, tree, SketchOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s1.EdgeLabel(0).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.UnmarshalEdgeLabel(data); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("label of scheme 1 accepted by scheme 2: %v", err)
+	}
+}
+
+// corrupt returns a copy of data with the byte at i xored.
+func corrupt(data []byte, i int, mask byte) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= mask
+	return out
+}
+
 func TestUnmarshalRejectsGarbage(t *testing.T) {
 	var v CutVertexLabel
-	if err := v.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
-		t.Fatal("short vertex wire accepted")
+	if err := v.UnmarshalBinary([]byte{1, 2, 3}); !errors.Is(err, codec.ErrTruncated) {
+		t.Fatalf("short vertex wire: %v", err)
 	}
 	var e CutEdgeLabel
-	if err := e.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
-		t.Fatal("short edge wire accepted")
+	if err := e.UnmarshalBinary([]byte{1, 2, 3}); !errors.Is(err, codec.ErrTruncated) {
+		t.Fatalf("short edge wire: %v", err)
 	}
-	// Truncated phi payload.
 	g := graph.Path(4)
 	tree := graph.BFSTree(g, 0, nil)
 	s, err := BuildCut(g, tree, CutOptions{MaxFaults: 1, Seed: 1})
@@ -106,34 +207,120 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.UnmarshalBinary(data[:len(data)-1]); err == nil {
-		t.Fatal("truncated edge wire accepted")
+	// Truncation at every possible length must fail with a typed error.
+	for cut := 0; cut < len(data); cut++ {
+		err := e.UnmarshalBinary(data[:cut])
+		if err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+		if !errors.Is(err, codec.ErrTruncated) && !errors.Is(err, codec.ErrBadMagic) && !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: untyped error %v", cut, err)
+		}
 	}
-	// Absurd phi length field.
+	// Bad magic, version, kind.
+	if err := e.UnmarshalBinary(corrupt(data, 0, 0xFF)); !errors.Is(err, codec.ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if err := e.UnmarshalBinary(corrupt(data, 4, 0xFF)); !errors.Is(err, codec.ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if err := e.UnmarshalBinary(corrupt(data, 6, 0xFF)); !errors.Is(err, codec.ErrKind) {
+		t.Fatalf("bad kind: %v", err)
+	}
+	// A vertex label is not an edge label.
+	vdata, err := s.VertexLabel(0).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UnmarshalBinary(vdata); !errors.Is(err, codec.ErrKind) {
+		t.Fatalf("vertex wire as edge label: %v", err)
+	}
+	// Undefined flag bits.
+	if err := e.UnmarshalBinary(corrupt(data, codec.HeaderLen+16, 0x80)); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("undefined flags: %v", err)
+	}
+	// Absurd phi length field (bytes 17..20 after the header).
 	bad := append([]byte(nil), data...)
-	bad[17], bad[18], bad[19], bad[20] = 0xff, 0xff, 0xff, 0x7f
-	if err := e.UnmarshalBinary(bad); err == nil {
-		t.Fatal("oversized phi length accepted")
+	off := codec.HeaderLen + 17
+	bad[off], bad[off+1], bad[off+2], bad[off+3] = 0xff, 0xff, 0xff, 0x7f
+	if err := e.UnmarshalBinary(bad); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("oversized phi length: %v", err)
+	}
+	// Set padding bits beyond the declared phi length.
+	withPad := append([]byte(nil), data...)
+	withPad[len(withPad)-1] |= 0x80 // phi is < 64 bits wide in this scheme
+	if err := e.UnmarshalBinary(withPad); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("phi padding bits: %v", err)
+	}
+}
+
+func TestSketchUnmarshalRejectsGarbage(t *testing.T) {
+	g := graph.Path(5)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdata, err := s.VertexLabel(2).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edata, err := s.EdgeLabel(1).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v SketchVertexLabel
+	for cut := 0; cut < len(vdata); cut++ {
+		if err := v.UnmarshalBinary(vdata[:cut]); err == nil {
+			t.Fatalf("vertex truncation to %d bytes accepted", cut)
+		}
+	}
+	for cut := 0; cut < len(edata); cut++ {
+		if _, err := s.UnmarshalEdgeLabel(edata[:cut]); err == nil {
+			t.Fatalf("edge truncation to %d bytes accepted", cut)
+		}
+	}
+	// Out-of-range edge id.
+	bad := append([]byte(nil), edata...)
+	bad[codec.HeaderLen] = 0xEE
+	if _, err := s.UnmarshalEdgeLabel(bad); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("out-of-range edge id: %v", err)
+	}
+	// Kind confusion both ways.
+	if err := v.UnmarshalBinary(edata); !errors.Is(err, codec.ErrKind) {
+		t.Fatalf("edge wire as vertex label: %v", err)
+	}
+	if _, err := s.UnmarshalEdgeLabel(vdata); !errors.Is(err, codec.ErrKind) {
+		t.Fatalf("vertex wire as edge label: %v", err)
 	}
 }
 
 func TestUnmarshalQuickNeverPanics(t *testing.T) {
+	g := graph.Path(6)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := func(data []byte) bool {
 		var v CutVertexLabel
 		_ = v.UnmarshalBinary(data)
 		var e CutEdgeLabel
 		_ = e.UnmarshalBinary(data)
+		var sv SketchVertexLabel
+		_ = sv.UnmarshalBinary(data)
+		_, _ = s.UnmarshalEdgeLabel(data)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: nil}); err != nil {
 		t.Error(err)
 	}
-	// Also structured-random longer payloads.
+	// Also structured-random longer payloads with a valid header.
 	rng := xrand.NewSplitMix64(3)
 	for i := 0; i < 200; i++ {
-		data := make([]byte, rng.Intn(128))
-		for j := range data {
-			data[j] = byte(rng.Next())
+		data := codec.AppendHeader(nil, codec.KindCutEdgeLabel)
+		for j := rng.Intn(128); j > 0; j-- {
+			data = append(data, byte(rng.Next()))
 		}
 		var e CutEdgeLabel
 		_ = e.UnmarshalBinary(data)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ftrouting/internal/ancestry"
+	"ftrouting/internal/codec"
+	"ftrouting/internal/graph"
+)
+
+// Wire formats for the sketch-based labels. A vertex label is
+// self-contained. An edge label is a *reference* into its scheme — the
+// flyweight design realizes the dominant content (subtree sketches, the
+// whole-graph sketch) on demand from the scheme, so the wire carries the
+// edge id, the extended identifier and the tree-edge metadata, and
+// decoding re-binds the label to a scheme holding the same preprocessing
+// (exactly the "(seed, instance, edge) reference" deployment the paper's
+// Section 5.2 shares its seeds for). UnmarshalEdgeLabel verifies the
+// reference against the scheme, so a label from a different scheme or a
+// tampered payload is rejected rather than silently misdecoded.
+//
+// Encoding (little endian, after the 8-byte codec header):
+//
+//	vertex label: ID(4) In(4) Out(4) extraWords(4) extra(8 each)
+//	edge label:   E(4) flags(1) eidWords(4) eid(8 each)
+
+const maxSketchWords = 1 << 16
+
+// MarshalBinary encodes the vertex label.
+func (l SketchVertexLabel) MarshalBinary() ([]byte, error) {
+	buf := codec.AppendHeader(make([]byte, 0, codec.HeaderLen+16+8*len(l.Extra)), codec.KindSketchVertexLabel)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, l.Anc.In)
+	buf = binary.LittleEndian.AppendUint32(buf, l.Anc.Out)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Extra)))
+	for _, w := range l.Extra {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a vertex label.
+func (l *SketchVertexLabel) UnmarshalBinary(data []byte) error {
+	body, err := codec.ConsumeHeader(data, codec.KindSketchVertexLabel)
+	if err != nil {
+		return err
+	}
+	if len(body) < 16 {
+		return fmt.Errorf("%w: sketch vertex label body %d bytes, want >= 16", codec.ErrTruncated, len(body))
+	}
+	nw := int(binary.LittleEndian.Uint32(body[12:]))
+	if nw < 0 || nw > maxSketchWords {
+		return fmt.Errorf("%w: sketch vertex label extra words %d out of range", codec.ErrCorrupt, nw)
+	}
+	if len(body) != 16+8*nw {
+		return fmt.Errorf("%w: sketch vertex label body %d bytes, want %d", codec.ErrTruncated, len(body), 16+8*nw)
+	}
+	l.ID = int32(binary.LittleEndian.Uint32(body[0:]))
+	l.Anc = ancestry.Label{
+		In:  binary.LittleEndian.Uint32(body[4:]),
+		Out: binary.LittleEndian.Uint32(body[8:]),
+	}
+	l.Extra = nil
+	for i := 0; i < nw; i++ {
+		l.Extra = append(l.Extra, binary.LittleEndian.Uint64(body[16+8*i:]))
+	}
+	return nil
+}
+
+// MarshalBinary encodes the edge label as a scheme reference (see the
+// file comment); decode it with SketchScheme.UnmarshalEdgeLabel.
+func (l SketchEdgeLabel) MarshalBinary() ([]byte, error) {
+	buf := codec.AppendHeader(make([]byte, 0, codec.HeaderLen+9+8*len(l.EID)), codec.KindSketchEdgeLabel)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.E))
+	var flags byte
+	if l.IsTree {
+		flags = flagTree
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.EID)))
+	for _, w := range l.EID {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf, nil
+}
+
+// UnmarshalEdgeLabel decodes an edge label against this scheme,
+// re-binding the flyweight. Every decoded field is checked against the
+// scheme's own label for the edge: a reference into a different scheme
+// (or a corrupted one) fails with a typed error instead of producing a
+// label whose sketches disagree with its identifier.
+func (s *SketchScheme) UnmarshalEdgeLabel(data []byte) (SketchEdgeLabel, error) {
+	body, err := codec.ConsumeHeader(data, codec.KindSketchEdgeLabel)
+	if err != nil {
+		return SketchEdgeLabel{}, err
+	}
+	if len(body) < 9 {
+		return SketchEdgeLabel{}, fmt.Errorf("%w: sketch edge label body %d bytes, want >= 9", codec.ErrTruncated, len(body))
+	}
+	e := int32(binary.LittleEndian.Uint32(body[0:]))
+	if body[4]&^flagTree != 0 {
+		return SketchEdgeLabel{}, fmt.Errorf("%w: sketch edge label flags %#x", codec.ErrCorrupt, body[4])
+	}
+	isTree := body[4]&flagTree != 0
+	nw := int(binary.LittleEndian.Uint32(body[5:]))
+	if nw < 0 || nw > maxSketchWords {
+		return SketchEdgeLabel{}, fmt.Errorf("%w: sketch edge label eid words %d out of range", codec.ErrCorrupt, nw)
+	}
+	if len(body) != 9+8*nw {
+		return SketchEdgeLabel{}, fmt.Errorf("%w: sketch edge label body %d bytes, want %d", codec.ErrTruncated, len(body), 9+8*nw)
+	}
+	if e < 0 || int(e) >= s.g.M() {
+		return SketchEdgeLabel{}, fmt.Errorf("%w: edge %d outside the scheme's graph", codec.ErrCorrupt, e)
+	}
+	l := s.EdgeLabel(graph.EdgeID(e))
+	if isTree != l.IsTree || nw != len(l.EID) {
+		return SketchEdgeLabel{}, fmt.Errorf("%w: edge %d metadata disagrees with the scheme", codec.ErrCorrupt, e)
+	}
+	for i, w := range l.EID {
+		if binary.LittleEndian.Uint64(body[9+8*i:]) != w {
+			return SketchEdgeLabel{}, fmt.Errorf("%w: edge %d identifier disagrees with the scheme (wrong scheme or corrupt label)", codec.ErrCorrupt, e)
+		}
+	}
+	return l, nil
+}

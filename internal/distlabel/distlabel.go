@@ -50,6 +50,7 @@ type Instance struct {
 type Scheme struct {
 	g    *graph.Graph
 	f, k int
+	opts Options
 	hier *treecover.Hierarchy
 	inst [][]*Instance // [scale][cluster]
 }
@@ -63,7 +64,20 @@ func Build(g *graph.Graph, f, k int, opts Options) (*Scheme, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Scheme{g: g, f: f, k: k, hier: hier}
+	return BuildWithHierarchy(g, f, k, opts, hier)
+}
+
+// BuildWithHierarchy constructs the labeling on a prebuilt tree-cover
+// hierarchy of g. The hierarchy is the only output of preprocessing that
+// involves graph searches; everything else (per-instance connectivity
+// labelings) is re-derived from the seed in linear time, so loading a
+// persisted scheme goes through here. For equal (g, f, k, opts, hier)
+// the result is bit-identical to Build's.
+func BuildWithHierarchy(g *graph.Graph, f, k int, opts Options, hier *treecover.Hierarchy) (*Scheme, error) {
+	if f < 0 || k < 1 {
+		return nil, fmt.Errorf("distlabel: need f >= 0 and k >= 1, got %d, %d", f, k)
+	}
+	s := &Scheme{g: g, f: f, k: k, hier: hier, opts: opts}
 	// Instances are independent across scales and clusters; flatten the
 	// (scale, cluster) grid so large clusters of one scale do not
 	// serialize behind another scale's row. Each instance's seed depends
@@ -78,7 +92,7 @@ func Build(g *graph.Graph, f, k int, opts Options) (*Scheme, error) {
 			coords = append(coords, coord{i, j})
 		}
 	}
-	err = parallel.ForEach(opts.Parallelism, len(coords), func(idx int) error {
+	err := parallel.ForEach(opts.Parallelism, len(coords), func(idx int) error {
 		i, j := coords[idx].i, coords[idx].j
 		cl := hier.Scales[i].Clusters[j]
 		conn, err := core.BuildSketch(cl.Sub.Local, cl.Tree, core.SketchOptions{
@@ -102,6 +116,18 @@ func (s *Scheme) Scales() int { return len(s.inst) }
 
 // K returns the stretch parameter.
 func (s *Scheme) K() int { return s.k }
+
+// F returns the fault bound.
+func (s *Scheme) F() int { return s.f }
+
+// Options returns the build options.
+func (s *Scheme) Options() Options { return s.opts }
+
+// Graph returns the labeled graph.
+func (s *Scheme) Graph() *graph.Graph { return s.g }
+
+// Hierarchy returns the tree-cover hierarchy the scheme is built on.
+func (s *Scheme) Hierarchy() *treecover.Hierarchy { return s.hier }
 
 // Instances returns the instance row of one scale (for experiments).
 func (s *Scheme) Instances(scale int) []*Instance { return s.inst[scale] }

@@ -1,0 +1,58 @@
+package distlabel
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+)
+
+func fuzzScheme(f *testing.F) *Scheme {
+	g := graph.RandomConnected(12, 18, 3)
+	s, err := Build(g, 1, 2, Options{Seed: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return s
+}
+
+func FuzzUnmarshalDistVertexLabel(f *testing.F) {
+	s := fuzzScheme(f)
+	for v := int32(0); v < 3; v++ {
+		data, _ := s.VertexLabel(v).MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l VertexLabel
+		if err := l.UnmarshalBinary(data); err != nil {
+			return
+		}
+		back, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal of decoded label failed: %v", err)
+		}
+		if string(back) != string(data) {
+			t.Fatal("distance vertex label encoding is not canonical")
+		}
+	})
+}
+
+func FuzzUnmarshalDistEdgeLabel(f *testing.F) {
+	s := fuzzScheme(f)
+	for e := graph.EdgeID(0); e < 3; e++ {
+		data, _ := s.EdgeLabel(e).MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := s.UnmarshalEdgeLabel(data)
+		if err != nil {
+			return
+		}
+		// A decoded bundle is bound to the scheme; estimating with it must
+		// not panic or error.
+		if _, err := s.Decode(s.VertexLabel(0), s.VertexLabel(5), []EdgeLabel{l}); err != nil {
+			t.Fatalf("decode with unmarshaled label: %v", err)
+		}
+	})
+}

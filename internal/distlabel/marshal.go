@@ -1,0 +1,170 @@
+package distlabel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ftrouting/internal/codec"
+	"ftrouting/internal/core"
+)
+
+// Wire formats for the distance-label bundles of Section 4. A vertex
+// label (home indices plus per-instance connectivity vertex labels) is
+// self-contained. An edge label bundles per-instance sketch edge labels,
+// which are flyweight references into their instances (see
+// core/sketchmarshal.go), so decoding one requires the scheme:
+// Scheme.UnmarshalEdgeLabel re-binds every entry and rejects references
+// that disagree with the instance they claim to come from.
+//
+// Encoding (little endian, after the 8-byte codec header):
+//
+//	vertex label: Global(4) homeCount(4) home(4 each)
+//	              entryCount(4) then per entry Scale(4) Cluster(4) len(4) bytes
+//	edge label:   entryCount(4) then per entry Scale(4) Cluster(4) len(4) bytes
+
+const (
+	maxWireEntries  = 1 << 20
+	maxWireInnerLen = 1 << 24
+)
+
+// appendEntry appends a (scale, cluster, len-prefixed inner label) record.
+func appendEntry(buf []byte, scale int, cluster int32, inner []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(scale))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(cluster))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(inner)))
+	return append(buf, inner...)
+}
+
+// consumeEntry splits one entry record off data.
+func consumeEntry(data []byte) (scale int, cluster int32, inner, rest []byte, err error) {
+	if len(data) < 12 {
+		return 0, 0, nil, nil, fmt.Errorf("%w: distance label entry header %d bytes", codec.ErrTruncated, len(data))
+	}
+	scale = int(int32(binary.LittleEndian.Uint32(data[0:])))
+	cluster = int32(binary.LittleEndian.Uint32(data[4:]))
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	if n < 0 || n > maxWireInnerLen {
+		return 0, 0, nil, nil, fmt.Errorf("%w: distance label entry length %d", codec.ErrCorrupt, n)
+	}
+	if len(data) < 12+n {
+		return 0, 0, nil, nil, fmt.Errorf("%w: distance label entry body %d of %d bytes", codec.ErrTruncated, len(data)-12, n)
+	}
+	return scale, cluster, data[12 : 12+n], data[12+n:], nil
+}
+
+// MarshalBinary encodes DistLabel(u).
+func (l VertexLabel) MarshalBinary() ([]byte, error) {
+	buf := codec.AppendHeader(nil, codec.KindDistVertexLabel)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.Global))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Home)))
+	for _, h := range l.Home {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(h))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Entries)))
+	for _, e := range l.Entries {
+		inner, err := e.L.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = appendEntry(buf, e.Scale, e.Cluster, inner)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes DistLabel(u).
+func (l *VertexLabel) UnmarshalBinary(data []byte) error {
+	body, err := codec.ConsumeHeader(data, codec.KindDistVertexLabel)
+	if err != nil {
+		return err
+	}
+	if len(body) < 8 {
+		return fmt.Errorf("%w: distance vertex label body %d bytes", codec.ErrTruncated, len(body))
+	}
+	out := VertexLabel{Global: int32(binary.LittleEndian.Uint32(body[0:]))}
+	nh := int(binary.LittleEndian.Uint32(body[4:]))
+	if nh < 0 || nh > maxWireEntries {
+		return fmt.Errorf("%w: distance label home count %d", codec.ErrCorrupt, nh)
+	}
+	body = body[8:]
+	if len(body) < 4*nh+4 {
+		return fmt.Errorf("%w: distance label home list truncated", codec.ErrTruncated)
+	}
+	for i := 0; i < nh; i++ {
+		out.Home = append(out.Home, int32(binary.LittleEndian.Uint32(body[4*i:])))
+	}
+	body = body[4*nh:]
+	ne := int(binary.LittleEndian.Uint32(body[0:]))
+	if ne < 0 || ne > maxWireEntries {
+		return fmt.Errorf("%w: distance label entry count %d", codec.ErrCorrupt, ne)
+	}
+	body = body[4:]
+	for i := 0; i < ne; i++ {
+		scale, cluster, inner, rest, err := consumeEntry(body)
+		if err != nil {
+			return err
+		}
+		var vl core.SketchVertexLabel
+		if err := vl.UnmarshalBinary(inner); err != nil {
+			return err
+		}
+		out.Entries = append(out.Entries, VEntry{Scale: scale, Cluster: cluster, L: vl})
+		body = rest
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after distance vertex label", codec.ErrCorrupt, len(body))
+	}
+	*l = out
+	return nil
+}
+
+// MarshalBinary encodes DistLabel(e); decode with Scheme.UnmarshalEdgeLabel.
+func (l EdgeLabel) MarshalBinary() ([]byte, error) {
+	buf := codec.AppendHeader(nil, codec.KindDistEdgeLabel)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Entries)))
+	for _, e := range l.Entries {
+		inner, err := e.L.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = appendEntry(buf, e.Scale, e.Cluster, inner)
+	}
+	return buf, nil
+}
+
+// UnmarshalEdgeLabel decodes DistLabel(e) against this scheme, re-binding
+// every per-instance flyweight entry (and rejecting entries whose
+// instance coordinates or identifiers disagree with the scheme).
+func (s *Scheme) UnmarshalEdgeLabel(data []byte) (EdgeLabel, error) {
+	body, err := codec.ConsumeHeader(data, codec.KindDistEdgeLabel)
+	if err != nil {
+		return EdgeLabel{}, err
+	}
+	if len(body) < 4 {
+		return EdgeLabel{}, fmt.Errorf("%w: distance edge label body %d bytes", codec.ErrTruncated, len(body))
+	}
+	ne := int(binary.LittleEndian.Uint32(body[0:]))
+	if ne < 0 || ne > maxWireEntries {
+		return EdgeLabel{}, fmt.Errorf("%w: distance label entry count %d", codec.ErrCorrupt, ne)
+	}
+	body = body[4:]
+	var out EdgeLabel
+	for i := 0; i < ne; i++ {
+		scale, cluster, inner, rest, err := consumeEntry(body)
+		if err != nil {
+			return EdgeLabel{}, err
+		}
+		if scale < 0 || scale >= len(s.inst) || cluster < 0 || int(cluster) >= len(s.inst[scale]) {
+			return EdgeLabel{}, fmt.Errorf("%w: distance label instance (%d,%d) out of range", codec.ErrCorrupt, scale, cluster)
+		}
+		el, err := s.inst[scale][cluster].Conn.UnmarshalEdgeLabel(inner)
+		if err != nil {
+			return EdgeLabel{}, err
+		}
+		out.Entries = append(out.Entries, EEntry{Scale: scale, Cluster: cluster, L: el})
+		body = rest
+	}
+	if len(body) != 0 {
+		return EdgeLabel{}, fmt.Errorf("%w: %d trailing bytes after distance edge label", codec.ErrCorrupt, len(body))
+	}
+	return out, nil
+}

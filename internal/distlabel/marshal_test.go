@@ -1,0 +1,134 @@
+package distlabel
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ftrouting/internal/codec"
+	"ftrouting/internal/graph"
+)
+
+func buildSmall(t *testing.T) (*graph.Graph, *Scheme) {
+	t.Helper()
+	g := graph.RandomConnected(16, 24, 3)
+	s, err := Build(g, 2, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+func TestVertexLabelWireRoundTrip(t *testing.T) {
+	g, s := buildSmall(t)
+	for v := int32(0); v < int32(g.N()); v++ {
+		l := s.VertexLabel(v)
+		data, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back VertexLabel
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if back.Global != l.Global || !reflect.DeepEqual(back.Home, l.Home) || len(back.Entries) != len(l.Entries) {
+			t.Fatalf("vertex label %d round trip mismatch", v)
+		}
+		for i := range l.Entries {
+			if back.Entries[i].Scale != l.Entries[i].Scale || back.Entries[i].Cluster != l.Entries[i].Cluster ||
+				back.Entries[i].L.ID != l.Entries[i].L.ID || back.Entries[i].L.Anc != l.Entries[i].L.Anc {
+				t.Fatalf("vertex label %d entry %d mismatch", v, i)
+			}
+		}
+	}
+}
+
+func TestEdgeLabelWireRoundTrip(t *testing.T) {
+	g, s := buildSmall(t)
+	// Decode over the wire must agree with direct decode for every query.
+	faultIDs := graph.RandomFaults(g, 2, 5)
+	direct := make([]EdgeLabel, len(faultIDs))
+	wire := make([]EdgeLabel, len(faultIDs))
+	for i, id := range faultIDs {
+		direct[i] = s.EdgeLabel(id)
+		data, err := direct[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := s.UnmarshalEdgeLabel(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire[i] = l
+	}
+	for v := int32(1); v < int32(g.N()); v += 3 {
+		sl := wireVertexLabel(t, s, 0)
+		tl := wireVertexLabel(t, s, v)
+		want, err := s.Decode(s.VertexLabel(0), s.VertexLabel(v), direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Decode(sl, tl, wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("wire decode (0,%d): %d != %d", v, got, want)
+		}
+	}
+}
+
+func wireVertexLabel(t *testing.T, s *Scheme, v int32) VertexLabel {
+	t.Helper()
+	data, err := s.VertexLabel(v).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l VertexLabel
+	if err := l.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLabelUnmarshalRejectsGarbage(t *testing.T) {
+	g, s := buildSmall(t)
+	vdata, err := s.VertexLabel(3).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var someEdge graph.EdgeID
+	edata, err := s.EdgeLabel(someEdge).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	var v VertexLabel
+	for cut := 0; cut < len(vdata); cut++ {
+		if err := v.UnmarshalBinary(vdata[:cut]); err == nil {
+			t.Fatalf("vertex truncation to %d bytes accepted", cut)
+		}
+	}
+	for cut := 0; cut < len(edata); cut++ {
+		if _, err := s.UnmarshalEdgeLabel(edata[:cut]); err == nil {
+			t.Fatalf("edge truncation to %d bytes accepted", cut)
+		}
+	}
+	// Trailing bytes are corruption, not padding.
+	if err := v.UnmarshalBinary(append(append([]byte(nil), vdata...), 0)); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+	// Out-of-range instance coordinates.
+	bad := append([]byte(nil), edata...)
+	bad[codec.HeaderLen+4] = 0xEE // entry scale
+	if _, err := s.UnmarshalEdgeLabel(bad); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("out-of-range scale: %v", err)
+	}
+	// Kind confusion.
+	if err := v.UnmarshalBinary(edata); !errors.Is(err, codec.ErrKind) {
+		t.Fatalf("edge wire as vertex label: %v", err)
+	}
+	if _, err := s.UnmarshalEdgeLabel(vdata); !errors.Is(err, codec.ErrKind) {
+		t.Fatalf("vertex wire as edge label: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+package route
+
+import (
+	"testing"
+
+	"ftrouting/internal/graph"
+)
+
+func FuzzUnmarshalRouteLabel(f *testing.F) {
+	g := graph.RandomConnected(10, 14, 3)
+	r, err := Build(g, 1, 2, Options{Seed: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for v := int32(0); v < 3; v++ {
+		data, _ := r.Label(v).MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l Label
+		if err := l.UnmarshalBinary(data); err != nil {
+			return
+		}
+		back, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal of decoded label failed: %v", err)
+		}
+		if string(back) != string(data) {
+			t.Fatal("routing label encoding is not canonical")
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package route
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ftrouting/internal/codec"
+	"ftrouting/internal/core"
+)
+
+// Wire format for the routing label L_route(t) of Eq. (8): per distance
+// scale, the home-cluster index and the connectivity vertex label of t in
+// that home instance (whose Extra payload already embeds the encoded
+// tree-routing label, so the wire label is everything a source needs to
+// address t). Self-contained — routing labels are the artifact the paper
+// ships to sources, so they decode without the router.
+//
+// Encoding (little endian, after the 8-byte codec header):
+//
+//	Global(4) scaleCount(4) then per scale Home(4) len(4) vertex-label bytes
+
+const maxWireScales = 64
+
+// MarshalBinary encodes L_route(t).
+func (l Label) MarshalBinary() ([]byte, error) {
+	if len(l.Entries) != len(l.Home) {
+		return nil, fmt.Errorf("route: label has %d entries for %d scales", len(l.Entries), len(l.Home))
+	}
+	buf := codec.AppendHeader(nil, codec.KindRouteLabel)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.Global))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Home)))
+	for i, h := range l.Home {
+		inner, err := l.Entries[i].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(h))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(inner)))
+		buf = append(buf, inner...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes L_route(t).
+func (l *Label) UnmarshalBinary(data []byte) error {
+	body, err := codec.ConsumeHeader(data, codec.KindRouteLabel)
+	if err != nil {
+		return err
+	}
+	if len(body) < 8 {
+		return fmt.Errorf("%w: routing label body %d bytes", codec.ErrTruncated, len(body))
+	}
+	out := Label{Global: int32(binary.LittleEndian.Uint32(body[0:]))}
+	ns := int(binary.LittleEndian.Uint32(body[4:]))
+	if ns < 0 || ns > maxWireScales {
+		return fmt.Errorf("%w: routing label scale count %d", codec.ErrCorrupt, ns)
+	}
+	body = body[8:]
+	for i := 0; i < ns; i++ {
+		if len(body) < 8 {
+			return fmt.Errorf("%w: routing label scale %d header", codec.ErrTruncated, i)
+		}
+		home := int32(binary.LittleEndian.Uint32(body[0:]))
+		n := int(binary.LittleEndian.Uint32(body[4:]))
+		if n < 0 || n > 1<<24 {
+			return fmt.Errorf("%w: routing label entry length %d", codec.ErrCorrupt, n)
+		}
+		body = body[8:]
+		if len(body) < n {
+			return fmt.Errorf("%w: routing label scale %d body %d of %d bytes", codec.ErrTruncated, i, len(body), n)
+		}
+		var vl core.SketchVertexLabel
+		if err := vl.UnmarshalBinary(body[:n]); err != nil {
+			return err
+		}
+		out.Home = append(out.Home, home)
+		out.Entries = append(out.Entries, vl)
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after routing label", codec.ErrCorrupt, len(body))
+	}
+	*l = out
+	return nil
+}

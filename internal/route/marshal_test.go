@@ -1,0 +1,67 @@
+package route
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ftrouting/internal/codec"
+	"ftrouting/internal/graph"
+)
+
+func TestRouteLabelWireRoundTrip(t *testing.T) {
+	g := graph.RandomConnected(14, 20, 3)
+	r, err := Build(g, 1, 2, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		l := r.Label(v)
+		data, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Label
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if back.Global != l.Global || !reflect.DeepEqual(back.Home, l.Home) {
+			t.Fatalf("label %d home mismatch", v)
+		}
+		if len(back.Entries) != len(l.Entries) {
+			t.Fatalf("label %d entry count mismatch", v)
+		}
+		for i := range l.Entries {
+			if back.Entries[i].ID != l.Entries[i].ID || back.Entries[i].Anc != l.Entries[i].Anc ||
+				!reflect.DeepEqual(back.Entries[i].Extra, l.Entries[i].Extra) {
+				t.Fatalf("label %d entry %d mismatch", v, i)
+			}
+		}
+	}
+}
+
+func TestRouteLabelUnmarshalRejectsGarbage(t *testing.T) {
+	g := graph.Cycle(8)
+	r, err := Build(g, 1, 2, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.Label(3).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l Label
+	for cut := 0; cut < len(data); cut++ {
+		if err := l.UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if err := l.UnmarshalBinary(append(append([]byte(nil), data...), 7)); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[6] ^= 0xFF // kind
+	if err := l.UnmarshalBinary(bad); !errors.Is(err, codec.ErrKind) {
+		t.Fatalf("bad kind: %v", err)
+	}
+}

@@ -77,6 +77,19 @@ func Build(g *graph.Graph, f, k int, opts Options) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	return BuildWithHierarchy(g, f, k, opts, hier)
+}
+
+// BuildWithHierarchy preprocesses on a prebuilt tree-cover hierarchy of
+// g. The hierarchy carries every graph-search product of preprocessing;
+// tree-routing schemes and the f'-copy connectivity labelings are
+// re-derived from the seed in linear time, so loading a persisted router
+// goes through here. For equal inputs the result is bit-identical to
+// Build's.
+func BuildWithHierarchy(g *graph.Graph, f, k int, opts Options, hier *treecover.Hierarchy) (*Router, error) {
+	if f < 0 || k < 1 {
+		return nil, fmt.Errorf("route: need f >= 0 and k >= 1, got %d, %d", f, k)
+	}
 	r := &Router{g: g, f: f, k: k, opts: opts, hier: hier}
 	gammaF := 0
 	if opts.Balanced {
@@ -111,7 +124,7 @@ func Build(g *graph.Graph, f, k int, opts Options) (*Router, error) {
 	if inner < 1 {
 		inner = 1
 	}
-	err = parallel.ForEach(outer, len(coords), func(idx int) error {
+	err := parallel.ForEach(outer, len(coords), func(idx int) error {
 		i, j := coords[idx].i, coords[idx].j
 		inst, err := buildInstance(g, i, int32(j), hier.Scales[i].Clusters[j], f, gammaF, inner, opts)
 		if err != nil {
@@ -170,6 +183,15 @@ func (r *Router) F() int { return r.f }
 
 // K returns the stretch parameter.
 func (r *Router) K() int { return r.k }
+
+// Options returns the build options.
+func (r *Router) Options() Options { return r.opts }
+
+// Graph returns the routed graph.
+func (r *Router) Graph() *graph.Graph { return r.g }
+
+// Hierarchy returns the tree-cover hierarchy the router is built on.
+func (r *Router) Hierarchy() *treecover.Hierarchy { return r.hier }
 
 // Scales returns the number of distance scales K+1.
 func (r *Router) Scales() int { return len(r.inst) }

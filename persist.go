@@ -1,0 +1,315 @@
+package ftrouting
+
+// Scheme persistence: preprocess once, serve from disk. SaveConnLabels,
+// SaveDistLabels and SaveRouter write a self-describing, versioned binary
+// file (package internal/codec documents the format); the matching Load
+// functions reconstitute a scheme that answers Connected/Estimate/Route
+// bit-identically to the one saved, without re-running any of the
+// graph-search preprocessing (component decomposition, spanning trees,
+// tree-cover region growing). Decoding is strict: truncated, corrupted,
+// wrong-kind or future-version input yields one of the typed errors
+// re-exported below, never a panic.
+
+import (
+	"fmt"
+	"io"
+
+	"ftrouting/internal/codec"
+	"ftrouting/internal/core"
+	"ftrouting/internal/distlabel"
+	"ftrouting/internal/graph"
+	"ftrouting/internal/parallel"
+	"ftrouting/internal/route"
+	"ftrouting/internal/sketch"
+)
+
+// Typed decode errors, re-exported from the wire-format package so
+// callers can errors.Is against them without importing internals.
+var (
+	ErrBadMagic  = codec.ErrBadMagic
+	ErrVersion   = codec.ErrVersion
+	ErrKind      = codec.ErrKind
+	ErrTruncated = codec.ErrTruncated
+	ErrCorrupt   = codec.ErrCorrupt
+	ErrChecksum  = codec.ErrChecksum
+)
+
+// Sanity bounds on persisted parameters: values beyond these cannot come
+// from a real build and are rejected as corruption before they can drive
+// oversized reconstruction work.
+const (
+	maxPersistedFaults = 1 << 20
+	maxPersistedK      = 64
+	maxPersistedParam  = 1 << 20
+)
+
+// SaveConnLabels writes a connectivity labeling to w.
+func SaveConnLabels(w io.Writer, c *ConnLabels) error {
+	cw := codec.NewWriter(w)
+	codec.WriteHeader(cw, codec.KindConnLabels)
+	cw.U16(uint16(c.opts.Scheme))
+	cw.I32(int32(c.opts.MaxFaults))
+	cw.U64(c.opts.Seed)
+	codec.EncodeGraph(cw, c.g)
+	cw.Count(len(c.subs))
+	for ci := range c.subs {
+		codec.EncodeSubgraph(cw, c.subs[ci])
+		codec.EncodeTree(cw, c.componentTree(ci))
+	}
+	return cw.Finish()
+}
+
+// LoadConnLabels reads a labeling previously written by SaveConnLabels.
+// The loaded labeling answers VertexLabel/EdgeLabel/Query/Connected
+// bit-identically to the saved one.
+func LoadConnLabels(r io.Reader) (*ConnLabels, error) {
+	cr := codec.NewReader(r)
+	if err := codec.ReadHeader(cr, codec.KindConnLabels); err != nil {
+		return nil, err
+	}
+	c, err := loadConnPayload(cr)
+	if err != nil {
+		return nil, err
+	}
+	if err := cr.Finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func loadConnPayload(cr *codec.Reader) (*ConnLabels, error) {
+	scheme := ConnSchemeKind(cr.U16())
+	maxFaults := int(cr.I32())
+	seed := cr.U64()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	if scheme != CutBased && scheme != SketchBased {
+		cr.Corrupt("unknown connectivity scheme %d", scheme)
+		return nil, cr.Err()
+	}
+	if maxFaults < 0 || maxFaults > maxPersistedFaults {
+		cr.Corrupt("fault bound %d out of range", maxFaults)
+		return nil, cr.Err()
+	}
+	g, err := codec.DecodeGraph(cr)
+	if err != nil {
+		return nil, err
+	}
+	ncomp := cr.Count(g.N())
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	c := &ConnLabels{
+		g:        g,
+		opts:     ConnOptions{Scheme: scheme, MaxFaults: maxFaults, Seed: seed},
+		comp:     make([]int32, g.N()),
+		subs:     make([]*graph.Subgraph, ncomp),
+		cuts:     make([]*core.CutScheme, ncomp),
+		sketches: make([]*core.SketchScheme, ncomp),
+	}
+	for v := range c.comp {
+		c.comp[v] = -1
+	}
+	trees := make([]*graph.Tree, ncomp)
+	for ci := 0; ci < ncomp; ci++ {
+		sub, err := codec.DecodeSubgraph(cr, g)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := codec.DecodeTree(cr, sub.Local)
+		if err != nil {
+			return nil, err
+		}
+		if tree.Size() != sub.Local.N() {
+			cr.Corrupt("component %d tree spans %d of %d vertices", ci, tree.Size(), sub.Local.N())
+			return nil, cr.Err()
+		}
+		c.subs[ci] = sub
+		trees[ci] = tree
+		for _, v := range sub.ToGlobal {
+			if c.comp[v] != -1 {
+				cr.Corrupt("vertex %d in components %d and %d", v, c.comp[v], ci)
+				return nil, cr.Err()
+			}
+			c.comp[v] = int32(ci)
+		}
+	}
+	for v, ci := range c.comp {
+		if ci == -1 {
+			cr.Corrupt("vertex %d in no component", v)
+			return nil, cr.Err()
+		}
+	}
+	// Label content is re-derived from the per-component seeds — linear
+	// work, fanned out across components like the original build.
+	err = parallel.ForEach(0, ncomp, func(ci int) error {
+		return c.buildComponentScheme(ci, trees[ci])
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuilding component labeling: %v", codec.ErrCorrupt, err)
+	}
+	return c, nil
+}
+
+// SaveDistLabels writes a distance labeling to w.
+func SaveDistLabels(w io.Writer, d *DistLabels) error {
+	s := d.inner
+	opts := s.Options()
+	cw := codec.NewWriter(w)
+	codec.WriteHeader(cw, codec.KindDistLabels)
+	cw.I32(int32(s.F()))
+	cw.I32(int32(s.K()))
+	cw.U64(opts.Seed)
+	cw.I32(int32(opts.Params.Units))
+	cw.I32(int32(opts.Params.Levels))
+	codec.EncodeGraph(cw, s.Graph())
+	codec.EncodeHierarchy(cw, s.Hierarchy())
+	return cw.Finish()
+}
+
+// LoadDistLabels reads a labeling previously written by SaveDistLabels.
+// The loaded labeling answers Estimate bit-identically to the saved one.
+func LoadDistLabels(r io.Reader) (*DistLabels, error) {
+	cr := codec.NewReader(r)
+	if err := codec.ReadHeader(cr, codec.KindDistLabels); err != nil {
+		return nil, err
+	}
+	d, err := loadDistPayload(cr)
+	if err != nil {
+		return nil, err
+	}
+	if err := cr.Finish(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func loadDistPayload(cr *codec.Reader) (*DistLabels, error) {
+	f, k, seed, params, err := readSchemeParams(cr)
+	if err != nil {
+		return nil, err
+	}
+	g, err := codec.DecodeGraph(cr)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := codec.DecodeHierarchy(cr, g)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := distlabel.BuildWithHierarchy(g, f, k, distlabel.Options{Seed: seed, Params: params}, hier)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuilding distance labeling: %v", codec.ErrCorrupt, err)
+	}
+	return &DistLabels{inner: inner}, nil
+}
+
+// SaveRouter writes a preprocessed router to w.
+func SaveRouter(w io.Writer, r *Router) error {
+	inner := r.inner
+	opts := inner.Options()
+	cw := codec.NewWriter(w)
+	codec.WriteHeader(cw, codec.KindRouter)
+	cw.I32(int32(inner.F()))
+	cw.I32(int32(inner.K()))
+	cw.U64(opts.Seed)
+	cw.I32(int32(opts.Params.Units))
+	cw.I32(int32(opts.Params.Levels))
+	cw.Bool(opts.Balanced)
+	codec.EncodeGraph(cw, inner.Graph())
+	codec.EncodeHierarchy(cw, inner.Hierarchy())
+	return cw.Finish()
+}
+
+// LoadRouter reads a router previously written by SaveRouter. The loaded
+// router answers Route/RouteForbidden bit-identically to the saved one.
+func LoadRouter(r io.Reader) (*Router, error) {
+	cr := codec.NewReader(r)
+	if err := codec.ReadHeader(cr, codec.KindRouter); err != nil {
+		return nil, err
+	}
+	rt, err := loadRouterPayload(cr)
+	if err != nil {
+		return nil, err
+	}
+	if err := cr.Finish(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+func loadRouterPayload(cr *codec.Reader) (*Router, error) {
+	f, k, seed, params, err := readSchemeParams(cr)
+	if err != nil {
+		return nil, err
+	}
+	balanced := cr.Bool()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	g, err := codec.DecodeGraph(cr)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := codec.DecodeHierarchy(cr, g)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := route.BuildWithHierarchy(g, f, k, route.Options{Seed: seed, Params: params, Balanced: balanced}, hier)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuilding router: %v", codec.ErrCorrupt, err)
+	}
+	return &Router{inner: inner}, nil
+}
+
+// readSchemeParams reads and validates the (f, k, seed, sketch params)
+// prefix shared by distance and router files.
+func readSchemeParams(cr *codec.Reader) (f, k int, seed uint64, params sketch.Params, err error) {
+	f = int(cr.I32())
+	k = int(cr.I32())
+	seed = cr.U64()
+	params.Units = int(cr.I32())
+	params.Levels = int(cr.I32())
+	if err = cr.Err(); err != nil {
+		return
+	}
+	if f < 0 || f > maxPersistedFaults {
+		cr.Corrupt("fault bound %d out of range", f)
+	} else if k < 1 || k > maxPersistedK {
+		cr.Corrupt("stretch parameter %d out of range", k)
+	} else if params.Units < 0 || params.Units > maxPersistedParam ||
+		params.Levels < 0 || params.Levels > maxPersistedParam {
+		cr.Corrupt("sketch params %+v out of range", params)
+	}
+	err = cr.Err()
+	return
+}
+
+// LoadScheme reads any scheme file, dispatching on the artifact kind in
+// its header, and returns a *ConnLabels, *DistLabels or *Router.
+func LoadScheme(r io.Reader) (any, error) {
+	cr := codec.NewReader(r)
+	kind, err := codec.ReadHeaderAny(cr)
+	if err != nil {
+		return nil, err
+	}
+	var out any
+	switch kind {
+	case codec.KindConnLabels:
+		out, err = loadConnPayload(cr)
+	case codec.KindDistLabels:
+		out, err = loadDistPayload(cr)
+	case codec.KindRouter:
+		out, err = loadRouterPayload(cr)
+	default:
+		return nil, fmt.Errorf("%w: file holds %s, not a scheme", codec.ErrKind, kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := cr.Finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package ftrouting
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the scheme-file loaders: arbitrary bytes must either
+// load into a scheme that answers queries without panicking, or fail with
+// a typed error. Seeds are valid files of each kind so the fuzzer mutates
+// real structure, not just headers.
+
+func fuzzSeedFiles(f *testing.F) {
+	f.Helper()
+	g := Path(6)
+	if conn, err := BuildConnectivityLabels(g, ConnOptions{Scheme: CutBased, MaxFaults: 1, Seed: 2}); err == nil {
+		var buf bytes.Buffer
+		if SaveConnLabels(&buf, conn) == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	if conn, err := BuildConnectivityLabels(g, ConnOptions{Scheme: SketchBased, Seed: 2}); err == nil {
+		var buf bytes.Buffer
+		if SaveConnLabels(&buf, conn) == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	if dist, err := BuildDistanceLabels(g, 1, 2, 2); err == nil {
+		var buf bytes.Buffer
+		if SaveDistLabels(&buf, dist) == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	if router, err := NewRouter(g, 1, 2, RouterOptions{Seed: 2}); err == nil {
+		var buf bytes.Buffer
+		if SaveRouter(&buf, router) == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	f.Add([]byte{})
+}
+
+func FuzzLoadConnLabels(f *testing.F) {
+	fuzzSeedFiles(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := LoadConnLabels(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A loaded labeling must answer queries without panicking.
+		n := int32(c.g.N())
+		if n >= 2 {
+			if _, err := c.Connected(0, n-1, nil); err != nil {
+				t.Fatalf("loaded labeling cannot answer: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzLoadDistLabels(f *testing.F) {
+	fuzzSeedFiles(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := LoadDistLabels(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := int32(d.inner.Graph().N())
+		if n >= 2 {
+			if _, err := d.Estimate(0, n-1, nil); err != nil {
+				t.Fatalf("loaded labeling cannot estimate: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzLoadRouter(f *testing.F) {
+	fuzzSeedFiles(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := LoadRouter(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := int32(r.inner.Graph().N())
+		if n >= 2 {
+			if _, err := r.Route(0, n-1, nil); err != nil {
+				t.Fatalf("loaded router cannot route: %v", err)
+			}
+		}
+	})
+}
