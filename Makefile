@@ -3,6 +3,12 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+# bench-compare: revision to diff benchmarks against, and the counts/gate
+# the CI job uses.
+BASE ?= main
+BENCHCOUNT ?= 5
+BENCHFILTER ?= Query|Decode|Routing
+BENCHTHRESHOLD ?= 25
 
 # Every decoder has a FuzzUnmarshal*/FuzzDecode*/FuzzLoad* target; `make
 # fuzz` runs each for FUZZTIME (package:target pairs, one -fuzz pattern
@@ -23,7 +29,7 @@ FUZZ_TARGETS = \
 	.:FuzzLoadDistLabels \
 	.:FuzzLoadRouter
 
-.PHONY: all build test race bench lint fuzz
+.PHONY: all build test race bench bench-compare cover lint fuzz
 
 all: build lint test
 
@@ -34,10 +40,33 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout=10m ./...
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-compare benchmarks the working tree against BASE (default: main)
+# in a temporary git worktree and gates with cmd/benchcmp exactly like the
+# CI job: fail only on statistically significant >BENCHTHRESHOLD% median
+# regressions in benchmarks matching BENCHFILTER.
+bench-compare:
+	@set -e; \
+	$(GO) test -run=NONE -bench=. -benchtime=1x -count=$(BENCHCOUNT) ./... > BENCH_pr.txt; \
+	cat BENCH_pr.txt; \
+	tmp=$$(mktemp -d); \
+	git worktree add --detach "$$tmp" $(BASE); \
+	( cd "$$tmp" && $(GO) test -run=NONE -bench=. -benchtime=1x -count=$(BENCHCOUNT) ./... ) > BENCH_base.txt || { git worktree remove --force "$$tmp"; exit 1; }; \
+	git worktree remove --force "$$tmp"; \
+	$(GO) run ./cmd/benchcmp -base BENCH_base.txt -head BENCH_pr.txt -filter '$(BENCHFILTER)' -threshold $(BENCHTHRESHOLD)
+
+# cover mirrors the CI coverage job: profile plus per-package summary.
+cover:
+	@set -e; \
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./... > test-output.txt || { cat test-output.txt; exit 1; }; \
+	cat test-output.txt; \
+	echo; echo "## Per-package statement coverage"; \
+	grep -E "^ok" test-output.txt | awk '{printf "%-40s %s\n", $$2, $$5}'; \
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \

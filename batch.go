@@ -1,0 +1,390 @@
+package ftrouting
+
+// Batch query subsystem: a serving deployment issues many (s,t) queries
+// against one fixed fault set (a snapshot of the failed links), so the
+// per-query cost splits into fault-set preparation — decoding fault
+// labels, building cut/sketch structures, per-scale state — and per-pair
+// evaluation. PrepareFaults runs the first part once into a reusable
+// fault context; the *Batch methods partition the pair list across the
+// internal/parallel pool, preserve input order in the result slice, and
+// report the error of the lowest-indexed failing pair (first-error
+// semantics). Batch results are bit-identical to a sequential loop of
+// single queries at any parallelism.
+
+import (
+	"fmt"
+	"sync"
+
+	"ftrouting/internal/core"
+	"ftrouting/internal/distlabel"
+	"ftrouting/internal/parallel"
+	"ftrouting/internal/route"
+)
+
+// Pair is one (source, target) query.
+type Pair struct {
+	S, T int32
+}
+
+// QueryBatch is a list of pair queries evaluated against one fault set.
+// Duplicate pairs are answered independently; duplicate fault ids count
+// once toward the fault bound.
+type QueryBatch struct {
+	Pairs  []Pair
+	Faults []EdgeID
+}
+
+// BatchOptions configures batch evaluation.
+type BatchOptions struct {
+	// Parallelism bounds the worker goroutines evaluating pairs: 0 uses
+	// GOMAXPROCS, 1 evaluates sequentially. Results are bit-identical at
+	// any parallelism.
+	Parallelism int
+}
+
+// checkVertex validates a pair endpoint against the graph.
+func checkVertex(name string, v int32, n int) error {
+	if v < 0 || int(v) >= n {
+		return fmt.Errorf("ftrouting: vertex %s=%d out of range [0,%d)", name, v, n)
+	}
+	return nil
+}
+
+// checkFaults validates fault edge ids and, when bound >= 0, enforces the
+// scheme's fault bound f on the number of distinct faults.
+func checkFaults(faults []EdgeID, m int, bound int) error {
+	distinct := make(map[EdgeID]bool, len(faults))
+	for _, id := range faults {
+		if id < 0 || int(id) >= m {
+			return fmt.Errorf("ftrouting: fault edge id %d out of range [0,%d)", id, m)
+		}
+		distinct[id] = true
+	}
+	if bound >= 0 && len(distinct) > bound {
+		return fmt.Errorf("ftrouting: %d distinct faults exceed the scheme's fault bound f=%d", len(distinct), bound)
+	}
+	return nil
+}
+
+// forEachPair fans the pair list out across the worker pool, writing
+// results in input order; the returned error is the one of the
+// lowest-indexed failing pair, tagged with its index.
+func forEachPair[T any](pairs []Pair, parallelism int, eval func(Pair) (T, error)) ([]T, error) {
+	out := make([]T, len(pairs))
+	err := parallel.ForEach(parallelism, len(pairs), func(i int) error {
+		v, err := eval(pairs[i])
+		if err != nil {
+			// The inner error carries the package prefix already.
+			return fmt.Errorf("batch pair %d: %w", i, err)
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ConnFaultContext is a fault set preprocessed against a connectivity
+// labeling: fault edge labels are assembled and grouped per component,
+// and each component's decoder state (GF(2) columns for the cut scheme,
+// component tree and cancelled sketches for the sketch scheme) is built
+// once. Safe for concurrent Connected calls.
+type ConnFaultContext struct {
+	c      *ConnLabels
+	cut    map[int32]*core.CutFaultContext
+	sketch map[int32]*core.SketchFaultContext
+}
+
+// PrepareFaults preprocesses a fault set for repeated connectivity
+// queries. For the cut-based scheme the number of distinct faults must
+// not exceed the MaxFaults bound the labels were sized for; the
+// sketch-based labels are f-independent.
+func (c *ConnLabels) PrepareFaults(faults []EdgeID) (*ConnFaultContext, error) {
+	bound := -1
+	if c.opts.Scheme == CutBased {
+		bound = c.opts.MaxFaults
+	}
+	if err := checkFaults(faults, c.g.M(), bound); err != nil {
+		return nil, err
+	}
+	// Assemble the edge labels once and group them per component in input
+	// order — exactly the restriction Query applies per pair.
+	byComp := make(map[int32][]EdgeLabel)
+	for _, id := range faults {
+		l := c.EdgeLabel(id)
+		byComp[l.comp] = append(byComp[l.comp], l)
+	}
+	ctx := &ConnFaultContext{
+		c:      c,
+		cut:    make(map[int32]*core.CutFaultContext),
+		sketch: make(map[int32]*core.SketchFaultContext),
+	}
+	for ci, group := range byComp {
+		switch c.opts.Scheme {
+		case CutBased:
+			fl := make([]core.CutEdgeLabel, len(group))
+			for i, l := range group {
+				fl[i] = l.cut
+			}
+			ctx.cut[ci] = core.PrepareCutFaults(fl)
+		case SketchBased:
+			fl := make([]core.SketchEdgeLabel, len(group))
+			for i, l := range group {
+				fl[i] = l.sketch
+			}
+			prepared, err := c.sketches[ci].PrepareFaults(fl, 0)
+			if err != nil {
+				return nil, fmt.Errorf("ftrouting: component %d: %w", ci, err)
+			}
+			ctx.sketch[ci] = prepared
+		}
+	}
+	return ctx, nil
+}
+
+// Connected answers one pair against the prepared fault set,
+// bit-identically to ConnLabels.Connected with the same faults.
+func (x *ConnFaultContext) Connected(s, t int32) (bool, error) {
+	c := x.c
+	if err := checkVertex("s", s, c.g.N()); err != nil {
+		return false, err
+	}
+	if err := checkVertex("t", t, c.g.N()); err != nil {
+		return false, err
+	}
+	sv, tv := c.VertexLabel(s), c.VertexLabel(t)
+	if sv.comp != tv.comp {
+		return false, nil
+	}
+	switch c.opts.Scheme {
+	case CutBased:
+		ctx, ok := x.cut[sv.comp]
+		if !ok {
+			return true, nil // no faults in this component: tree intact
+		}
+		return ctx.Decode(sv.cut, tv.cut), nil
+	case SketchBased:
+		ctx, ok := x.sketch[sv.comp]
+		if !ok {
+			return true, nil
+		}
+		v, err := ctx.Decode(sv.sketch, tv.sketch, false)
+		if err != nil {
+			return false, err
+		}
+		return v.Connected, nil
+	}
+	return false, fmt.Errorf("ftrouting: unknown scheme")
+}
+
+// ConnectedBatch evaluates a pair list against the prepared fault set,
+// fanning out across the worker pool. Results are in pair order.
+func (x *ConnFaultContext) ConnectedBatch(pairs []Pair, opts BatchOptions) ([]bool, error) {
+	return forEachPair(pairs, opts.Parallelism, func(p Pair) (bool, error) {
+		return x.Connected(p.S, p.T)
+	})
+}
+
+// ConnectedBatch evaluates every pair of the batch against its fault set,
+// preparing the fault structures once and fanning the pairs out across
+// the worker pool. Results are in pair order and bit-identical to a
+// sequential loop of Connected calls at any parallelism. An empty pair
+// list returns (nil, nil) without touching the fault set.
+func (c *ConnLabels) ConnectedBatch(b QueryBatch, opts BatchOptions) ([]bool, error) {
+	if len(b.Pairs) == 0 {
+		return nil, nil
+	}
+	ctx, err := c.PrepareFaults(b.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.ConnectedBatch(b.Pairs, opts)
+}
+
+// DistFaultContext is a fault set preprocessed against a distance
+// labeling: the distinct-fault count, per-instance fault restrictions and
+// per-instance connectivity decoder state are built once. Safe for
+// concurrent Estimate calls.
+type DistFaultContext struct {
+	d     *DistLabels
+	inner *distlabel.FaultContext
+}
+
+// PrepareFaults preprocesses a fault set for repeated distance queries.
+// The number of distinct faults must not exceed the fault bound f the
+// labels were built for.
+func (d *DistLabels) PrepareFaults(faults []EdgeID) (*DistFaultContext, error) {
+	g := d.inner.Graph()
+	if err := checkFaults(faults, g.M(), d.inner.F()); err != nil {
+		return nil, err
+	}
+	fl := make([]distlabel.EdgeLabel, len(faults))
+	for i, id := range faults {
+		fl[i] = d.inner.EdgeLabel(id)
+	}
+	inner, err := d.inner.PrepareFaults(fl)
+	if err != nil {
+		return nil, err
+	}
+	return &DistFaultContext{d: d, inner: inner}, nil
+}
+
+// Estimate answers one pair against the prepared fault set,
+// bit-identically to DistLabels.Estimate with the same faults.
+func (x *DistFaultContext) Estimate(s, t int32) (int64, error) {
+	g := x.d.inner.Graph()
+	if err := checkVertex("s", s, g.N()); err != nil {
+		return 0, err
+	}
+	if err := checkVertex("t", t, g.N()); err != nil {
+		return 0, err
+	}
+	return x.inner.Decode(x.d.inner.VertexLabel(s), x.d.inner.VertexLabel(t))
+}
+
+// EstimateBatch evaluates a pair list against the prepared fault set,
+// fanning out across the worker pool. Results are in pair order.
+func (x *DistFaultContext) EstimateBatch(pairs []Pair, opts BatchOptions) ([]int64, error) {
+	return forEachPair(pairs, opts.Parallelism, func(p Pair) (int64, error) {
+		return x.Estimate(p.S, p.T)
+	})
+}
+
+// EstimateBatch evaluates every pair of the batch against its fault set,
+// preparing the fault structures once and fanning the pairs out across
+// the worker pool. Results are in pair order and bit-identical to a
+// sequential loop of Estimate calls at any parallelism. An empty pair
+// list returns (nil, nil) without touching the fault set.
+func (d *DistLabels) EstimateBatch(b QueryBatch, opts BatchOptions) ([]int64, error) {
+	if len(b.Pairs) == 0 {
+		return nil, nil
+	}
+	ctx, err := d.PrepareFaults(b.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.EstimateBatch(b.Pairs, opts)
+}
+
+// RouteFaultContext is a fault set preprocessed against a router. The
+// fault-tolerant model (Route) discovers faults by bumping into them, so
+// only the fault set itself is shared; the forbidden-set model
+// (RouteForbidden) additionally shares per-instance fault restrictions
+// and connectivity decoder state, prepared lazily on first use. Safe for
+// concurrent Route/RouteForbidden calls.
+type RouteFaultContext struct {
+	r        *Router
+	faultIDs []EdgeID
+	faults   EdgeSet
+
+	once      sync.Once
+	forbidden *route.ForbiddenContext
+	prepErr   error
+}
+
+// PrepareFaults preprocesses a fault set for repeated routing queries.
+// The number of distinct faults must not exceed the fault bound f the
+// router was built for.
+func (r *Router) PrepareFaults(faults []EdgeID) (*RouteFaultContext, error) {
+	g := r.inner.Graph()
+	if err := checkFaults(faults, g.M(), r.inner.F()); err != nil {
+		return nil, err
+	}
+	ids := make([]EdgeID, len(faults))
+	copy(ids, faults)
+	return &RouteFaultContext{r: r, faultIDs: ids, faults: NewEdgeSet(ids...)}, nil
+}
+
+// Route routes one pair under the prepared (unknown-fault) set,
+// bit-identically to Router.Route with the same faults.
+func (x *RouteFaultContext) Route(s, t int32) (RouteResult, error) {
+	g := x.r.inner.Graph()
+	if err := checkVertex("s", s, g.N()); err != nil {
+		return RouteResult{}, err
+	}
+	if err := checkVertex("t", t, g.N()); err != nil {
+		return RouteResult{}, err
+	}
+	return x.r.inner.RouteFT(s, t, x.faults)
+}
+
+// prepareForbidden lazily builds the forbidden-set structures exactly
+// once per context (the fault-tolerant model never needs them).
+func (x *RouteFaultContext) prepareForbidden() error {
+	x.once.Do(func() {
+		x.forbidden, x.prepErr = x.r.inner.PrepareForbidden(x.faultIDs)
+	})
+	return x.prepErr
+}
+
+// RouteForbidden routes one pair under the prepared known fault set,
+// bit-identically to Router.RouteForbidden with the same faults.
+func (x *RouteFaultContext) RouteForbidden(s, t int32) (RouteResult, error) {
+	g := x.r.inner.Graph()
+	if err := checkVertex("s", s, g.N()); err != nil {
+		return RouteResult{}, err
+	}
+	if err := checkVertex("t", t, g.N()); err != nil {
+		return RouteResult{}, err
+	}
+	if err := x.prepareForbidden(); err != nil {
+		return RouteResult{}, err
+	}
+	return x.forbidden.Route(s, t)
+}
+
+// RouteBatch routes a pair list under the prepared (unknown-fault) set,
+// fanning out across the worker pool. Results are in pair order.
+func (x *RouteFaultContext) RouteBatch(pairs []Pair, opts BatchOptions) ([]RouteResult, error) {
+	return forEachPair(pairs, opts.Parallelism, func(p Pair) (RouteResult, error) {
+		return x.Route(p.S, p.T)
+	})
+}
+
+// RouteForbiddenBatch routes a pair list under the prepared known fault
+// set, fanning out across the worker pool. Results are in pair order.
+func (x *RouteFaultContext) RouteForbiddenBatch(pairs []Pair, opts BatchOptions) ([]RouteResult, error) {
+	return forEachPair(pairs, opts.Parallelism, func(p Pair) (RouteResult, error) {
+		return x.RouteForbidden(p.S, p.T)
+	})
+}
+
+// RouteBatch routes every pair of the batch under the unknown-fault model
+// (Theorem 5.8), fanning the pairs out across the worker pool. Results
+// are in pair order and bit-identical to a sequential loop of Route calls
+// at any parallelism. An empty pair list returns (nil, nil) without
+// touching the fault set.
+func (r *Router) RouteBatch(b QueryBatch, opts BatchOptions) ([]RouteResult, error) {
+	if len(b.Pairs) == 0 {
+		return nil, nil
+	}
+	ctx, err := r.PrepareFaults(b.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.RouteBatch(b.Pairs, opts)
+}
+
+// RouteForbiddenBatch routes every pair of the batch under the known-fault
+// model (Theorem 5.3), preparing the per-instance fault structures once
+// and fanning the pairs out across the worker pool. Results are in pair
+// order and bit-identical to a sequential loop of RouteForbidden calls at
+// any parallelism. An empty pair list returns (nil, nil) without touching
+// the fault set.
+func (r *Router) RouteForbiddenBatch(b QueryBatch, opts BatchOptions) ([]RouteResult, error) {
+	if len(b.Pairs) == 0 {
+		return nil, nil
+	}
+	ctx, err := r.PrepareFaults(b.Faults)
+	if err != nil {
+		return nil, err
+	}
+	// Prepare the forbidden structures up front (not lazily inside the
+	// fan-out) so a preparation error surfaces before any pair runs.
+	if err := ctx.prepareForbidden(); err != nil {
+		return nil, err
+	}
+	return ctx.RouteForbiddenBatch(b.Pairs, opts)
+}

@@ -1,0 +1,290 @@
+// Command benchcmp is the benchmark-regression gate of the bench-compare
+// CI job: it parses two `go test -bench` outputs (base and head, several
+// -count repetitions each), compares every benchmark whose name matches
+// -filter with a two-sided Mann-Whitney U test, and exits non-zero only
+// when a benchmark regressed both statistically significantly (p < alpha)
+// and by more than -threshold percent in median ns/op. Benchmarks present
+// on only one side (new or deleted) are reported and skipped, so adding a
+// benchmark never fails the gate.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchtime=1x -count=5 ./... > head.txt
+//	git stash / checkout base, same command > base.txt
+//	benchcmp -base base.txt -head head.txt -filter Query -threshold 25
+//
+// It is a self-contained benchstat-style comparator so the gate works
+// offline and hermetically; CI additionally runs benchstat for the
+// human-readable table.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	base := flag.String("base", "", "benchmark output of the base revision")
+	head := flag.String("head", "", "benchmark output of the head revision")
+	filter := flag.String("filter", "Query", "regexp of benchmark names the gate applies to")
+	threshold := flag.Float64("threshold", 25, "regression gate in percent of median ns/op")
+	alpha := flag.Float64("alpha", 0.05, "significance level of the Mann-Whitney test")
+	flag.Parse()
+	if *base == "" || *head == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -base and -head are required")
+		os.Exit(2)
+	}
+	baseRes, err := parseFile(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	headRes, err := parseFile(*head)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp: bad -filter:", err)
+		os.Exit(2)
+	}
+	report, failed := compare(baseRes, headRes, re, *threshold, *alpha)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseFile reads one `go test -bench` output into name -> ns/op samples.
+// The trailing -N GOMAXPROCS suffix is stripped so runs from differently
+// sized machines still line up.
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts ns/op samples from benchmark result lines.
+func parse(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Benchmark lines read: Name iterations value ns/op [more metrics].
+		var ns float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op value %q in line %q", fields[i], sc.Text())
+				}
+				ns, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		out[name] = append(out[name], ns)
+	}
+	return out, sc.Err()
+}
+
+// compare renders the comparison table and reports whether any gated
+// benchmark fails.
+func compare(base, head map[string][]float64, filter *regexp.Regexp, thresholdPct, alpha float64) (string, bool) {
+	var names []string
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	var failures []string
+	fmt.Fprintf(&sb, "%-60s %14s %14s %8s %8s  %s\n", "benchmark", "base med ns/op", "head med ns/op", "delta", "p", "verdict")
+	for _, name := range names {
+		b, h := base[name], head[name]
+		mb, mh := median(b), median(h)
+		delta := 0.0
+		if mb != 0 {
+			delta = (mh - mb) / mb * 100
+		}
+		p := mannWhitney(b, h)
+		gated := filter.MatchString(name)
+		verdict := "ok"
+		switch {
+		case !gated:
+			verdict = "ungated"
+		case p < alpha && delta > thresholdPct:
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: median %+.1f%% (p=%.3f)", name, delta, p))
+		case p < alpha && delta < -thresholdPct:
+			verdict = "improved"
+		case p >= alpha:
+			verdict = "~"
+		}
+		fmt.Fprintf(&sb, "%-60s %14.0f %14.0f %+7.1f%% %8.3f  %s\n", name, mb, mh, delta, p, verdict)
+	}
+	for name := range head {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(&sb, "%-60s new in head, skipped\n", name)
+		}
+	}
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			fmt.Fprintf(&sb, "%-60s missing in head, skipped\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(&sb, "\nFAIL: %d significant regression(s) beyond %.0f%%:\n", len(failures), thresholdPct)
+		for _, f := range failures {
+			fmt.Fprintf(&sb, "  %s\n", f)
+		}
+		return sb.String(), true
+	}
+	fmt.Fprintf(&sb, "\nOK: no significant regression beyond %.0f%% in gated benchmarks\n", thresholdPct)
+	return sb.String(), false
+}
+
+// median returns the middle value of a sample.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitney returns the two-sided p-value of the Mann-Whitney U test on
+// the two samples: exact by permutation enumeration when the sample sizes
+// allow it (the -count=5 CI runs give C(10,5)=252 arrangements), normal
+// approximation with tie correction otherwise. p = 1 means no evidence of
+// a shift (including degenerate all-equal samples).
+func mannWhitney(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 1
+	}
+	ranks, tieAdj := rank(append(append([]float64(nil), a...), b...))
+	var ra float64 // rank sum of sample a
+	for i := 0; i < n; i++ {
+		ra += ranks[i]
+	}
+	if binomial(n+m, n) <= 1e6 {
+		return exactP(ranks, n, ra)
+	}
+	// Normal approximation with tie correction.
+	nm := float64(n * m)
+	mean := float64(n) * float64(n+m+1) / 2
+	nTot := float64(n + m)
+	variance := nm / 12 * (nTot + 1 - tieAdj/(nTot*(nTot-1)))
+	if variance <= 0 {
+		return 1
+	}
+	z := math.Abs(ra-mean) / math.Sqrt(variance)
+	return math.Erfc(z / math.Sqrt2)
+}
+
+// rank assigns average ranks (ties shared) and returns the tie-correction
+// term sum(t^3 - t) over tie groups.
+func rank(xs []float64) (ranks []float64, tieAdj float64) {
+	type kv struct {
+		v float64
+		i int
+	}
+	s := make([]kv, len(xs))
+	for i, v := range xs {
+		s[i] = kv{v, i}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].v < s[j].v })
+	ranks = make([]float64, len(xs))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].v == s[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[s[k].i] = avg
+		}
+		t := float64(j - i)
+		tieAdj += t*t*t - t
+		i = j
+	}
+	return ranks, tieAdj
+}
+
+// exactP enumerates every n-subset of the combined ranks and returns the
+// two-sided tail probability of a rank sum at least as extreme as ra.
+func exactP(ranks []float64, n int, ra float64) float64 {
+	total := len(ranks)
+	mean := float64(n) * float64(total+1) / 2
+	dev := math.Abs(ra - mean)
+	var count, extreme int
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		var sum float64
+		for _, i := range idx {
+			sum += ranks[i]
+		}
+		count++
+		// Tolerance keeps average-rank arithmetic (x.5 halves) exact.
+		if math.Abs(sum-mean) >= dev-1e-9 {
+			extreme++
+		}
+		// Next combination in lexicographic order.
+		i := n - 1
+		for i >= 0 && idx[i] == total-n+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < n; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return float64(extreme) / float64(count)
+}
+
+// binomial returns C(n, k) as a float (overflow-safe for the size check).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}

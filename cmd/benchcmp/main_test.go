@@ -1,0 +1,112 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out, err := parse(strings.NewReader(`goos: linux
+goarch: amd64
+pkg: ftrouting
+BenchmarkQueryBatchConn/loop-8         	       1	  64387619 ns/op	     31808 queries/s
+BenchmarkQueryBatchConn/loop-8         	       1	  65000000 ns/op	     31500 queries/s
+BenchmarkE3SketchDecode-8              	     100	    123456 ns/op
+BenchmarkMarshalRouter-8               	      10	   5000000 ns/op	     12345 bytes/file
+PASS
+ok  	ftrouting	1.0s
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out["BenchmarkQueryBatchConn/loop"]; len(got) != 2 || got[0] != 64387619 {
+		t.Fatalf("loop samples = %v", got)
+	}
+	if got := out["BenchmarkE3SketchDecode"]; len(got) != 1 || got[0] != 123456 {
+		t.Fatalf("decode samples = %v", got)
+	}
+	if got := out["BenchmarkMarshalRouter"]; len(got) != 1 || got[0] != 5000000 {
+		t.Fatalf("marshal samples = %v", got)
+	}
+}
+
+func TestMannWhitney(t *testing.T) {
+	// Clearly separated samples: significant.
+	if p := mannWhitney([]float64{1, 2, 3, 4, 5}, []float64{10, 11, 12, 13, 14}); p >= 0.05 {
+		t.Fatalf("separated samples p = %v, want < 0.05", p)
+	}
+	// Identical samples: no evidence.
+	if p := mannWhitney([]float64{5, 5, 5, 5, 5}, []float64{5, 5, 5, 5, 5}); p < 0.99 {
+		t.Fatalf("identical samples p = %v, want ~1", p)
+	}
+	// Interleaved noise: not significant.
+	if p := mannWhitney([]float64{10, 12, 11, 13, 9}, []float64{11, 10, 13, 9, 12}); p < 0.3 {
+		t.Fatalf("interleaved samples p = %v, want large", p)
+	}
+}
+
+func bench(names []string, samples map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, n := range names {
+		out[n] = samples[n]
+	}
+	return out
+}
+
+func TestCompareGate(t *testing.T) {
+	re := regexp.MustCompile("Query")
+	fast := []float64{100, 101, 99, 100, 102}
+	slow := []float64{200, 201, 199, 202, 198} // 2x = +100%: way past 25%
+	mild := []float64{110, 111, 109, 112, 108} // +10%: within threshold
+
+	// Significant large regression in a gated benchmark fails.
+	base := map[string][]float64{"BenchmarkQueryBatchConn/loop": fast}
+	head := map[string][]float64{"BenchmarkQueryBatchConn/loop": slow}
+	report, failed := compare(base, head, re, 25, 0.05)
+	if !failed || !strings.Contains(report, "REGRESSION") {
+		t.Fatalf("2x regression not gated:\n%s", report)
+	}
+
+	// The same regression in an ungated benchmark passes.
+	base = map[string][]float64{"BenchmarkE4LabelingSketch": fast}
+	head = map[string][]float64{"BenchmarkE4LabelingSketch": slow}
+	if report, failed := compare(base, head, re, 25, 0.05); failed {
+		t.Fatalf("ungated benchmark failed the gate:\n%s", report)
+	}
+
+	// A significant but small (10%) regression passes the 25% gate.
+	base = map[string][]float64{"BenchmarkQueryBatchDist/loop": fast}
+	head = map[string][]float64{"BenchmarkQueryBatchDist/loop": mild}
+	if report, failed := compare(base, head, re, 25, 0.05); failed {
+		t.Fatalf("10%% regression failed the 25%% gate:\n%s", report)
+	}
+
+	// Improvements pass.
+	base = map[string][]float64{"BenchmarkQueryBatchDist/loop": slow}
+	head = map[string][]float64{"BenchmarkQueryBatchDist/loop": fast}
+	report, failed = compare(base, head, re, 25, 0.05)
+	if failed || !strings.Contains(report, "improved") {
+		t.Fatalf("improvement mis-reported:\n%s", report)
+	}
+
+	// Benchmarks only in head (new) or only in base (deleted) are skipped.
+	base = map[string][]float64{"BenchmarkQueryOld": fast}
+	head = map[string][]float64{"BenchmarkQueryNew": slow}
+	report, failed = compare(base, head, re, 25, 0.05)
+	if failed {
+		t.Fatalf("disjoint benchmark sets failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "new in head") || !strings.Contains(report, "missing in head") {
+		t.Fatalf("skips not reported:\n%s", report)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}

@@ -1,0 +1,143 @@
+package main
+
+// E16: batch query throughput. The batch engine splits a query into
+// fault-set preparation (once per batch) and per-pair evaluation (fanned
+// out on the worker pool), so throughput grows both with batch size
+// (amortization) and with workers (parallelism). This table measures
+// queries/sec of the one-at-a-time loop vs. the batch API across batch
+// sizes and worker counts — the quantitative claim behind the "Batch
+// queries" section of the README.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ftrouting"
+	"ftrouting/internal/experiments"
+)
+
+// e16Reps repeats each measurement and keeps the best wall-clock run,
+// damping scheduler noise the same way testing.B's -count picks do.
+const e16Reps = 3
+
+// measureQPS times fn over the pair count and returns queries/sec of the
+// fastest repetition.
+func measureQPS(pairs int, fn func() error) (float64, error) {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < e16Reps; r++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(pairs) / best.Seconds(), nil
+}
+
+func batchThroughput(seed uint64) *experiments.Table {
+	t := &experiments.Table{
+		ID:     "E16",
+		Title:  "batch query throughput vs batch size and workers",
+		Paper:  "serving-side twin of the parallel build pipeline: amortized fault preparation + pair fan-out",
+		Header: []string{"scheme", "batch", "loop q/s", "batch(w=1) q/s", fmt.Sprintf("batch(w=%d) q/s", runtime.GOMAXPROCS(0)), "speedup"},
+	}
+	fail := func(err error) *experiments.Table {
+		t.Notes = append(t.Notes, "ERROR: "+err.Error())
+		return t
+	}
+
+	g := ftrouting.RandomConnected(512, 1024, seed)
+	conn, err := ftrouting.BuildConnectivityLabels(g, ftrouting.ConnOptions{Seed: seed})
+	if err != nil {
+		return fail(err)
+	}
+	connFaults := ftrouting.RandomFaults(g, 6, seed+1)
+
+	dg := ftrouting.WithRandomWeights(ftrouting.RandomConnected(128, 220, seed+2), 4, seed+3)
+	dist, err := ftrouting.BuildDistanceLabels(dg, 2, 2, seed)
+	if err != nil {
+		return fail(err)
+	}
+	distFaults := ftrouting.RandomFaults(dg, 2, seed+4)
+
+	pairsFor := func(n, count int) []ftrouting.Pair {
+		pairs := make([]ftrouting.Pair, count)
+		for i := range pairs {
+			pairs[i] = ftrouting.Pair{S: int32((i * 5) % n), T: int32((i*11 + n/2) % n)}
+		}
+		return pairs
+	}
+
+	type scheme struct {
+		name  string
+		n     int
+		loop  func(pairs []ftrouting.Pair) error
+		batch func(b ftrouting.QueryBatch, par int) error
+	}
+	schemes := []scheme{
+		{
+			name: "conn/sketch", n: g.N(),
+			loop: func(pairs []ftrouting.Pair) error {
+				for _, p := range pairs {
+					if _, err := conn.Connected(p.S, p.T, connFaults); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			batch: func(b ftrouting.QueryBatch, par int) error {
+				_, err := conn.ConnectedBatch(b, ftrouting.BatchOptions{Parallelism: par})
+				return err
+			},
+		},
+		{
+			name: "dist(f=2,k=2)", n: dg.N(),
+			loop: func(pairs []ftrouting.Pair) error {
+				for _, p := range pairs {
+					if _, err := dist.Estimate(p.S, p.T, distFaults); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			batch: func(b ftrouting.QueryBatch, par int) error {
+				_, err := dist.EstimateBatch(b, ftrouting.BatchOptions{Parallelism: par})
+				return err
+			},
+		},
+	}
+	faultsOf := map[string][]ftrouting.EdgeID{"conn/sketch": connFaults, "dist(f=2,k=2)": distFaults}
+
+	for _, sc := range schemes {
+		for _, size := range []int{256, 1024, 4096} {
+			pairs := pairsFor(sc.n, size)
+			b := ftrouting.QueryBatch{Pairs: pairs, Faults: faultsOf[sc.name]}
+			loopQPS, err := measureQPS(size, func() error { return sc.loop(pairs) })
+			if err != nil {
+				return fail(err)
+			}
+			seqQPS, err := measureQPS(size, func() error { return sc.batch(b, 1) })
+			if err != nil {
+				return fail(err)
+			}
+			allQPS, err := measureQPS(size, func() error { return sc.batch(b, 0) })
+			if err != nil {
+				return fail(err)
+			}
+			best := seqQPS
+			if allQPS > best {
+				best = allQPS
+			}
+			t.AddRow(sc.name, fmt.Sprintf("%d", size),
+				fmt.Sprintf("%.0f", loopQPS), fmt.Sprintf("%.0f", seqQPS),
+				fmt.Sprintf("%.0f", allQPS), fmt.Sprintf("%.1fx", best/loopQPS))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"loop = one-at-a-time API (fault structures rebuilt per call); batch = PrepareFaults once + pair fan-out",
+		fmt.Sprintf("measured on GOMAXPROCS=%d; batch(w=1) isolates the amortization, batch(w=N) adds parallel speedup", runtime.GOMAXPROCS(0)))
+	return t
+}

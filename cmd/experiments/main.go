@@ -2,7 +2,9 @@
 // quantitative claims (Table 1, Figures 1-4, and the theorem bounds) and
 // prints them as aligned text tables. EXPERIMENTS.md records one run.
 // E15 additionally measures the persisted schemes of internal/codec:
-// scheme-file sizes and encoded label sizes in bits, on the wire.
+// scheme-file sizes and encoded label sizes in bits, on the wire. E16
+// measures batch query throughput (queries/sec) against batch size and
+// worker count.
 //
 // Usage:
 //
@@ -28,7 +30,7 @@ func main() {
 	fmt.Printf("reproducing: Dory, Parter. Fault-Tolerant Labeling and Compact Routing Schemes. PODC 2021.\n\n")
 
 	ran := 0
-	tables := append(experiments.All(*seed), persistedSizes(*seed))
+	tables := append(experiments.All(*seed), persistedSizes(*seed), batchThroughput(*seed))
 	for _, table := range tables {
 		if *only != "" && table.ID != *only {
 			continue

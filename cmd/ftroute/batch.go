@@ -1,0 +1,148 @@
+package main
+
+// Batch query mode of `ftroute query`: -pairs reads (s, t) pairs from a
+// file or stdin, prepares the fault set once, evaluates the pairs in
+// chunks on the worker pool (-par), and streams one result line per pair
+// in input order — the serving workflow the batch API exists for.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftrouting"
+)
+
+// batchChunk is the number of pairs evaluated (and then printed) per
+// fan-out round: large enough to amortize pool dispatch, small enough
+// that output streams while later chunks compute.
+const batchChunk = 4096
+
+// parsePairs reads whitespace-separated "s t" pairs, one per line; blank
+// lines and #-comments are skipped.
+func parsePairs(r io.Reader) ([]ftrouting.Pair, error) {
+	var out []ftrouting.Pair
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("pairs line %d: want \"s t\", got %q", line, text)
+		}
+		s, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("pairs line %d: bad source %q: %w", line, fields[0], err)
+		}
+		t, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("pairs line %d: bad target %q: %w", line, fields[1], err)
+		}
+		out = append(out, ftrouting.Pair{S: int32(s), T: int32(t)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// openPairs opens the -pairs argument ("-" means stdin).
+func openPairs(spec string) ([]ftrouting.Pair, error) {
+	if spec == "-" {
+		return parsePairs(os.Stdin)
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parsePairs(f)
+}
+
+// chunked yields the pair list in batchChunk-sized windows.
+func chunked(pairs []ftrouting.Pair, fn func(offset int, chunk []ftrouting.Pair) error) error {
+	for off := 0; off < len(pairs); off += batchChunk {
+		end := off + batchChunk
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		if err := fn(off, pairs[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runQueryBatch answers every pair from the loaded scheme, streaming one
+// line per pair: "s t connected|distance-estimate|reached cost stretch".
+func runQueryBatch(scheme any, pairs []ftrouting.Pair, faults []ftrouting.EdgeID, par int, forbidden bool, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	opts := ftrouting.BatchOptions{Parallelism: par}
+	switch v := scheme.(type) {
+	case *ftrouting.ConnLabels:
+		ctx, err := v.PrepareFaults(faults)
+		if err != nil {
+			return err
+		}
+		return chunked(pairs, func(off int, chunk []ftrouting.Pair) error {
+			res, err := ctx.ConnectedBatch(chunk, opts)
+			if err != nil {
+				return err
+			}
+			for i, p := range chunk {
+				fmt.Fprintf(bw, "%d %d %v\n", p.S, p.T, res[i])
+			}
+			return bw.Flush()
+		})
+	case *ftrouting.DistLabels:
+		ctx, err := v.PrepareFaults(faults)
+		if err != nil {
+			return err
+		}
+		return chunked(pairs, func(off int, chunk []ftrouting.Pair) error {
+			res, err := ctx.EstimateBatch(chunk, opts)
+			if err != nil {
+				return err
+			}
+			for i, p := range chunk {
+				if res[i] == ftrouting.Unreachable {
+					fmt.Fprintf(bw, "%d %d unreachable\n", p.S, p.T)
+				} else {
+					fmt.Fprintf(bw, "%d %d %d\n", p.S, p.T, res[i])
+				}
+			}
+			return bw.Flush()
+		})
+	case *ftrouting.Router:
+		ctx, err := v.PrepareFaults(faults)
+		if err != nil {
+			return err
+		}
+		return chunked(pairs, func(off int, chunk []ftrouting.Pair) error {
+			var res []ftrouting.RouteResult
+			var err error
+			if forbidden {
+				res, err = ctx.RouteForbiddenBatch(chunk, opts)
+			} else {
+				res, err = ctx.RouteBatch(chunk, opts)
+			}
+			if err != nil {
+				return err
+			}
+			for i, p := range chunk {
+				fmt.Fprintf(bw, "%d %d %v %d %.2f\n", p.S, p.T, res[i].Reached, res[i].Cost, res[i].Stretch)
+			}
+			return bw.Flush()
+		})
+	default:
+		return fmt.Errorf("unsupported scheme type %T", v)
+	}
+}

@@ -20,6 +20,12 @@
 //	ftroute query -in conn.ftl -s 0 -t 99 -faults 1,2,3
 //	ftroute query -in dist.ftl -s 0 -t 63 -faults 5
 //	ftroute route -in route.ftl -s 20 -t 35 -faults 7,9
+//
+// Batch serving (one fault-set preparation, parallel pair evaluation,
+// streamed results; pairs are "s t" lines, - reads stdin):
+//
+//	ftroute query -in conn.ftl -pairs pairs.txt -faults 1,2,3 -par 0
+//	generate-pairs | ftroute query -in dist.ftl -pairs - -faults 5
 package main
 
 import (
@@ -70,7 +76,8 @@ func usage() {
   sweep  aggregate routing statistics over many random queries
   lower  Theorem 1.6 lower-bound experiment
   build  preprocess once and write a scheme file (-type conn|dist|route)
-  query  answer from a scheme file without rebuilding`)
+  query  answer from a scheme file without rebuilding
+         (-pairs FILE|- batches many "s t" queries over the worker pool)`)
 }
 
 // graphFlags declares the shared topology flags on a FlagSet.

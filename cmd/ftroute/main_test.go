@@ -147,6 +147,43 @@ func TestBuildQueryWorkflow(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Batch mode: pairs file against every scheme kind, streamed output.
+	pairsFile := filepath.Join(dir, "pairs.txt")
+	if err := os.WriteFile(pairsFile, []byte("# header comment\n0 29\n1 2\n\n3 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", connFile, "-pairs", pairsFile, "-faults", "1,2"}); err != nil {
+		t.Fatal(err)
+	}
+	distPairs := filepath.Join(dir, "dpairs.txt")
+	if err := os.WriteFile(distPairs, []byte("0 11\n5 6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", distFile, "-pairs", distPairs, "-par", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	routePairs := filepath.Join(dir, "rpairs.txt")
+	if err := os.WriteFile(routePairs, []byte("0 11\n11 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", routeFile, "-pairs", routePairs, "-faults", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", routeFile, "-pairs", routePairs, "-faults", "4", "-forbidden"}); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed pairs files fail cleanly.
+	badPairs := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badPairs, []byte("0 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", connFile, "-pairs", badPairs}); err == nil {
+		t.Fatal("malformed pairs line accepted")
+	}
+	if err := runQuery([]string{"-in", connFile, "-pairs", filepath.Join(dir, "absent-pairs.txt")}); err == nil {
+		t.Fatal("missing pairs file accepted")
+	}
+
 	// Missing and corrupt files fail cleanly.
 	if err := runQuery([]string{"-in", filepath.Join(dir, "absent.ftl")}); err == nil {
 		t.Fatal("missing file accepted")

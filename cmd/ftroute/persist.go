@@ -89,6 +89,8 @@ func runQuery(args []string) error {
 	t := fs.Int("t", 1, "target vertex")
 	faultsFlag := fs.String("faults", "", "comma-separated faulty edge ids")
 	forbidden := fs.Bool("forbidden", false, "forbidden-set mode (route files)")
+	pairsFlag := fs.String("pairs", "", "batch mode: file of \"s t\" lines (- for stdin); one result line per pair")
+	par := fs.Int("par", 0, "batch workers: 0 uses GOMAXPROCS, 1 is sequential")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,6 +106,13 @@ func runQuery(args []string) error {
 	scheme, err := ftrouting.LoadScheme(file)
 	if err != nil {
 		return err
+	}
+	if *pairsFlag != "" {
+		pairs, err := openPairs(*pairsFlag)
+		if err != nil {
+			return err
+		}
+		return runQueryBatch(scheme, pairs, faults, *par, *forbidden, os.Stdout)
 	}
 	switch v := scheme.(type) {
 	case *ftrouting.ConnLabels:

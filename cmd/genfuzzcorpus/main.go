@@ -1,0 +1,320 @@
+// Command genfuzzcorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/ for every fuzz target in the repository, so `make fuzz`
+// and the fuzz-smoke CI job start from known-interesting inputs (valid
+// encodings of varied topologies, truncations at structural boundaries,
+// and header corruptions) instead of mutating from scratch every run.
+//
+// The files use the standard Go fuzz corpus encoding ("go test fuzz v1" +
+// one quoted []byte line), are exercised as ordinary test cases by plain
+// `go test`, and are deterministic: rerunning the generator reproduces
+// them byte-for-byte.
+//
+//	go run ./cmd/genfuzzcorpus [-root .]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ftrouting"
+	"ftrouting/internal/codec"
+	"ftrouting/internal/core"
+	"ftrouting/internal/distlabel"
+	"ftrouting/internal/graph"
+	"ftrouting/internal/route"
+	"ftrouting/internal/treecover"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root (corpus dirs are created beneath it)")
+	flag.Parse()
+	if err := run(*root); err != nil {
+		fmt.Fprintln(os.Stderr, "genfuzzcorpus:", err)
+		os.Exit(1)
+	}
+}
+
+// corpusEntry renders one []byte input in the Go fuzz corpus encoding.
+func corpusEntry(data []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// writeCorpus writes the entries of one target, replacing the directory
+// contents so stale seeds never linger.
+func writeCorpus(root, pkgDir, target string, entries map[string][]byte) error {
+	dir := filepath.Join(root, pkgDir, "testdata", "fuzz", target)
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, data := range entries {
+		if err := os.WriteFile(filepath.Join(dir, name), corpusEntry(data), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%-60s %d seeds\n", filepath.Join(pkgDir, "testdata", "fuzz", target), len(entries))
+	return nil
+}
+
+// variants derives the standard known-interesting mutations of a valid
+// encoding: truncations at structural boundaries and a corrupted first
+// byte (header magic / version paths).
+func variants(prefix string, data []byte) map[string][]byte {
+	out := map[string][]byte{prefix + "-valid": data}
+	if len(data) > 0 {
+		out[prefix+"-trunc-half"] = append([]byte{}, data[:len(data)/2]...)
+		out[prefix+"-trunc-tail"] = append([]byte{}, data[:len(data)-1]...)
+		corrupt := append([]byte{}, data...)
+		corrupt[0] ^= 0xFF
+		out[prefix+"-corrupt-head"] = corrupt
+	}
+	return out
+}
+
+// merge folds entry maps together.
+func merge(ms ...map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte)
+	for _, m := range ms {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func run(root string) error {
+	if err := codecCorpus(root); err != nil {
+		return err
+	}
+	if err := coreCorpus(root); err != nil {
+		return err
+	}
+	if err := distCorpus(root); err != nil {
+		return err
+	}
+	if err := routeCorpus(root); err != nil {
+		return err
+	}
+	return rootCorpus(root)
+}
+
+// encoded runs one codec encoder into a byte slice.
+func encoded(enc func(w *codec.Writer)) []byte {
+	var buf bytes.Buffer
+	w := codec.NewWriter(&buf)
+	enc(w)
+	return buf.Bytes()
+}
+
+func codecCorpus(root string) error {
+	// Topologies beyond the inline f.Add seeds: weighted, hub-heavy, and
+	// a torus (2-edge-connected, wraparound edges).
+	wg := graph.WithRandomWeights(graph.RandomConnected(14, 24, 9), 7, 10)
+	pa := graph.PreferentialAttachment(16, 3, 11)
+	torus := graph.Torus(3, 4)
+	if err := writeCorpus(root, "internal/codec", "FuzzDecodeGraph", merge(
+		variants("weighted", encoded(func(w *codec.Writer) { codec.EncodeGraph(w, wg) })),
+		variants("hubheavy", encoded(func(w *codec.Writer) { codec.EncodeGraph(w, pa) })),
+		variants("torus", encoded(func(w *codec.Writer) { codec.EncodeGraph(w, torus) })),
+	)); err != nil {
+		return err
+	}
+	if err := writeCorpus(root, "internal/codec", "FuzzDecodeTree", merge(
+		variants("weighted-bfs", encoded(func(w *codec.Writer) { codec.EncodeTree(w, graph.BFSTree(wg, 0, nil)) })),
+		variants("weighted-spt", encoded(func(w *codec.Writer) { codec.EncodeTree(w, graph.ShortestPathTree(wg, 5, nil)) })),
+	)); err != nil {
+		return err
+	}
+	sub, err := graph.Induced(pa, []int32{0, 1, 2, 5, 8, 13}, graph.Inf)
+	if err != nil {
+		return err
+	}
+	if err := writeCorpus(root, "internal/codec", "FuzzDecodeSubgraph", merge(
+		variants("hubheavy", encoded(func(w *codec.Writer) { codec.EncodeSubgraph(w, sub) })),
+	)); err != nil {
+		return err
+	}
+	hier, err := treecover.BuildHierarchy(wg, 3)
+	if err != nil {
+		return err
+	}
+	return writeCorpus(root, "internal/codec", "FuzzDecodeHierarchy", merge(
+		variants("weighted-k3", encoded(func(w *codec.Writer) { codec.EncodeHierarchy(w, hier) })),
+	))
+}
+
+func coreCorpus(root string) error {
+	// A weighted hub-heavy instance with a wider fault budget than the
+	// inline seeds, so labels carry longer phi vectors and tree bits.
+	g := graph.WithRandomWeights(graph.PreferentialAttachment(20, 3, 5), 6, 6)
+	tree := graph.BFSTree(g, 0, nil)
+	cut, err := core.BuildCut(g, tree, core.CutOptions{MaxFaults: 5, Seed: 8})
+	if err != nil {
+		return err
+	}
+	cv, err := cut.VertexLabel(7).MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := writeCorpus(root, "internal/core", "FuzzUnmarshalCutVertexLabel",
+		variants("hubheavy", cv)); err != nil {
+		return err
+	}
+	entries := map[string][]byte{}
+	for _, e := range []graph.EdgeID{0, graph.EdgeID(g.M() / 2), graph.EdgeID(g.M() - 1)} {
+		data, err := cut.EdgeLabel(e).MarshalBinary()
+		if err != nil {
+			return err
+		}
+		for k, v := range variants(fmt.Sprintf("hubheavy-e%d", e), data) {
+			entries[k] = v
+		}
+	}
+	if err := writeCorpus(root, "internal/core", "FuzzUnmarshalCutEdgeLabel", entries); err != nil {
+		return err
+	}
+
+	sk, err := core.BuildSketch(g, tree, core.SketchOptions{Seed: 8})
+	if err != nil {
+		return err
+	}
+	sv, err := sk.VertexLabel(11).MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := writeCorpus(root, "internal/core", "FuzzUnmarshalSketchVertexLabel",
+		variants("hubheavy", sv)); err != nil {
+		return err
+	}
+	entries = map[string][]byte{}
+	// One tree edge and one non-tree edge: the two label shapes.
+	var treeEdge, nonTree graph.EdgeID = -1, -1
+	for e := graph.EdgeID(0); int(e) < g.M(); e++ {
+		if tree.InTree[e] && treeEdge < 0 {
+			treeEdge = e
+		}
+		if !tree.InTree[e] && nonTree < 0 {
+			nonTree = e
+		}
+	}
+	for name, e := range map[string]graph.EdgeID{"tree": treeEdge, "nontree": nonTree} {
+		if e < 0 {
+			continue
+		}
+		data, err := sk.EdgeLabel(e).MarshalBinary()
+		if err != nil {
+			return err
+		}
+		for k, v := range variants("hubheavy-"+name, data) {
+			entries[k] = v
+		}
+	}
+	return writeCorpus(root, "internal/core", "FuzzUnmarshalSketchEdgeLabel", entries)
+}
+
+func distCorpus(root string) error {
+	// Weighted and wider (f=2, k=3) than the inline f=1, k=2 seed, so
+	// bundles carry more scales and entries.
+	g := graph.WithRandomWeights(graph.RandomConnected(18, 30, 4), 5, 5)
+	s, err := distlabel.Build(g, 2, 3, distlabel.Options{Seed: 9})
+	if err != nil {
+		return err
+	}
+	vl, err := s.VertexLabel(3).MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := writeCorpus(root, "internal/distlabel", "FuzzUnmarshalDistVertexLabel",
+		variants("weighted-f2k3", vl)); err != nil {
+		return err
+	}
+	el, err := s.EdgeLabel(graph.EdgeID(g.M() / 2)).MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return writeCorpus(root, "internal/distlabel", "FuzzUnmarshalDistEdgeLabel",
+		variants("weighted-f2k3", el))
+}
+
+func routeCorpus(root string) error {
+	g := graph.WithRandomWeights(graph.RandomConnected(14, 22, 6), 4, 7)
+	r, err := route.Build(g, 2, 3, route.Options{Seed: 10, Balanced: true})
+	if err != nil {
+		return err
+	}
+	l, err := r.Label(5).MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return writeCorpus(root, "internal/route", "FuzzUnmarshalRouteLabel",
+		variants("weighted-f2k3", l))
+}
+
+func rootCorpus(root string) error {
+	// Scheme files of every kind from a weighted multi-component graph —
+	// a shape the inline Path(6) seeds never produce.
+	g := ftrouting.NewGraph(15)
+	for i := int32(0); i < 6; i++ {
+		g.MustAddEdge(i, (i+1)%7, int64(1+i%3))
+	}
+	for i := int32(7); i < 13; i++ {
+		g.MustAddEdge(i, i+1, 2)
+	}
+	save := func(write func(buf *bytes.Buffer) error) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	conn, err := ftrouting.BuildConnectivityLabels(g, ftrouting.ConnOptions{Scheme: ftrouting.SketchBased, Seed: 3})
+	if err != nil {
+		return err
+	}
+	connBytes, err := save(func(buf *bytes.Buffer) error { return ftrouting.SaveConnLabels(buf, conn) })
+	if err != nil {
+		return err
+	}
+	cut, err := ftrouting.BuildConnectivityLabels(g, ftrouting.ConnOptions{Scheme: ftrouting.CutBased, MaxFaults: 2, Seed: 3})
+	if err != nil {
+		return err
+	}
+	cutBytes, err := save(func(buf *bytes.Buffer) error { return ftrouting.SaveConnLabels(buf, cut) })
+	if err != nil {
+		return err
+	}
+	if err := writeCorpus(root, ".", "FuzzLoadConnLabels", merge(
+		variants("twocomp-sketch", connBytes),
+		variants("twocomp-cut", cutBytes),
+	)); err != nil {
+		return err
+	}
+	dist, err := ftrouting.BuildDistanceLabels(g, 1, 2, 3)
+	if err != nil {
+		return err
+	}
+	distBytes, err := save(func(buf *bytes.Buffer) error { return ftrouting.SaveDistLabels(buf, dist) })
+	if err != nil {
+		return err
+	}
+	if err := writeCorpus(root, ".", "FuzzLoadDistLabels",
+		variants("twocomp", distBytes)); err != nil {
+		return err
+	}
+	router, err := ftrouting.NewRouter(g, 1, 2, ftrouting.RouterOptions{Seed: 3})
+	if err != nil {
+		return err
+	}
+	routerBytes, err := save(func(buf *bytes.Buffer) error { return ftrouting.SaveRouter(buf, router) })
+	if err != nil {
+		return err
+	}
+	return writeCorpus(root, ".", "FuzzLoadRouter",
+		variants("twocomp", routerBytes))
+}

@@ -178,6 +178,82 @@ func cutPrefix(l CutEdgeLabel, s, t ancestry.Label) (onS, onT bool) {
 	return ancestry.OnRootPath(child, s), ancestry.OnRootPath(child, t)
 }
 
+// CutFaultContext is a fault set preprocessed for repeated cut-based
+// decodes: deduplication and the phi part of the extended columns depend
+// only on F, so a batch of pair queries under a fixed fault set shares
+// them and each Decode only stamps the 2-bit r-s / r-t path prefix and
+// solves. The context is immutable after PrepareCutFaults and safe for
+// concurrent Decode calls.
+type CutFaultContext struct {
+	faults []CutEdgeLabel // deduplicated
+	b      int            // max phi width among the faults
+	// base[i] is the extended column phi'(e_i) with the two prefix bits
+	// cleared; Decode clones before stamping the per-pair prefix.
+	base []bitvec.Vec
+}
+
+// PrepareCutFaults runs the per-fault-set part of DecodeCut once.
+func PrepareCutFaults(faults []CutEdgeLabel) *CutFaultContext {
+	faults = dedupCutLabels(faults)
+	ctx := &CutFaultContext{faults: faults}
+	if len(faults) == 0 {
+		return ctx
+	}
+	// Labels of one scheme share a width; tolerate adversarial mixed-width
+	// inputs by padding to the maximum (short labels read as zero bits)
+	// rather than panicking.
+	for _, l := range faults {
+		if l.Phi.Len() > ctx.b {
+			ctx.b = l.Phi.Len()
+		}
+	}
+	ctx.base = make([]bitvec.Vec, len(faults))
+	for i, l := range faults {
+		col := bitvec.New(ctx.b + 2)
+		for j := 0; j < l.Phi.Len(); j++ {
+			col.Set(2+j, l.Phi.Get(j))
+		}
+		ctx.base[i] = col
+	}
+	return ctx
+}
+
+// Decode answers one pair against the prepared fault set; results are
+// identical to DecodeCut with the same fault set.
+func (ctx *CutFaultContext) Decode(sL, tL CutVertexLabel) bool {
+	if sL.Anc == tL.Anc {
+		return true // same vertex
+	}
+	if len(ctx.faults) == 0 {
+		return true
+	}
+	cols := make([]bitvec.Vec, len(ctx.faults))
+	for i, l := range ctx.faults {
+		col := ctx.base[i].Clone()
+		onS, onT := cutPrefix(l, sL.Anc, tL.Anc)
+		// phi'(e) prefix (Section 3.1.3): 10 if on r-s only, 01 if on r-t
+		// only, 00 otherwise.
+		if onS && !onT {
+			col.Set(0, true)
+		}
+		if onT && !onS {
+			col.Set(1, true)
+		}
+		cols[i] = col
+	}
+	w1 := bitvec.New(ctx.b + 2)
+	w1.Set(0, true)
+	w2 := bitvec.New(ctx.b + 2)
+	w2.Set(1, true)
+	if _, ok := bitvec.SolveXOR(cols, w1); ok {
+		return false
+	}
+	if _, ok := bitvec.SolveXOR(cols, w2); ok {
+		return false
+	}
+	return true
+}
+
 // DecodeCut decides, from labels alone, whether s and t are connected in
 // G\F (Theorem 3.6). It builds the extended labels phi'(e) with the 2-bit
 // r-s / r-t path prefix and checks solvability of A x = w_1 and A x = w_2
@@ -189,50 +265,7 @@ func cutPrefix(l CutEdgeLabel, s, t ancestry.Label) (onS, onT bool) {
 // subset, so DecodeCut may declare a connected pair disconnected) with
 // probability at most 2^f * 2^-b per query.
 func DecodeCut(sL, tL CutVertexLabel, faults []CutEdgeLabel) bool {
-	if sL.Anc == tL.Anc {
-		return true // same vertex
-	}
-	faults = dedupCutLabels(faults)
-	if len(faults) == 0 {
-		return true
-	}
-	// Labels of one scheme share a width; tolerate adversarial mixed-width
-	// inputs by padding to the maximum (short labels read as zero bits)
-	// rather than panicking.
-	b := 0
-	for _, l := range faults {
-		if l.Phi.Len() > b {
-			b = l.Phi.Len()
-		}
-	}
-	cols := make([]bitvec.Vec, len(faults))
-	for i, l := range faults {
-		col := bitvec.New(b + 2)
-		onS, onT := cutPrefix(l, sL.Anc, tL.Anc)
-		// phi'(e) prefix (Section 3.1.3): 10 if on r-s only, 01 if on r-t
-		// only, 00 otherwise.
-		if onS && !onT {
-			col.Set(0, true)
-		}
-		if onT && !onS {
-			col.Set(1, true)
-		}
-		for j := 0; j < l.Phi.Len(); j++ {
-			col.Set(2+j, l.Phi.Get(j))
-		}
-		cols[i] = col
-	}
-	w1 := bitvec.New(b + 2)
-	w1.Set(0, true)
-	w2 := bitvec.New(b + 2)
-	w2.Set(1, true)
-	if _, ok := bitvec.SolveXOR(cols, w1); ok {
-		return false
-	}
-	if _, ok := bitvec.SolveXOR(cols, w2); ok {
-		return false
-	}
-	return true
+	return PrepareCutFaults(faults).Decode(sL, tL)
 }
 
 // DecodeCutNaive is the exponential-time decoder of Section 3.1.2 used for

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"ftrouting/internal/graph"
+)
+
+// TestSketchFaultContextMatchesDecode proves the prepared two-phase path
+// (PrepareFaults + Decode) is bit-identical to the one-shot decoder,
+// verdicts and succinct paths included.
+func TestSketchFaultContextMatchesDecode(t *testing.T) {
+	g := graph.RandomConnected(60, 100, 1)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Copies: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nf := 0; nf <= 6; nf += 2 {
+		ids := graph.RandomFaults(g, nf, uint64(nf+1))
+		labels := make([]SketchEdgeLabel, len(ids))
+		for i, id := range ids {
+			labels[i] = s.EdgeLabel(id)
+		}
+		for copy := 0; copy < s.Copies(); copy++ {
+			ctx, err := s.PrepareFaults(labels, copy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sv := int32(0); sv < 12; sv++ {
+				for _, tv := range []int32{sv, 30, 59} {
+					for _, wantPath := range []bool{false, true} {
+						want, err := s.Decode(s.VertexLabel(sv), s.VertexLabel(tv), labels, copy, wantPath)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := ctx.Decode(s.VertexLabel(sv), s.VertexLabel(tv), wantPath)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Connected != want.Connected || got.Phases != want.Phases {
+							t.Fatalf("copy %d pair (%d,%d): prepared %+v, direct %+v", copy, sv, tv, got, want)
+						}
+						if (got.Path == nil) != (want.Path == nil) {
+							t.Fatalf("pair (%d,%d): path presence differs", sv, tv)
+						}
+						if got.Path != nil && len(got.Path.Steps) != len(want.Path.Steps) {
+							t.Fatalf("pair (%d,%d): path steps %d != %d", sv, tv, len(got.Path.Steps), len(want.Path.Steps))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSketchFaultContextConcurrent hammers one prepared context from many
+// goroutines; the context must be read-only after preparation.
+func TestSketchFaultContextConcurrent(t *testing.T) {
+	g := graph.RandomConnected(80, 140, 2)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := graph.RandomFaults(g, 5, 3)
+	labels := make([]SketchEdgeLabel, len(ids))
+	for i, id := range ids {
+		labels[i] = s.EdgeLabel(id)
+	}
+	ctx, err := s.PrepareFaults(labels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]bool, 40)
+	for i := range want {
+		v, err := s.Decode(s.VertexLabel(int32(i)), s.VertexLabel(int32(79-i)), labels, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v.Connected
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range want {
+				v, err := ctx.Decode(s.VertexLabel(int32(i)), s.VertexLabel(int32(79-i)), false)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v.Connected != want[i] {
+					t.Errorf("pair %d: concurrent %v, sequential %v", i, v.Connected, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPrepareFaultsCopyRange mirrors Decode's copy validation.
+func TestPrepareFaultsCopyRange(t *testing.T) {
+	g := graph.Cycle(8)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildSketch(g, tree, SketchOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PrepareFaults(nil, -1); err == nil {
+		t.Fatal("copy -1 accepted")
+	}
+	if _, err := s.PrepareFaults(nil, s.Copies()); err == nil {
+		t.Fatal("copy past the end accepted")
+	}
+}
+
+// TestCutFaultContextMatchesDecode proves the prepared cut path equals
+// DecodeCut on every pair, including the naive reference decoder.
+func TestCutFaultContextMatchesDecode(t *testing.T) {
+	g := graph.RandomConnected(30, 45, 4)
+	tree := graph.BFSTree(g, 0, nil)
+	s, err := BuildCut(g, tree, CutOptions{MaxFaults: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nf := 0; nf <= 4; nf++ {
+		ids := graph.RandomFaults(g, nf, uint64(3*nf+2))
+		labels := make([]CutEdgeLabel, len(ids))
+		for i, id := range ids {
+			labels[i] = s.EdgeLabel(id)
+		}
+		ctx := PrepareCutFaults(labels)
+		for sv := int32(0); sv < 10; sv++ {
+			for _, tv := range []int32{sv, 15, 29} {
+				want := DecodeCut(s.VertexLabel(sv), s.VertexLabel(tv), labels)
+				got := ctx.Decode(s.VertexLabel(sv), s.VertexLabel(tv))
+				if got != want {
+					t.Fatalf("|F|=%d pair (%d,%d): prepared %v, direct %v", nf, sv, tv, got, want)
+				}
+			}
+		}
+	}
+}

@@ -267,27 +267,37 @@ type recoveryEdge struct {
 	cu, cv int32 // components of fields.U / fields.V
 }
 
-// Decode decides whether s and t are connected in G\F from labels alone
-// (Theorem 3.7, decoder of Section 3.2.2), optionally producing a succinct
-// path (Lemma 3.17). copy selects which of the f' independent sketch copies
-// to use (Section 5.2 uses a fresh copy per routing iteration).
-//
-// The four steps: (1) identify the components of T\F via the component
-// tree; (2) compute each component's sketch from the subtree sketches;
-// (3) cancel the faulty edges' contributions; (4) simulate Boruvka with a
-// fresh basic unit per phase.
-func (s *SketchScheme) Decode(sv, tv SketchVertexLabel, faults []SketchEdgeLabel, copy int, wantPath bool) (Verdict, error) {
+// SketchFaultContext is a fault set preprocessed for repeated decodes
+// against one scheme and copy. Steps 1-3 of the decoder of Section 3.2.2
+// (component tree of T\F, component sketches, fault cancellation) depend
+// only on F, never on the queried pair, so a batch of pair queries under a
+// fixed fault set prepares them once and each Decode runs only Step 4
+// (the Boruvka simulation). The context is immutable after PrepareFaults
+// and safe for concurrent Decode calls.
+type SketchFaultContext struct {
+	scheme *SketchScheme
+	copy   int
+	// trivial marks a fault set with no tree faults: T is intact and every
+	// same-instance pair is connected through it.
+	trivial bool
+	ct      *comptree.Tree
+	// comps[c] is the cancelled sketch of component c (Steps 2+3 applied).
+	// Decode clones before the mutating Boruvka merge.
+	comps []sketch.Sketch
+}
+
+// PrepareFaults runs the per-fault-set Steps 1-3 of the decoder once:
+// (1) identify the components of T\F via the component tree; (2) compute
+// each component's sketch from the subtree sketches; (3) cancel the faulty
+// edges' contributions. copy selects which of the f' independent sketch
+// copies the context is bound to (Section 5.2 uses a fresh copy per
+// routing iteration).
+func (s *SketchScheme) PrepareFaults(faults []SketchEdgeLabel, copy int) (*SketchFaultContext, error) {
 	if copy < 0 || copy >= len(s.engines) {
-		return Verdict{}, fmt.Errorf("core: copy %d out of range [0,%d)", copy, len(s.engines))
+		return nil, fmt.Errorf("core: copy %d out of range [0,%d)", copy, len(s.engines))
 	}
 	eng := s.engines[copy]
-	if sv.ID == tv.ID {
-		v := Verdict{Connected: true}
-		if wantPath {
-			v.Path = &SuccinctPath{}
-		}
-		return v, nil
-	}
+	ctx := &SketchFaultContext{scheme: s, copy: copy}
 
 	faults = dedupSketchLabels(faults)
 	var treeFaults []SketchEdgeLabel
@@ -297,13 +307,10 @@ func (s *SketchScheme) Decode(sv, tv SketchVertexLabel, faults []SketchEdgeLabel
 		}
 	}
 
-	// No tree faults: T is intact, s and t are connected through it.
+	// No tree faults: T is intact, every pair is connected through it.
 	if len(treeFaults) == 0 {
-		v := Verdict{Connected: true}
-		if wantPath {
-			v.Path = &SuccinctPath{Steps: []PathStep{treeStep(sv, tv)}}
-		}
-		return v, nil
+		ctx.trivial = true
+		return ctx, nil
 	}
 
 	// Step 1: component tree of T \ F_T from the child-side ancestry
@@ -313,13 +320,13 @@ func (s *SketchScheme) Decode(sv, tv SketchVertexLabel, faults []SketchEdgeLabel
 		f := l.Fields()
 		child, _, ok := ancestry.ChildOf(f.AncU, f.AncV)
 		if !ok {
-			return Verdict{}, fmt.Errorf("core: tree-fault label %d has non-nested endpoint intervals", i)
+			return nil, fmt.Errorf("core: tree-fault label %d has non-nested endpoint intervals", i)
 		}
 		childLabels[i] = child
 	}
 	ct, err := comptree.Build(childLabels)
 	if err != nil {
-		return Verdict{}, err
+		return nil, err
 	}
 	nc := int32(ct.NumComps())
 
@@ -351,6 +358,70 @@ func (s *SketchScheme) Decode(sv, tv SketchVertexLabel, faults []SketchEdgeLabel
 		}
 		eng.CancelEdge(comps[cu], f.UID, l.EID)
 		eng.CancelEdge(comps[cv], f.UID, l.EID)
+	}
+	ctx.ct = ct
+	ctx.comps = comps
+	return ctx, nil
+}
+
+// Decode decides whether s and t are connected in G\F from labels alone
+// (Theorem 3.7, decoder of Section 3.2.2), optionally producing a succinct
+// path (Lemma 3.17). copy selects which of the f' independent sketch copies
+// to use (Section 5.2 uses a fresh copy per routing iteration).
+//
+// The four steps: (1) identify the components of T\F via the component
+// tree; (2) compute each component's sketch from the subtree sketches;
+// (3) cancel the faulty edges' contributions; (4) simulate Boruvka with a
+// fresh basic unit per phase. Steps 1-3 depend only on F; batch callers
+// share them via PrepareFaults and SketchFaultContext.Decode.
+func (s *SketchScheme) Decode(sv, tv SketchVertexLabel, faults []SketchEdgeLabel, copy int, wantPath bool) (Verdict, error) {
+	if copy < 0 || copy >= len(s.engines) {
+		return Verdict{}, fmt.Errorf("core: copy %d out of range [0,%d)", copy, len(s.engines))
+	}
+	if sv.ID == tv.ID {
+		v := Verdict{Connected: true}
+		if wantPath {
+			v.Path = &SuccinctPath{}
+		}
+		return v, nil
+	}
+	ctx, err := s.PrepareFaults(faults, copy)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return ctx.decode(sv, tv, wantPath)
+}
+
+// Decode answers one pair against the prepared fault set. It is Step 4 of
+// the decoder plus the trivial cases; results are bit-identical to
+// SketchScheme.Decode with the same fault set and copy.
+func (ctx *SketchFaultContext) Decode(sv, tv SketchVertexLabel, wantPath bool) (Verdict, error) {
+	if sv.ID == tv.ID {
+		v := Verdict{Connected: true}
+		if wantPath {
+			v.Path = &SuccinctPath{}
+		}
+		return v, nil
+	}
+	return ctx.decode(sv, tv, wantPath)
+}
+
+// decode runs the Boruvka simulation (Step 4) for one pair on clones of
+// the prepared component sketches.
+func (ctx *SketchFaultContext) decode(sv, tv SketchVertexLabel, wantPath bool) (Verdict, error) {
+	if ctx.trivial {
+		v := Verdict{Connected: true}
+		if wantPath {
+			v.Path = &SuccinctPath{Steps: []PathStep{treeStep(sv, tv)}}
+		}
+		return v, nil
+	}
+	eng := ctx.scheme.engines[ctx.copy]
+	ct := ctx.ct
+	nc := int32(ct.NumComps())
+	comps := make([]sketch.Sketch, nc)
+	for c := int32(0); c < nc; c++ {
+		comps[c] = ctx.comps[c].Clone()
 	}
 
 	// Step 4: Boruvka over the components with a fresh basic unit per

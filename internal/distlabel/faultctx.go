@@ -1,0 +1,102 @@
+package distlabel
+
+import (
+	"fmt"
+
+	"ftrouting/internal/core"
+)
+
+// instKey addresses one (scale, cluster) connectivity instance.
+type instKey struct {
+	scale   int
+	cluster int32
+}
+
+// FaultContext is a fault set preprocessed for repeated distance decodes:
+// the distinct-fault count, the per-instance restriction of the fault
+// labels, and the per-instance connectivity fault contexts (Steps 1-3 of
+// the sketch decoder) all depend only on F, so a batch of pair queries
+// under a fixed fault set prepares them once. The context is immutable
+// after PrepareFaults and safe for concurrent Decode calls.
+type FaultContext struct {
+	s  *Scheme
+	nf int
+	// conn[k] is the prepared connectivity context of instance k; only
+	// instances with at least one fault entry appear (for the rest the
+	// connectivity decode is trivially "connected": the instance tree is
+	// intact).
+	conn map[instKey]*core.SketchFaultContext
+}
+
+// PrepareFaults runs the per-fault-set part of Decode once: count the
+// distinct faults and prepare the restricted fault set of every instance
+// that contains one.
+func (s *Scheme) PrepareFaults(faults []EdgeLabel) (*FaultContext, error) {
+	ctx := &FaultContext{
+		s:    s,
+		nf:   countDistinct(faults),
+		conn: make(map[instKey]*core.SketchFaultContext),
+	}
+	// Gather the per-instance restrictions in the same (faults outer,
+	// entries inner) order Decode filters them, so prepared decodes see
+	// the fault labels in the identical sequence.
+	byInst := make(map[instKey][]core.SketchEdgeLabel)
+	for _, f := range faults {
+		for _, e := range f.Entries {
+			k := instKey{scale: e.Scale, cluster: e.Cluster}
+			byInst[k] = append(byInst[k], e.L)
+		}
+	}
+	for k, fl := range byInst {
+		if k.scale < 0 || k.scale >= len(s.inst) || k.cluster < 0 || int(k.cluster) >= len(s.inst[k.scale]) {
+			// Entries of foreign or corrupted labels that address no
+			// instance of this scheme can never be selected by Decode's
+			// (scale, home-cluster) walk; skip rather than fail so
+			// prepared and direct decodes accept the same inputs.
+			continue
+		}
+		prepared, err := s.inst[k.scale][k.cluster].Conn.PrepareFaults(fl, 0)
+		if err != nil {
+			return nil, fmt.Errorf("distlabel: instance (%d,%d): %w", k.scale, k.cluster, err)
+		}
+		ctx.conn[k] = prepared
+	}
+	return ctx, nil
+}
+
+// Decode answers one pair against the prepared fault set; results are
+// bit-identical to Scheme.Decode with the same fault labels.
+func (ctx *FaultContext) Decode(sl, tl VertexLabel) (int64, error) {
+	s := ctx.s
+	if sl.Global == tl.Global {
+		return 0, nil
+	}
+	for i := range s.inst {
+		j := sl.Home[i]
+		if j < 0 {
+			continue
+		}
+		tEntry, ok := tl.find(i, j)
+		if !ok {
+			continue // t outside the 2^i-ball instance of s
+		}
+		sEntry, ok := sl.find(i, j)
+		if !ok {
+			return 0, fmt.Errorf("distlabel: vertex %d missing from its own home instance (%d,%d)", sl.Global, i, j)
+		}
+		connected := true
+		if prepared, okc := ctx.conn[instKey{scale: i, cluster: j}]; okc {
+			v, err := prepared.Decode(sEntry, tEntry, false)
+			if err != nil {
+				return 0, err
+			}
+			connected = v.Connected
+		}
+		// No fault entry restricted to this instance: its tree is intact
+		// and the connectivity decode is trivially "connected".
+		if connected {
+			return int64(4*s.k-1) * int64(ctx.nf+1) * (int64(1) << uint(i)), nil
+		}
+	}
+	return Unreachable, nil
+}

@@ -7,13 +7,90 @@ import (
 	"ftrouting/internal/graph"
 )
 
+// instKey addresses one (scale, cluster) instance.
+type instKey struct {
+	scale   int
+	cluster int32
+}
+
+// ForbiddenContext is a forbidden fault set preprocessed for repeated
+// routes: the per-instance restriction of the fault labels and the
+// connectivity fault contexts (Steps 1-3 of the sketch decoder) depend
+// only on F, so a batch of (s,t) routes under a fixed fault set prepares
+// them once and each Route runs only the per-pair scale walk. The context
+// is immutable after PrepareForbidden and safe for concurrent Route calls.
+type ForbiddenContext struct {
+	r        *Router
+	faultIDs []graph.EdgeID
+	faults   graph.EdgeSet
+	// conn[k] is the prepared connectivity context of instance k; only
+	// instances containing at least one fault edge appear.
+	conn map[instKey]*core.SketchFaultContext
+}
+
+// PrepareForbidden runs the per-fault-set part of RouteForbidden once:
+// restrict F to every instance that contains one of its edges and prepare
+// that instance's connectivity decoder.
+func (r *Router) PrepareForbidden(faultIDs []graph.EdgeID) (*ForbiddenContext, error) {
+	ctx := &ForbiddenContext{
+		r:        r,
+		faultIDs: faultIDs,
+		faults:   graph.NewEdgeSet(faultIDs...),
+		conn:     make(map[instKey]*core.SketchFaultContext),
+	}
+	for i := range r.inst {
+		for j, inst := range r.inst[i] {
+			fl := instanceFaultLabels(inst, faultIDs)
+			if len(fl) == 0 {
+				continue
+			}
+			prepared, err := inst.Conn.PrepareFaults(fl, 0)
+			if err != nil {
+				return nil, fmt.Errorf("route: instance (%d,%d): %w", i, j, err)
+			}
+			ctx.conn[instKey{scale: i, cluster: int32(j)}] = prepared
+		}
+	}
+	return ctx, nil
+}
+
+// Route routes one pair under the prepared forbidden set; results are
+// bit-identical to RouteForbidden with the same fault ids.
+func (c *ForbiddenContext) Route(s, t int32) (Result, error) {
+	return c.r.routeForbidden(s, t, c.faultIDs, c)
+}
+
+// instanceFaultLabels restricts the fault set to one instance, in fault-id
+// order (the order the single-query path assembles them in).
+func instanceFaultLabels(inst *Instance, faultIDs []graph.EdgeID) []core.SketchEdgeLabel {
+	var fl []core.SketchEdgeLabel
+	for _, id := range faultIDs {
+		if le, ok := inst.Cluster.Sub.EdgeToLocal[id]; ok {
+			fl = append(fl, inst.Conn.EdgeLabel(le))
+		}
+	}
+	return fl
+}
+
 // RouteForbidden routes under the forbidden-set model of Section 5.1
 // (Theorem 5.3): the labels of the faulty edges are known to the source, so
 // each distance scale needs a single decode, the chosen path avoids F by
 // construction, and the walk is one-way. The stretch is bounded by
 // (8k-2)(|F|+1).
 func (r *Router) RouteForbidden(s, t int32, faultIDs []graph.EdgeID) (Result, error) {
-	faults := graph.NewEdgeSet(faultIDs...)
+	return r.routeForbidden(s, t, faultIDs, nil)
+}
+
+// routeForbidden is the shared walk of RouteForbidden and
+// ForbiddenContext.Route; a non-nil ctx supplies prepared per-instance
+// connectivity decoders instead of assembling fault labels per query.
+func (r *Router) routeForbidden(s, t int32, faultIDs []graph.EdgeID, ctx *ForbiddenContext) (Result, error) {
+	var faults graph.EdgeSet
+	if ctx != nil {
+		faults = ctx.faults
+	} else {
+		faults = graph.NewEdgeSet(faultIDs...)
+	}
 	res := Result{Opt: graph.Distance(r.g, s, t, graph.SkipSet(faults))}
 	res.Trace = append(res.Trace, s)
 	if s == t {
@@ -34,14 +111,21 @@ func (r *Router) RouteForbidden(s, t int32, faultIDs []graph.EdgeID) (Result, er
 			return res, fmt.Errorf("route: s=%d missing from its home instance (%d,%d)", s, i, j)
 		}
 		res.Phases++
-		// The forbidden-set labels of F restricted to this instance.
-		var fl []core.SketchEdgeLabel
-		for _, id := range faultIDs {
-			if le, ok := inst.Cluster.Sub.EdgeToLocal[id]; ok {
-				fl = append(fl, inst.Conn.EdgeLabel(le))
+		var verdict core.Verdict
+		var err error
+		if ctx != nil {
+			if prepared, okc := ctx.conn[instKey{scale: i, cluster: j}]; okc {
+				verdict, err = prepared.Decode(inst.Conn.VertexLabel(ls), inst.Conn.VertexLabel(lt), true)
+			} else {
+				// No fault edge lies in this instance; decode with the
+				// empty restriction (trivially connected through the tree).
+				verdict, err = inst.Conn.Decode(inst.Conn.VertexLabel(ls), inst.Conn.VertexLabel(lt), nil, 0, true)
 			}
+		} else {
+			// The forbidden-set labels of F restricted to this instance.
+			fl := instanceFaultLabels(inst, faultIDs)
+			verdict, err = inst.Conn.Decode(inst.Conn.VertexLabel(ls), inst.Conn.VertexLabel(lt), fl, 0, true)
 		}
-		verdict, err := inst.Conn.Decode(inst.Conn.VertexLabel(ls), inst.Conn.VertexLabel(lt), fl, 0, true)
 		if err != nil {
 			return res, err
 		}
