@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 # the CI job uses.
 BASE ?= main
 BENCHCOUNT ?= 5
-BENCHFILTER ?= Query|Decode|Routing
+BENCHFILTER ?= Query|Decode|Routing|Serve
 BENCHTHRESHOLD ?= 25
 
 # Every decoder has a FuzzUnmarshal*/FuzzDecode*/FuzzLoad* target; `make
@@ -25,11 +25,12 @@ FUZZ_TARGETS = \
 	./internal/distlabel:FuzzUnmarshalDistVertexLabel \
 	./internal/distlabel:FuzzUnmarshalDistEdgeLabel \
 	./internal/route:FuzzUnmarshalRouteLabel \
+	./serve:FuzzServeRequest \
 	.:FuzzLoadConnLabels \
 	.:FuzzLoadDistLabels \
 	.:FuzzLoadRouter
 
-.PHONY: all build test race bench bench-compare cover lint fuzz
+.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke
 
 all: build lint test
 
@@ -74,6 +75,32 @@ fuzz:
 		echo "fuzzing $$name in $$pkg for $(FUZZTIME)"; \
 		$(GO) test -run=NONE -fuzz="^$$name\$$" -fuzztime=$(FUZZTIME) $$pkg; \
 	done
+
+# serve-smoke boots the `ftroute serve` daemon against a freshly built
+# scheme, probes /v1/healthz and a query endpoint, and checks graceful
+# shutdown — the same end-to-end path the CI serve-smoke job runs.
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/ftroute" ./cmd/ftroute; \
+	"$$tmp/ftroute" build -type conn -graph fattree -ft-k 4 -f 3 -out "$$tmp/scheme.ftlb"; \
+	"$$tmp/ftroute" serve -in "$$tmp/scheme.ftlb" -addr 127.0.0.1:0 > "$$tmp/serve.log" 2>&1 & pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 50); do \
+		addr=$$(sed -n 's/^listening on //p' "$$tmp/serve.log"); \
+		[ -n "$$addr" ] && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$addr" ] || { echo "daemon never announced an address" >&2; cat "$$tmp/serve.log" >&2; exit 1; }; \
+	curl -fsS "http://$$addr/v1/healthz"; echo; \
+	curl -fsS -d '{"pairs":[[20,35],[0,1]],"faults":[7,9]}' "http://$$addr/v1/connected"; echo; \
+	curl -fsS -d '{"pairs":[[20,35],[0,1]],"faults":[7,9]}' "http://$$addr/v1/connected"; echo; \
+	curl -fsS "http://$$addr/v1/stats"; echo; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	cat "$$tmp/serve.log"; \
+	echo "serve-smoke OK"
 
 lint:
 	$(GO) vet ./...

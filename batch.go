@@ -12,7 +12,9 @@ package ftrouting
 // single queries at any parallelism.
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"ftrouting/internal/core"
@@ -42,10 +44,66 @@ type BatchOptions struct {
 	Parallelism int
 }
 
+// ErrorCode is a stable machine-readable classification of a batch
+// validation failure. Codes are part of the public API: serving layers
+// (package serve, `ftroute serve`) map them onto wire protocols instead
+// of parsing formatted error text, so their values never change.
+type ErrorCode string
+
+const (
+	// CodeVertexRange: a pair endpoint is outside [0, n).
+	CodeVertexRange ErrorCode = "vertex_out_of_range"
+	// CodeFaultRange: a fault edge id is outside [0, m).
+	CodeFaultRange ErrorCode = "fault_id_out_of_range"
+	// CodeFaultBound: the distinct faults exceed the scheme's bound f.
+	CodeFaultBound ErrorCode = "fault_bound_exceeded"
+	// CodeInternal classifies errors that carry no QueryError (decoder
+	// failures and other non-validation errors). It is returned by CodeOf,
+	// never attached to a QueryError.
+	CodeInternal ErrorCode = "internal"
+)
+
+// QueryError is a batch-API validation failure. It carries a stable Code
+// and, when the failure is scoped to one pair of a batch, the index of the
+// lowest-indexed failing pair; fault-set failures have Pair == -1.
+type QueryError struct {
+	Code ErrorCode
+	Pair int
+	msg  string
+}
+
+// Error returns the formatted message (unchanged from the pre-typed
+// errors, so existing text matching keeps working).
+func (e *QueryError) Error() string { return e.msg }
+
+// CodeOf extracts the stable code from a batch-API error chain, or
+// CodeInternal when err carries no QueryError. A nil err yields "".
+func CodeOf(err error) ErrorCode {
+	if err == nil {
+		return ""
+	}
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		return qe.Code
+	}
+	return CodeInternal
+}
+
+// PairIndexOf extracts the failing pair index from a batch-API error
+// chain, or -1 when the error is not scoped to a pair.
+func PairIndexOf(err error) int {
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		return qe.Pair
+	}
+	return -1
+}
+
 // checkVertex validates a pair endpoint against the graph.
 func checkVertex(name string, v int32, n int) error {
 	if v < 0 || int(v) >= n {
-		return fmt.Errorf("ftrouting: vertex %s=%d out of range [0,%d)", name, v, n)
+		return &QueryError{Code: CodeVertexRange, Pair: -1,
+			msg: fmt.Sprintf("ftrouting: vertex %s=%d out of range [0,%d)", name, v, n)}
 	}
 	return nil
 }
@@ -56,14 +114,39 @@ func checkFaults(faults []EdgeID, m int, bound int) error {
 	distinct := make(map[EdgeID]bool, len(faults))
 	for _, id := range faults {
 		if id < 0 || int(id) >= m {
-			return fmt.Errorf("ftrouting: fault edge id %d out of range [0,%d)", id, m)
+			return &QueryError{Code: CodeFaultRange, Pair: -1,
+				msg: fmt.Sprintf("ftrouting: fault edge id %d out of range [0,%d)", id, m)}
 		}
 		distinct[id] = true
 	}
 	if bound >= 0 && len(distinct) > bound {
-		return fmt.Errorf("ftrouting: %d distinct faults exceed the scheme's fault bound f=%d", len(distinct), bound)
+		return &QueryError{Code: CodeFaultBound, Pair: -1,
+			msg: fmt.Sprintf("ftrouting: %d distinct faults exceed the scheme's fault bound f=%d", len(distinct), bound)}
 	}
 	return nil
+}
+
+// CanonicalFaults returns the canonical form of a fault list: the
+// distinct edge ids in ascending order. Decoding depends only on the
+// fault *set* (the decoders deduplicate and are order-insensitive), so
+// two lists with equal canonical forms are interchangeable — this is the
+// cache key a serving layer uses to reuse prepared fault contexts across
+// requests that name the same failures in different orders.
+func CanonicalFaults(faults []EdgeID) []EdgeID {
+	if len(faults) == 0 {
+		return nil
+	}
+	out := make([]EdgeID, len(faults))
+	copy(out, faults)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for _, id := range out[1:] {
+		if id != out[w-1] {
+			out[w] = id
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // forEachPair fans the pair list out across the worker pool, writing
@@ -74,7 +157,13 @@ func forEachPair[T any](pairs []Pair, parallelism int, eval func(Pair) (T, error
 	err := parallel.ForEach(parallelism, len(pairs), func(i int) error {
 		v, err := eval(pairs[i])
 		if err != nil {
-			// The inner error carries the package prefix already.
+			// The inner error carries the package prefix already; a typed
+			// validation error keeps its code and gains the pair index.
+			var qe *QueryError
+			if errors.As(err, &qe) {
+				return &QueryError{Code: qe.Code, Pair: i,
+					msg: fmt.Sprintf("batch pair %d: %s", i, qe.msg)}
+			}
 			return fmt.Errorf("batch pair %d: %w", i, err)
 		}
 		out[i] = v
@@ -317,6 +406,15 @@ func (x *RouteFaultContext) prepareForbidden() error {
 		x.forbidden, x.prepErr = x.r.inner.PrepareForbidden(x.faultIDs)
 	})
 	return x.prepErr
+}
+
+// PrepareForbidden eagerly builds the forbidden-set structures the
+// context otherwise prepares lazily on the first RouteForbidden call.
+// Serving layers call it before fanning a batch out so a preparation
+// error surfaces once, unscoped, instead of tagged to an arbitrary pair —
+// the same semantics Router.RouteForbiddenBatch applies. Idempotent.
+func (x *RouteFaultContext) PrepareForbidden() error {
+	return x.prepareForbidden()
 }
 
 // RouteForbidden routes one pair under the prepared known fault set,

@@ -1,6 +1,7 @@
 package ftrouting
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -318,6 +319,154 @@ func TestBatchFaultValidation(t *testing.T) {
 	dup := append(append([]EdgeID{}, two...), two...)
 	if _, err := dist.EstimateBatch(QueryBatch{Pairs: pairs, Faults: dup}, BatchOptions{}); err != nil {
 		t.Fatalf("dist batch with duplicated faults within bound: %v", err)
+	}
+}
+
+// TestBatchErrorCodes proves every batch validation failure carries a
+// stable machine-readable code and pair index through the error chain —
+// the contract the HTTP serving layer relies on instead of parsing error
+// text.
+func TestBatchErrorCodes(t *testing.T) {
+	g := Path(10)
+	conn, err := BuildConnectivityLabels(g, ConnOptions{Scheme: CutBased, MaxFaults: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		batch    QueryBatch
+		wantCode ErrorCode
+		wantPair int
+	}{
+		{
+			name:     "vertex out of range carries pair index",
+			batch:    QueryBatch{Pairs: []Pair{{S: 0, T: 1}, {S: 4, T: 99}}},
+			wantCode: CodeVertexRange,
+			wantPair: 1,
+		},
+		{
+			name:     "negative vertex carries pair index",
+			batch:    QueryBatch{Pairs: []Pair{{S: -1, T: 1}}},
+			wantCode: CodeVertexRange,
+			wantPair: 0,
+		},
+		{
+			name:     "fault id out of range is not pair-scoped",
+			batch:    QueryBatch{Pairs: []Pair{{S: 0, T: 1}}, Faults: []EdgeID{EdgeID(g.M())}},
+			wantCode: CodeFaultRange,
+			wantPair: -1,
+		},
+		{
+			name:     "negative fault id is not pair-scoped",
+			batch:    QueryBatch{Pairs: []Pair{{S: 0, T: 1}}, Faults: []EdgeID{-1}},
+			wantCode: CodeFaultRange,
+			wantPair: -1,
+		},
+		{
+			name:     "distinct faults beyond f",
+			batch:    QueryBatch{Pairs: []Pair{{S: 0, T: 1}}, Faults: []EdgeID{0, 1, 2}},
+			wantCode: CodeFaultBound,
+			wantPair: -1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, par := range batchParallelisms {
+				_, err := conn.ConnectedBatch(c.batch, BatchOptions{Parallelism: par})
+				if err == nil {
+					t.Fatalf("parallelism %d: expected error", par)
+				}
+				var qe *QueryError
+				if !errors.As(err, &qe) {
+					t.Fatalf("parallelism %d: error %v carries no QueryError", par, err)
+				}
+				if got := CodeOf(err); got != c.wantCode {
+					t.Fatalf("parallelism %d: code %q, want %q", par, got, c.wantCode)
+				}
+				if got := PairIndexOf(err); got != c.wantPair {
+					t.Fatalf("parallelism %d: pair index %d, want %d", par, got, c.wantPair)
+				}
+			}
+		})
+	}
+	// Non-validation errors classify as internal; nil classifies as "".
+	if got := CodeOf(errors.New("boom")); got != CodeInternal {
+		t.Fatalf("CodeOf(opaque) = %q, want %q", got, CodeInternal)
+	}
+	if got := CodeOf(nil); got != "" {
+		t.Fatalf("CodeOf(nil) = %q, want empty", got)
+	}
+	if got := PairIndexOf(errors.New("boom")); got != -1 {
+		t.Fatalf("PairIndexOf(opaque) = %d, want -1", got)
+	}
+}
+
+// TestCanonicalFaults pins the canonical form: distinct ids ascending,
+// nil for an empty list, input untouched.
+func TestCanonicalFaults(t *testing.T) {
+	in := []EdgeID{7, 3, 7, 1, 3, 9}
+	orig := append([]EdgeID{}, in...)
+	got := CanonicalFaults(in)
+	if !reflect.DeepEqual(got, []EdgeID{1, 3, 7, 9}) {
+		t.Fatalf("CanonicalFaults(%v) = %v", orig, got)
+	}
+	if !reflect.DeepEqual(in, orig) {
+		t.Fatalf("input mutated: %v", in)
+	}
+	if got := CanonicalFaults(nil); got != nil {
+		t.Fatalf("CanonicalFaults(nil) = %v, want nil", got)
+	}
+	if got := CanonicalFaults([]EdgeID{5}); !reflect.DeepEqual(got, []EdgeID{5}) {
+		t.Fatalf("CanonicalFaults([5]) = %v", got)
+	}
+}
+
+// TestBatchFaultOrderInsensitive proves decode results depend only on the
+// fault set, not its order or duplication — the property that makes
+// canonical-key context caching in the serve layer answer bit-identically.
+func TestBatchFaultOrderInsensitive(t *testing.T) {
+	g := RandomConnected(40, 70, 5)
+	faults := RandomFaults(g, 3, 6)
+	reversed := make([]EdgeID, len(faults))
+	for i, id := range faults {
+		reversed[len(faults)-1-i] = id
+	}
+	duplicated := append(append([]EdgeID{}, reversed...), faults...)
+	pairs := batchPairs(g.N())
+
+	conn, err := BuildConnectivityLabels(g, ConnOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := BuildDistanceLabels(g, 3, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alt := range [][]EdgeID{reversed, duplicated, CanonicalFaults(duplicated)} {
+		for _, p := range pairs {
+			want, err := conn.Connected(p.S, p.T, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := conn.Connected(p.S, p.T, alt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("conn (%d,%d): faults %v -> %v, %v -> %v", p.S, p.T, faults, want, alt, got)
+			}
+			wantD, err := dist.Estimate(p.S, p.T, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotD, err := dist.Estimate(p.S, p.T, alt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotD != wantD {
+				t.Fatalf("dist (%d,%d): faults %v -> %d, %v -> %d", p.S, p.T, faults, wantD, alt, gotD)
+			}
+		}
 	}
 }
 

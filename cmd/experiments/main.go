@@ -4,7 +4,8 @@
 // E15 additionally measures the persisted schemes of internal/codec:
 // scheme-file sizes and encoded label sizes in bits, on the wire. E16
 // measures batch query throughput (queries/sec) against batch size and
-// worker count.
+// worker count. E17 measures the serve daemon over loopback HTTP:
+// queries/sec against cache hit rate and workers.
 //
 // Usage:
 //
@@ -30,12 +31,18 @@ func main() {
 	fmt.Printf("reproducing: Dory, Parter. Fault-Tolerant Labeling and Compact Routing Schemes. PODC 2021.\n\n")
 
 	ran := 0
-	tables := append(experiments.All(*seed), persistedSizes(*seed), batchThroughput(*seed))
-	for _, table := range tables {
-		if *only != "" && table.ID != *only {
+	registry := append(experiments.Registry(),
+		experiments.Experiment{ID: "E15", Run: persistedSizes},
+		experiments.Experiment{ID: "E16", Run: batchThroughput},
+		experiments.Experiment{ID: "E17", Run: serveThroughput},
+	)
+	// Filter before running: -only must not pay for the experiments it
+	// skips (E16/E17 alone drive minutes of measurement).
+	for _, e := range registry {
+		if *only != "" && e.ID != *only {
 			continue
 		}
-		fmt.Println(table.String())
+		fmt.Println(e.Run(*seed).String())
 		ran++
 	}
 	if ran == 0 {

@@ -26,6 +26,13 @@
 //
 //	ftroute query -in conn.ftl -pairs pairs.txt -faults 1,2,3 -par 0
 //	generate-pairs | ftroute query -in dist.ftl -pairs - -faults 5
+//
+// Long-running daemon (HTTP/JSON batch API with a prepared-fault-context
+// cache; see package serve for endpoints and wire format):
+//
+//	ftroute serve -in conn.ftl -addr :8080 -par 0 -ctxcache 64
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -d '{"pairs":[[0,99]],"faults":[1,2,3]}' localhost:8080/v1/connected
 package main
 
 import (
@@ -58,6 +65,8 @@ func main() {
 		err = runBuild(args)
 	case "query":
 		err = runQuery(args)
+	case "serve":
+		err = runServe(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -69,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query|serve> [flags]
   conn   connectivity query under faults from labels
   dist   approximate distance query under faults from labels
   route  fault-tolerant routing simulation (-in loads a saved router)
@@ -77,7 +86,9 @@ func usage() {
   lower  Theorem 1.6 lower-bound experiment
   build  preprocess once and write a scheme file (-type conn|dist|route)
   query  answer from a scheme file without rebuilding
-         (-pairs FILE|- batches many "s t" queries over the worker pool)`)
+         (-pairs FILE|- batches many "s t" queries over the worker pool)
+  serve  long-running HTTP daemon answering pair batches from a scheme
+         file (-addr, -par, -ctxcache; see package serve for the API)`)
 }
 
 // graphFlags declares the shared topology flags on a FlagSet.

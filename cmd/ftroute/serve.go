@@ -1,0 +1,110 @@
+package main
+
+// `ftroute serve`: the long-running query daemon. Loads one scheme file,
+// binds an HTTP listener, and answers pair batches through package serve
+// (bounded LRU of prepared fault contexts, per-endpoint counters,
+// structured errors) until SIGINT/SIGTERM, then drains in-flight
+// requests and exits.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftrouting"
+	"ftrouting/serve"
+)
+
+// serveShutdownGrace bounds the drain of in-flight requests on shutdown.
+const serveShutdownGrace = 10 * time.Second
+
+// Connection hygiene for a public listener: a client that trickles or
+// never finishes its request headers, or parks an idle keep-alive
+// connection, must not pin a goroutine and file descriptor forever.
+// Response writing is left unbounded — large route batches stream full
+// traces and are cut off by the client, not the server.
+const (
+	serveReadHeaderTimeout = 10 * time.Second
+	serveIdleTimeout       = 2 * time.Minute
+)
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "scheme.ftl", "scheme file written by ftroute build")
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	par := fs.Int("par", 0, "workers evaluating each request's pairs: 0 uses GOMAXPROCS, 1 is sequential")
+	ctxCache := fs.Int("ctxcache", serve.DefaultContextCacheSize,
+		"prepared fault contexts kept warm (LRU); 0 disables the cache")
+	maxBody := fs.Int64("max-body", serve.DefaultMaxRequestBytes, "request body size limit in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxBody <= 0 {
+		return fmt.Errorf("-max-body must be positive, got %d", *maxBody)
+	}
+
+	file, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	scheme, err := ftrouting.LoadScheme(file)
+	file.Close()
+	if err != nil {
+		return err
+	}
+	opts := serve.Options{Parallelism: *par, ContextCacheSize: *ctxCache, MaxRequestBytes: *maxBody}
+	if *ctxCache == 0 {
+		opts.ContextCacheSize = -1 // flag 0 means "off"; Options 0 means "default"
+	}
+	srv, err := serve.New(scheme, opts)
+	if err != nil {
+		return err
+	}
+
+	// Bind before announcing so "listening on" always names a live
+	// address (and resolves port 0), which serve-smoke scripts rely on.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s scheme from %s\n", srv.Kind(), *in)
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: serveReadHeaderTimeout,
+		IdleTimeout:       serveIdleTimeout,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		// Serve never returns nil; without Shutdown any return is fatal.
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), serveShutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	stats := srv.Stats()
+	fmt.Printf("served %d pairs; cache: %d hits, %d misses, %d evictions\n",
+		stats.PairsServed, stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Evictions)
+	return nil
+}

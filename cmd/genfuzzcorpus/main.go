@@ -101,7 +101,47 @@ func run(root string) error {
 	if err := routeCorpus(root); err != nil {
 		return err
 	}
-	return rootCorpus(root)
+	if err := rootCorpus(root); err != nil {
+		return err
+	}
+	return serveCorpus(root)
+}
+
+// serveCorpus seeds FuzzServeRequest: the HTTP daemon's JSON request
+// decoder. Beyond the inline f.Add seeds: structurally valid requests of
+// varying width, a request whose fault list is huge, deep-nesting abuse,
+// and the standard truncation/corruption variants of a canonical request.
+func serveCorpus(root string) error {
+	canonical := []byte(`{"pairs":[[0,1],[2,3],[1,1]],"faults":[0,2,4]}`)
+	wide := &bytes.Buffer{}
+	wide.WriteString(`{"pairs":[`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			wide.WriteByte(',')
+		}
+		fmt.Fprintf(wide, "[%d,%d]", i%12, (i*5+3)%12)
+	}
+	wide.WriteString(`],"faults":[1,1,3,3,5]}`)
+	hugeFaults := &bytes.Buffer{}
+	hugeFaults.WriteString(`{"pairs":[[0,1]],"faults":[`)
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			hugeFaults.WriteByte(',')
+		}
+		fmt.Fprintf(hugeFaults, "%d", i%17)
+	}
+	hugeFaults.WriteString(`]}`)
+	nested := []byte(`{"pairs":[[[[[[0,1]]]]]]}`)
+	floats := []byte(`{"pairs":[[0.5,1e9]],"faults":[-2.25]}`)
+	return writeCorpus(root, "serve", "FuzzServeRequest", merge(
+		variants("canonical", canonical),
+		map[string][]byte{
+			"wide-batch":  wide.Bytes(),
+			"huge-faults": hugeFaults.Bytes(),
+			"nested":      nested,
+			"floats":      floats,
+		},
+	))
 }
 
 // encoded runs one codec encoder into a byte slice.

@@ -308,6 +308,18 @@ func (c *ConnLabels) EdgeLabel(id EdgeID) EdgeLabel {
 	return l
 }
 
+// Graph returns the labeled graph.
+func (c *ConnLabels) Graph() *Graph { return c.g }
+
+// FaultBound returns the fault bound f the labels were sized for, or -1
+// for the sketch-based scheme (f-independent labels).
+func (c *ConnLabels) FaultBound() int {
+	if c.opts.Scheme == CutBased {
+		return c.opts.MaxFaults
+	}
+	return -1
+}
+
 // Query decides from labels alone whether the two vertices are connected
 // after removing the faulty edges. This is the decoder D of Section 2: it
 // uses no information beyond the given labels.
@@ -378,6 +390,12 @@ func (d *DistLabels) Estimate(s, t int32, faults []EdgeID) (int64, error) {
 	return d.inner.Decode(d.inner.VertexLabel(s), d.inner.VertexLabel(t), fl)
 }
 
+// Graph returns the labeled graph.
+func (d *DistLabels) Graph() *Graph { return d.inner.Graph() }
+
+// FaultBound returns the fault bound f the labels were built for.
+func (d *DistLabels) FaultBound() int { return d.inner.F() }
+
 // VertexLabelBits returns the per-vertex label size in bits.
 func (d *DistLabels) VertexLabelBits(v int32) int { return d.inner.VertexLabelBits(v) }
 
@@ -428,6 +446,12 @@ func (r *Router) Route(s, t int32, faults EdgeSet) (RouteResult, error) {
 func (r *Router) RouteForbidden(s, t int32, faults []EdgeID) (RouteResult, error) {
 	return r.inner.RouteForbidden(s, t, faults)
 }
+
+// Graph returns the preprocessed graph.
+func (r *Router) Graph() *Graph { return r.inner.Graph() }
+
+// FaultBound returns the fault bound f the router was built for.
+func (r *Router) FaultBound() int { return r.inner.F() }
 
 // MaxTableBits returns the largest per-vertex routing table in bits.
 func (r *Router) MaxTableBits() int { return r.inner.MaxTableBits() }

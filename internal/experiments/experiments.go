@@ -78,23 +78,39 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func i0(v int) string     { return fmt.Sprintf("%d", v) }
 func i64(v int64) string  { return fmt.Sprintf("%d", v) }
 
+// Experiment names one experiment and how to run it, so callers can
+// filter by id before paying for the measurement.
+type Experiment struct {
+	ID  string
+	Run func(seed uint64) *Table
+}
+
+// Registry lists every experiment in presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", E1Table1},
+		{"E2", E2CutLabels},
+		{"E3", E3SketchLabels},
+		{"E4", E4LabelingTime},
+		{"E5", E5CutSides},
+		{"E6", E6ComponentTree},
+		{"E7", E7SuccinctPath},
+		{"E8", E8DistanceLabels},
+		{"E9", E9ForbiddenRouting},
+		{"E10", E10FTRouting},
+		{"E11", E11LowerBound},
+		{"E12", E12BalancedAblation},
+		{"E13", E13SketchUnitsAblation},
+		{"E14", E14TreeCover},
+	}
+}
+
 // All runs every experiment with one seed. Sizes are chosen so the full
 // suite completes in a couple of minutes on a laptop.
 func All(seed uint64) []*Table {
-	return []*Table{
-		E1Table1(seed),
-		E2CutLabels(seed),
-		E3SketchLabels(seed),
-		E4LabelingTime(seed),
-		E5CutSides(seed),
-		E6ComponentTree(seed),
-		E7SuccinctPath(seed),
-		E8DistanceLabels(seed),
-		E9ForbiddenRouting(seed),
-		E10FTRouting(seed),
-		E11LowerBound(seed),
-		E12BalancedAblation(seed),
-		E13SketchUnitsAblation(seed),
-		E14TreeCover(seed),
+	var out []*Table
+	for _, e := range Registry() {
+		out = append(out, e.Run(seed))
 	}
+	return out
 }

@@ -1,0 +1,154 @@
+package serve
+
+// BenchmarkServe* measures served batch queries over loopback HTTP at the
+// two extremes of the cache-hit spectrum: Warm repeats one fault set
+// (after the first request every lookup hits, so requests skip fault
+// preparation), Cold changes the fault set every request (every lookup
+// misses and pays decoder Steps 1–3). The gap is the amortization the
+// prepared-context LRU buys; the bench-compare CI gate watches these.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ftrouting"
+)
+
+// benchPairsPerRequest keeps requests small enough that fault-set
+// preparation dominates the cold path, the serving regime the cache
+// exists for.
+const benchPairsPerRequest = 16
+
+var benchSchemes struct {
+	once sync.Once
+	conn *ftrouting.ConnLabels
+	dist *ftrouting.DistLabels
+	g    *ftrouting.Graph
+	dg   *ftrouting.Graph
+	err  error
+}
+
+func benchSetup() error {
+	benchSchemes.once.Do(func() {
+		benchSchemes.g = ftrouting.RandomConnected(256, 420, 1)
+		benchSchemes.conn, benchSchemes.err = ftrouting.BuildConnectivityLabels(
+			benchSchemes.g, ftrouting.ConnOptions{Seed: 1})
+		if benchSchemes.err != nil {
+			return
+		}
+		benchSchemes.dg = ftrouting.WithRandomWeights(ftrouting.RandomConnected(48, 80, 2), 4, 3)
+		benchSchemes.dist, benchSchemes.err = ftrouting.BuildDistanceLabels(benchSchemes.dg, 2, 2, 1)
+	})
+	return benchSchemes.err
+}
+
+// benchServe posts b.N requests to one endpoint, drawing the request's
+// fault set from faultsFor(i), and reports query throughput.
+func benchServe(b *testing.B, scheme any, endpoint string, g *ftrouting.Graph, faultsFor func(i int) []ftrouting.EdgeID) {
+	s, err := New(scheme, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	pairs := make([][2]int32, benchPairsPerRequest)
+	n := g.N()
+	for i := range pairs {
+		pairs[i] = [2]int32{int32((i * 5) % n), int32((i*11 + n/2) % n)}
+	}
+	url := ts.URL + "/v1/" + endpoint
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := json.Marshal(QueryRequest{Pairs: pairs, Faults: faultsFor(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body := new(bytes.Buffer)
+			body.ReadFrom(resp.Body)
+			resp.Body.Close()
+			b.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		resp.Body.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchPairsPerRequest)/b.Elapsed().Seconds(), "queries/s")
+	if st := s.Stats().Cache; b.N > 1 && st.Hits+st.Misses != uint64(b.N) {
+		b.Fatalf("cache lookups %d != %d requests", st.Hits+st.Misses, b.N)
+	}
+}
+
+func BenchmarkServeConnectedWarm(b *testing.B) {
+	if err := benchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	faults := ftrouting.RandomFaults(benchSchemes.g, 6, 5)
+	benchServe(b, benchSchemes.conn, "connected", benchSchemes.g,
+		func(int) []ftrouting.EdgeID { return faults })
+}
+
+func BenchmarkServeConnectedCold(b *testing.B) {
+	if err := benchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	benchServe(b, benchSchemes.conn, "connected", benchSchemes.g,
+		func(i int) []ftrouting.EdgeID {
+			return ftrouting.RandomFaults(benchSchemes.g, 6, uint64(1000+i))
+		})
+}
+
+func BenchmarkServeEstimateWarm(b *testing.B) {
+	if err := benchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	faults := ftrouting.RandomFaults(benchSchemes.dg, 2, 5)
+	benchServe(b, benchSchemes.dist, "estimate", benchSchemes.dg,
+		func(int) []ftrouting.EdgeID { return faults })
+}
+
+func BenchmarkServeEstimateCold(b *testing.B) {
+	if err := benchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	benchServe(b, benchSchemes.dist, "estimate", benchSchemes.dg,
+		func(i int) []ftrouting.EdgeID {
+			return ftrouting.RandomFaults(benchSchemes.dg, 2, uint64(1000+i))
+		})
+}
+
+// BenchmarkServeStats measures the monitoring endpoint (lock-free counter
+// snapshot + small JSON body).
+func BenchmarkServeStats(b *testing.B) {
+	if err := benchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(benchSchemes.conn, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

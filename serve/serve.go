@@ -1,0 +1,305 @@
+// Package serve is the long-running query daemon over persisted schemes:
+// it loads any scheme file written by ftroute build (connectivity,
+// distance or routing), and answers pair batches over an HTTP/JSON API
+// that dispatches to the root package's batch engine. This is the
+// deployment shape the paper's preprocessing/query split is designed for
+// — all graph-dependent work happened at build time, so the serving tier
+// is pure label decoding: load once, serve heavy traffic.
+//
+// Endpoints (all under /v1, POST bodies are QueryRequest JSON):
+//
+//	POST /v1/connected        connectivity per pair (conn schemes)
+//	POST /v1/estimate         distance estimate per pair (dist schemes)
+//	POST /v1/route            unknown-fault routing per pair (router schemes)
+//	POST /v1/route-forbidden  known-fault routing per pair (router schemes)
+//	GET  /v1/healthz          scheme kind, sizes, fault bound
+//	GET  /v1/stats            per-endpoint counters and cache statistics
+//
+// Responses are bit-identical to direct ConnectedBatch / EstimateBatch /
+// RouteBatch / RouteForbiddenBatch calls. A bounded LRU keyed by the
+// canonicalized fault set keeps prepared fault contexts warm, so repeated
+// queries against the same failures skip fault-set preparation (decoder
+// Steps 1–3) entirely. Errors carry the batch API's machine-readable
+// codes and pair indices in a structured JSON envelope.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"ftrouting"
+)
+
+// Default limits; zero-valued Options fields select these.
+const (
+	// DefaultContextCacheSize bounds the prepared fault contexts kept warm.
+	DefaultContextCacheSize = 64
+	// DefaultMaxRequestBytes bounds a request body (8 MiB ≈ one million
+	// pairs per request).
+	DefaultMaxRequestBytes = 8 << 20
+)
+
+// Options configures a Server.
+type Options struct {
+	// Parallelism bounds the worker goroutines evaluating each request's
+	// pairs: 0 uses GOMAXPROCS, 1 evaluates sequentially (the root batch
+	// API's convention).
+	Parallelism int
+	// ContextCacheSize bounds the prepared-fault-context LRU: 0 selects
+	// DefaultContextCacheSize, negative disables caching.
+	ContextCacheSize int
+	// MaxRequestBytes bounds a request body: 0 selects
+	// DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+}
+
+// endpointCounters counts one endpoint's traffic (lock-free; read by
+// /v1/stats while requests are in flight).
+type endpointCounters struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// Server answers batch queries for one loaded scheme. It implements
+// http.Handler and is safe for concurrent requests.
+type Server struct {
+	kind   string // "conn", "dist" or "router"
+	conn   *ftrouting.ConnLabels
+	dist   *ftrouting.DistLabels
+	router *ftrouting.Router
+	g      *ftrouting.Graph
+	bound  int
+
+	opts        Options
+	cache       *contextCache
+	mux         *http.ServeMux
+	counters    map[string]*endpointCounters
+	pairsServed atomic.Uint64
+}
+
+// endpoint name -> scheme kind that answers it.
+var queryEndpoints = map[string]string{
+	"connected":       "conn",
+	"estimate":        "dist",
+	"route":           "router",
+	"route-forbidden": "router",
+}
+
+// New wraps a loaded scheme — the *ftrouting.ConnLabels, *DistLabels or
+// *Router a LoadScheme call returned — in a Server.
+func New(scheme any, opts Options) (*Server, error) {
+	if opts.ContextCacheSize == 0 {
+		opts.ContextCacheSize = DefaultContextCacheSize
+	}
+	if opts.MaxRequestBytes == 0 {
+		opts.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if opts.MaxRequestBytes < 0 {
+		return nil, fmt.Errorf("serve: MaxRequestBytes must be positive, got %d", opts.MaxRequestBytes)
+	}
+	s := &Server{opts: opts, cache: newContextCache(opts.ContextCacheSize)}
+	switch v := scheme.(type) {
+	case *ftrouting.ConnLabels:
+		s.kind, s.conn, s.g, s.bound = "conn", v, v.Graph(), v.FaultBound()
+	case *ftrouting.DistLabels:
+		s.kind, s.dist, s.g, s.bound = "dist", v, v.Graph(), v.FaultBound()
+	case *ftrouting.Router:
+		s.kind, s.router, s.g, s.bound = "router", v, v.Graph(), v.FaultBound()
+	default:
+		return nil, fmt.Errorf("serve: unsupported scheme type %T", scheme)
+	}
+	s.counters = make(map[string]*endpointCounters)
+	s.mux = http.NewServeMux()
+	for name := range queryEndpoints {
+		name := name
+		s.counters[name] = &endpointCounters{}
+		s.mux.HandleFunc("/v1/"+name, func(w http.ResponseWriter, r *http.Request) {
+			s.handleQuery(w, r, name)
+		})
+	}
+	for name, h := range map[string]func(http.ResponseWriter, *http.Request) error{
+		"healthz": s.handleHealthz,
+		"stats":   s.handleStats,
+	} {
+		name, h := name, h
+		s.counters[name] = &endpointCounters{}
+		s.mux.HandleFunc("/v1/"+name, func(w http.ResponseWriter, r *http.Request) {
+			s.counted(w, r, name, h)
+		})
+	}
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, errorf(http.StatusNotFound, codeNotFound, "no such endpoint %s", r.URL.Path))
+	})
+	return s, nil
+}
+
+// Kind returns the loaded scheme kind: "conn", "dist" or "router".
+func (s *Server) Kind() string { return s.kind }
+
+// ServeHTTP dispatches to the /v1 endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats snapshots the serving counters (the /v1/stats payload).
+func (s *Server) Stats() StatsResponse {
+	resp := StatsResponse{
+		Kind:        s.kind,
+		Endpoints:   make(map[string]EndpointStats, len(s.counters)),
+		PairsServed: s.pairsServed.Load(),
+		Cache:       s.cache.stats(),
+	}
+	for name, c := range s.counters {
+		resp.Endpoints[name] = EndpointStats{Requests: c.requests.Load(), Errors: c.errors.Load()}
+	}
+	return resp
+}
+
+// counted runs a handler under the endpoint's request/error counters.
+func (s *Server) counted(w http.ResponseWriter, r *http.Request, name string, h func(http.ResponseWriter, *http.Request) error) {
+	c := s.counters[name]
+	c.requests.Add(1)
+	if err := h(w, r); err != nil {
+		c.errors.Add(1)
+	}
+}
+
+// handleQuery is the shared query-endpoint pipeline: decode, look up (or
+// prepare) the fault context, fan the pairs out, respond.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string) {
+	s.counted(w, r, name, func(w http.ResponseWriter, r *http.Request) error {
+		if e := s.answerQuery(w, r, name); e != nil {
+			writeError(w, e)
+			return e
+		}
+		return nil
+	})
+}
+
+func (s *Server) answerQuery(w http.ResponseWriter, r *http.Request, name string) *apiError {
+	if r.Method != http.MethodPost {
+		return errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			"/v1/%s accepts POST, not %s", name, r.Method)
+	}
+	if want := queryEndpoints[name]; want != s.kind {
+		return errorf(http.StatusNotFound, codeUnsupported,
+			"/v1/%s serves %s schemes; this server holds a %s scheme", name, want, s.kind)
+	}
+	req, e := decodeQueryRequest(r.Body, s.opts.MaxRequestBytes)
+	if e != nil {
+		return e
+	}
+	batch := req.batch()
+	// Mirror the batch API: an empty pair list returns empty results
+	// without touching (or even validating) the fault set.
+	if len(batch.Pairs) == 0 {
+		return s.respond(w, name, nil, nil)
+	}
+	ctx, err := s.cache.get(ftrouting.CanonicalFaults(batch.Faults), s.prepare)
+	if err != nil {
+		return fromBatchError(err)
+	}
+	return s.respond(w, name, batch.Pairs, ctx)
+}
+
+// prepare builds the fault context of the loaded scheme kind; the cache
+// calls it once per distinct fault set.
+func (s *Server) prepare(canon []ftrouting.EdgeID) (any, error) {
+	switch s.kind {
+	case "conn":
+		return s.conn.PrepareFaults(canon)
+	case "dist":
+		return s.dist.PrepareFaults(canon)
+	default:
+		return s.router.PrepareFaults(canon)
+	}
+}
+
+// respond evaluates the pairs on the prepared context and writes the
+// endpoint's response type. A nil pair list writes the empty response.
+func (s *Server) respond(w http.ResponseWriter, name string, pairs []ftrouting.Pair, ctx any) *apiError {
+	opts := ftrouting.BatchOptions{Parallelism: s.opts.Parallelism}
+	var payload any
+	switch name {
+	case "connected":
+		results := []bool{}
+		if len(pairs) > 0 {
+			var err error
+			results, err = ctx.(*ftrouting.ConnFaultContext).ConnectedBatch(pairs, opts)
+			if err != nil {
+				return fromBatchError(err)
+			}
+		}
+		payload = ConnectedResponse{Results: results}
+	case "estimate":
+		estimates := []int64{}
+		if len(pairs) > 0 {
+			var err error
+			estimates, err = ctx.(*ftrouting.DistFaultContext).EstimateBatch(pairs, opts)
+			if err != nil {
+				return fromBatchError(err)
+			}
+		}
+		payload = EstimateResponse{Estimates: estimates}
+	default: // route, route-forbidden
+		results := []ftrouting.RouteResult{}
+		if len(pairs) > 0 {
+			rc := ctx.(*ftrouting.RouteFaultContext)
+			var err error
+			if name == "route-forbidden" {
+				// Surface a forbidden-preparation error once, unscoped,
+				// before any pair runs — Router.RouteForbiddenBatch's
+				// semantics.
+				if err := rc.PrepareForbidden(); err != nil {
+					return fromBatchError(err)
+				}
+				results, err = rc.RouteForbiddenBatch(pairs, opts)
+			} else {
+				results, err = rc.RouteBatch(pairs, opts)
+			}
+			if err != nil {
+				return fromBatchError(err)
+			}
+		}
+		wire := make([]RouteResult, len(results))
+		for i, res := range results {
+			wire[i] = fromRouteResult(res)
+		}
+		payload = RouteResponse{Results: wire}
+	}
+	s.pairsServed.Add(uint64(len(pairs)))
+	writeJSON(w, payload)
+	return nil
+}
+
+// handleHealthz answers GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		e := errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			"/v1/healthz accepts GET, not %s", r.Method)
+		writeError(w, e)
+		return e
+	}
+	writeJSON(w, HealthResponse{
+		Status:      "ok",
+		Kind:        s.kind,
+		Vertices:    s.g.N(),
+		Edges:       s.g.M(),
+		FaultBound:  s.bound,
+		Unreachable: ftrouting.Unreachable,
+	})
+	return nil
+}
+
+// handleStats answers GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		e := errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			"/v1/stats accepts GET, not %s", r.Method)
+		writeError(w, e)
+		return e
+	}
+	writeJSON(w, s.Stats())
+	return nil
+}

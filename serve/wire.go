@@ -1,0 +1,227 @@
+package serve
+
+// Wire types of the HTTP/JSON API. Requests and responses mirror the
+// batch API of the root package exactly: a request is one QueryBatch
+// (pairs + fault set), a response carries the batch results in pair
+// order, and errors round-trip the batch API's machine-readable codes and
+// pair indices in a structured envelope instead of formatted text.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ftrouting"
+)
+
+// QueryRequest is the body of every query endpoint: a pair list and one
+// fault set, the wire form of ftrouting.QueryBatch. Duplicate fault ids
+// count once toward the fault bound; duplicate pairs are answered
+// independently.
+type QueryRequest struct {
+	// Pairs lists the (source, target) queries as two-element arrays.
+	Pairs [][2]int32 `json:"pairs"`
+	// Faults lists the failed edge ids; order and duplication are
+	// irrelevant (results depend only on the fault set).
+	Faults []ftrouting.EdgeID `json:"faults,omitempty"`
+}
+
+// batch converts the request to the root package's batch form.
+func (q *QueryRequest) batch() ftrouting.QueryBatch {
+	pairs := make([]ftrouting.Pair, len(q.Pairs))
+	for i, p := range q.Pairs {
+		pairs[i] = ftrouting.Pair{S: p[0], T: p[1]}
+	}
+	return ftrouting.QueryBatch{Pairs: pairs, Faults: q.Faults}
+}
+
+// ConnectedResponse answers /v1/connected: one bool per pair, in order.
+type ConnectedResponse struct {
+	Results []bool `json:"results"`
+}
+
+// EstimateResponse answers /v1/estimate: one estimate per pair, in order.
+// Disconnected pairs carry the Unreachable sentinel from /v1/healthz.
+type EstimateResponse struct {
+	Estimates []int64 `json:"estimates"`
+}
+
+// RouteResult is the wire form of ftrouting.RouteResult, field for field.
+type RouteResult struct {
+	Reached       bool    `json:"reached"`
+	Cost          int64   `json:"cost"`
+	Opt           int64   `json:"opt"`
+	Stretch       float64 `json:"stretch"`
+	Hops          int     `json:"hops"`
+	Probes        int     `json:"probes"`
+	Detections    int     `json:"detections"`
+	Phases        int     `json:"phases"`
+	Iterations    int     `json:"iterations"`
+	MaxHeaderBits int     `json:"max_header_bits"`
+	ProbeCost     int64   `json:"probe_cost"`
+	Trace         []int32 `json:"trace,omitempty"`
+}
+
+// fromRouteResult converts a simulation result to its wire form.
+func fromRouteResult(r ftrouting.RouteResult) RouteResult {
+	return RouteResult{
+		Reached:       r.Reached,
+		Cost:          r.Cost,
+		Opt:           r.Opt,
+		Stretch:       r.Stretch,
+		Hops:          r.Hops,
+		Probes:        r.Probes,
+		Detections:    r.Detections,
+		Phases:        r.Phases,
+		Iterations:    r.Iterations,
+		MaxHeaderBits: r.MaxHeaderBits,
+		ProbeCost:     r.ProbeCost,
+		Trace:         r.Trace,
+	}
+}
+
+// RouteResponse answers /v1/route and /v1/route-forbidden.
+type RouteResponse struct {
+	Results []RouteResult `json:"results"`
+}
+
+// HealthResponse answers /v1/healthz: static facts about the loaded
+// scheme a client needs to form valid requests.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Kind is the loaded scheme kind: conn, dist or router.
+	Kind     string `json:"kind"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// FaultBound is the scheme's f; -1 means unbounded (sketch labels).
+	FaultBound int `json:"fault_bound"`
+	// Unreachable is the estimate value of disconnected pairs.
+	Unreachable int64 `json:"unreachable"`
+}
+
+// EndpointStats counts one endpoint's traffic.
+type EndpointStats struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+// CacheStats reports the prepared-fault-context cache counters. Every
+// lookup is exactly one hit or one miss, so Hits+Misses equals the number
+// of non-empty query requests that reached fault preparation.
+type CacheStats struct {
+	Capacity  int    `json:"capacity"`
+	Size      int    `json:"size"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// StatsResponse answers /v1/stats.
+type StatsResponse struct {
+	Kind        string                   `json:"kind"`
+	Endpoints   map[string]EndpointStats `json:"endpoints"`
+	PairsServed uint64                   `json:"pairs_served"`
+	Cache       CacheStats               `json:"cache"`
+}
+
+// ErrorInfo is the structured error payload: a stable machine-readable
+// code (the ftrouting.ErrorCode values plus the transport-level codes
+// below), the human-readable message, and the failing pair index when the
+// error is scoped to one pair of the batch.
+type ErrorInfo struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	PairIndex *int   `json:"pair_index,omitempty"`
+}
+
+// ErrorBody is the envelope of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// Transport-level error codes (validation failures reuse the stable
+// ftrouting.ErrorCode values verbatim).
+const (
+	codeBadRequest       = "bad_request"
+	codeRequestTooLarge  = "request_too_large"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeNotFound         = "not_found"
+	codeUnsupported      = "unsupported_endpoint"
+	codeInternal         = string(ftrouting.CodeInternal)
+)
+
+// apiError pairs an HTTP status with the structured error payload.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+	pair   int // failing pair index, or -1
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// errorf builds an apiError with no pair scope.
+func errorf(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...), pair: -1}
+}
+
+// fromBatchError maps a batch-API error onto an apiError using the stable
+// code and pair index the error chain carries — never the message text.
+func fromBatchError(err error) *apiError {
+	status := http.StatusBadRequest
+	code := ftrouting.CodeOf(err)
+	if code == ftrouting.CodeInternal {
+		status = http.StatusInternalServerError
+	}
+	return &apiError{status: status, code: string(code), msg: err.Error(), pair: ftrouting.PairIndexOf(err)}
+}
+
+// decodeQueryRequest parses a request body of at most maxBytes bytes.
+// Unknown fields, trailing data and oversized bodies are rejected; the
+// decoder never panics on malformed input (FuzzServeRequest).
+func decodeQueryRequest(body io.Reader, maxBytes int64) (*QueryRequest, *apiError) {
+	// One spare byte past the limit distinguishes "exactly maxBytes" from
+	// "too large" without reading an unbounded body.
+	lr := &io.LimitedReader{R: body, N: maxBytes + 1}
+	dec := json.NewDecoder(lr)
+	dec.DisallowUnknownFields()
+	var req QueryRequest
+	if err := dec.Decode(&req); err != nil {
+		if lr.N <= 0 {
+			return nil, errorf(http.StatusRequestEntityTooLarge, codeRequestTooLarge,
+				"request body exceeds %d bytes", maxBytes)
+		}
+		if errors.Is(err, io.EOF) {
+			return nil, errorf(http.StatusBadRequest, codeBadRequest, "empty request body")
+		}
+		return nil, errorf(http.StatusBadRequest, codeBadRequest, "malformed request: %v", err)
+	}
+	if dec.More() {
+		return nil, errorf(http.StatusBadRequest, codeBadRequest, "trailing data after request object")
+	}
+	if lr.N <= 0 {
+		return nil, errorf(http.StatusRequestEntityTooLarge, codeRequestTooLarge,
+			"request body exceeds %d bytes", maxBytes)
+	}
+	return &req, nil
+}
+
+// writeJSON renders a 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError renders the structured error envelope.
+func writeError(w http.ResponseWriter, e *apiError) {
+	info := ErrorInfo{Code: e.code, Message: e.msg}
+	if e.pair >= 0 {
+		idx := e.pair
+		info.PairIndex = &idx
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: info})
+}
