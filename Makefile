@@ -4,7 +4,8 @@
 GO ?= go
 FUZZTIME ?= 10s
 # bench-compare: revision to diff benchmarks against, and the counts/gate
-# the CI job uses.
+# the CI job uses. The Serve pattern covers BenchmarkServe* and
+# BenchmarkServeSharded* alike.
 BASE ?= main
 BENCHCOUNT ?= 5
 BENCHFILTER ?= Query|Decode|Routing|Serve
@@ -28,9 +29,11 @@ FUZZ_TARGETS = \
 	./serve:FuzzServeRequest \
 	.:FuzzLoadConnLabels \
 	.:FuzzLoadDistLabels \
-	.:FuzzLoadRouter
+	.:FuzzLoadRouter \
+	.:FuzzManifest \
+	.:FuzzShard
 
-.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke
+.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke shard-smoke
 
 all: build lint test
 
@@ -101,6 +104,43 @@ serve-smoke:
 	wait $$pid; \
 	cat "$$tmp/serve.log"; \
 	echo "serve-smoke OK"
+
+# shard-smoke proves the sharded pipeline end to end: build a
+# multi-component scheme, split it into a manifest + shards, serve the
+# manifest, and check the daemon's answers are byte-identical to the
+# monolithic daemon's for the same requests — the same path the CI
+# shard-smoke job runs.
+shard-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$mpid $$spid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/ftroute" ./cmd/ftroute; \
+	"$$tmp/ftroute" build -type conn -graph islands -n 40 -extra 60 -f 3 -out "$$tmp/scheme.ftlb"; \
+	"$$tmp/ftroute" shard -in "$$tmp/scheme.ftlb" -out-dir "$$tmp/shards"; \
+	"$$tmp/ftroute" info "$$tmp/shards/manifest.ftm"; \
+	"$$tmp/ftroute" serve -in "$$tmp/scheme.ftlb" -addr 127.0.0.1:0 > "$$tmp/mono.log" 2>&1 & mpid=$$!; \
+	"$$tmp/ftroute" serve -manifest "$$tmp/shards/manifest.ftm" -addr 127.0.0.1:0 -shard-budget 8192 > "$$tmp/shard.log" 2>&1 & spid=$$!; \
+	maddr=""; saddr=""; \
+	for i in $$(seq 1 50); do \
+		maddr=$$(sed -n 's/^listening on //p' "$$tmp/mono.log"); \
+		saddr=$$(sed -n 's/^listening on //p' "$$tmp/shard.log"); \
+		[ -n "$$maddr" ] && [ -n "$$saddr" ] && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$maddr" ] && [ -n "$$saddr" ] || { echo "daemons never announced addresses" >&2; cat "$$tmp"/*.log >&2; exit 1; }; \
+	for body in '{"pairs":[[0,39],[0,41],[41,79],[80,119]],"faults":[1,2]}' \
+	            '{"pairs":[[5,7],[120,159]],"faults":[3,3,9]}' \
+	            '{"pairs":[[0,999]]}' \
+	            '{"pairs":[[0,1]],"faults":[99999]}'; do \
+		curl -sS -d "$$body" "http://$$maddr/v1/connected" > "$$tmp/mono.out"; \
+		curl -sS -d "$$body" "http://$$saddr/v1/connected" > "$$tmp/shard.out"; \
+		cmp "$$tmp/mono.out" "$$tmp/shard.out" || { echo "answers diverge for $$body" >&2; cat "$$tmp/mono.out" "$$tmp/shard.out" >&2; exit 1; }; \
+	done; \
+	curl -fsS "http://$$saddr/v1/stats" | grep -q '"shards"' || { echo "stats missing per-shard block" >&2; exit 1; }; \
+	kill -TERM $$mpid $$spid; \
+	wait $$mpid $$spid; \
+	cat "$$tmp/shard.log"; \
+	echo "shard-smoke OK"
 
 lint:
 	$(GO) vet ./...

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"ftrouting/internal/codec"
 	"ftrouting/internal/core"
 	"ftrouting/internal/distlabel"
 	"ftrouting/internal/parallel"
@@ -153,9 +154,19 @@ func CanonicalFaults(faults []EdgeID) []EdgeID {
 // results in input order; the returned error is the one of the
 // lowest-indexed failing pair, tagged with its index.
 func forEachPair[T any](pairs []Pair, parallelism int, eval func(Pair) (T, error)) ([]T, error) {
+	return forEachPairIndexed(pairs, parallelism, func(_ int, p Pair) (T, error) {
+		return eval(p)
+	})
+}
+
+// forEachPairIndexed is forEachPair with the pair's input index passed to
+// the evaluator (the shard planner dispatches per index). Error wrapping
+// and ordering are identical, so a planned batch reports the exact error
+// a monolithic batch reports.
+func forEachPairIndexed[T any](pairs []Pair, parallelism int, eval func(int, Pair) (T, error)) ([]T, error) {
 	out := make([]T, len(pairs))
 	err := parallel.ForEach(parallelism, len(pairs), func(i int) error {
-		v, err := eval(pairs[i])
+		v, err := eval(i, pairs[i])
 		if err != nil {
 			// The inner error carries the package prefix already; a typed
 			// validation error keeps its code and gains the pair index.
@@ -314,6 +325,26 @@ func (d *DistLabels) PrepareFaults(faults []EdgeID) (*DistFaultContext, error) {
 		fl[i] = d.inner.EdgeLabel(id)
 	}
 	inner, err := d.inner.PrepareFaults(fl)
+	if err != nil {
+		return nil, err
+	}
+	return &DistFaultContext{d: d, inner: inner}, nil
+}
+
+// prepareFaultsCounted is PrepareFaults over a shard-restricted fault
+// list with the global distinct-fault count supplied by the planner: the
+// estimate formula (4k-1)(|F|+1)·2^i uses the whole batch's |F|, which a
+// restriction cannot reconstruct from its own labels.
+func (d *DistLabels) prepareFaultsCounted(faults []EdgeID, distinct int) (*DistFaultContext, error) {
+	g := d.inner.Graph()
+	if err := checkFaults(faults, g.M(), d.inner.F()); err != nil {
+		return nil, err
+	}
+	fl := make([]distlabel.EdgeLabel, len(faults))
+	for i, id := range faults {
+		fl[i] = d.inner.EdgeLabel(id)
+	}
+	inner, err := d.inner.PrepareFaultsWithCount(fl, distinct)
 	if err != nil {
 		return nil, err
 	}
@@ -485,4 +516,277 @@ func (r *Router) RouteForbiddenBatch(b QueryBatch, opts BatchOptions) ([]RouteRe
 		return nil, err
 	}
 	return ctx.RouteForbiddenBatch(b.Pairs, opts)
+}
+
+// Shard-aware batch planning. A QueryBatch against a sharded scheme
+// splits by component id: every pair whose endpoints share a component
+// routes to the shard holding it, cross-component pairs take the
+// trivially-correct answer (disconnected / Unreachable / undelivered)
+// without touching any shard, and the fault set restricts per shard —
+// the per-component label tagging of Section 3 makes the split lossless.
+// PlanBatch validates the fault set globally with the exact checks (and
+// errors) of the monolithic Prepare paths; the executors then run ONE
+// ordered fan-out over the original pair list, dispatching each index to
+// its shard's prepared context, so results, error choice and error text
+// are bit-identical to the monolithic batch at any parallelism.
+
+// Pair classifications beyond a shard id.
+const (
+	// pairTrivial: endpoints in different components; answered without a
+	// shard.
+	pairTrivial = -1
+	// pairInvalid: an endpoint out of range; the executor re-runs the
+	// vertex checks to produce the identical per-pair error.
+	pairInvalid = -2
+)
+
+// BatchPlan routes each pair of one QueryBatch to its shard.
+type BatchPlan struct {
+	m         *Manifest
+	pairs     []Pair
+	pairShard []int32
+	shardIDs  []int
+	faults    [][]EdgeID // indexed by shard id; nil for untouched shards
+	distinct  int
+}
+
+// PlanBatch validates the batch's fault set against the scheme bounds
+// (identically to the monolithic PrepareFaults paths) and routes each
+// pair. An empty pair list plans to nothing, mirroring the batch API's
+// empty-batch semantics (the fault set is not even validated).
+func (m *Manifest) PlanBatch(b QueryBatch) (*BatchPlan, error) {
+	p := &BatchPlan{m: m, pairs: b.Pairs}
+	if len(b.Pairs) == 0 {
+		return p, nil
+	}
+	if err := checkFaults(b.Faults, m.g.M(), m.checkBound()); err != nil {
+		return nil, err
+	}
+	n := m.g.N()
+	p.pairShard = make([]int32, len(b.Pairs))
+	touched := make([]bool, len(m.shards))
+	for i, pr := range b.Pairs {
+		if pr.S < 0 || int(pr.S) >= n || pr.T < 0 || int(pr.T) >= n {
+			p.pairShard[i] = pairInvalid
+			continue
+		}
+		cs, ct := m.comp[pr.S], m.comp[pr.T]
+		if cs != ct {
+			p.pairShard[i] = pairTrivial
+			continue
+		}
+		shard := m.shard[cs]
+		p.pairShard[i] = shard
+		touched[shard] = true
+	}
+	for id, hit := range touched {
+		if hit {
+			p.shardIDs = append(p.shardIDs, id)
+		}
+	}
+	// Restrict the fault list per shard, preserving input order and
+	// duplicates: the per-component grouping the monolithic PrepareFaults
+	// paths apply sees the identical sequences. Only shards that answer a
+	// pair need a restriction (fault-only shards are never decoded).
+	p.faults = make([][]EdgeID, len(m.shards))
+	for _, id := range b.Faults {
+		shard := m.shard[m.comp[m.g.Edge(id).U]]
+		if touched[shard] {
+			p.faults[shard] = append(p.faults[shard], id)
+		}
+	}
+	p.distinct = m.distinctFaultCount(b.Faults)
+	return p, nil
+}
+
+// distinctFaultCount reproduces, from edge ids alone, the |F| the
+// distance decoder derives from the full fault-label list
+// (distlabel.countDistinct): distinct edges that appear in at least one
+// cluster instance count once, and every occurrence of an edge absent
+// from all instances counts separately. An edge has an instance entry iff
+// its weight is at most the top-scale radius 2^K (the top-scale home
+// cluster spans the whole component and keeps edges up to its radius),
+// so membership is decidable from the manifest topology without
+// assembling any foreign shard's labels.
+func (m *Manifest) distinctFaultCount(faults []EdgeID) int {
+	if m.kind != codec.KindDistLabels {
+		return 0 // only the distance estimate formula consumes |F|
+	}
+	rhoTop := m.rhoTop()
+	seen := make(map[EdgeID]bool, len(faults))
+	n := 0
+	for _, id := range faults {
+		if m.g.Edge(id).W > rhoTop {
+			n++
+			continue
+		}
+		if !seen[id] {
+			seen[id] = true
+			n++
+		}
+	}
+	return n
+}
+
+// ShardIDs returns the shards the plan needs prepared contexts for, in
+// ascending order.
+func (p *BatchPlan) ShardIDs() []int { return append([]int(nil), p.shardIDs...) }
+
+// ShardFaults returns the batch's fault list restricted to one shard's
+// components, in input order with duplicates preserved.
+func (p *BatchPlan) ShardFaults(id int) []EdgeID {
+	if id < 0 || id >= len(p.faults) {
+		return nil
+	}
+	return append([]EdgeID(nil), p.faults[id]...)
+}
+
+// DistinctFaults returns the global distinct-fault count of the batch
+// (the |F| of the distance estimate formula).
+func (p *BatchPlan) DistinctFaults() int { return p.distinct }
+
+// PrepareShard prepares one shard's fault context for this plan's fault
+// set: a *ConnFaultContext, *DistFaultContext or *RouteFaultContext
+// matching the manifest kind, ready for the plan's executors. Distance
+// contexts receive the plan's global distinct-fault count so per-shard
+// estimates stay bit-identical to whole-scheme estimates.
+func (p *BatchPlan) PrepareShard(sh *Shard) (any, error) {
+	if sh.m.digest != p.m.digest || sh.m.kind != p.m.kind {
+		return nil, fmt.Errorf("ftrouting: shard %d belongs to a different scheme", sh.id)
+	}
+	var faults []EdgeID
+	if sh.id < len(p.faults) {
+		faults = p.faults[sh.id]
+	}
+	switch scheme := sh.scheme.(type) {
+	case *ConnLabels:
+		return scheme.PrepareFaults(faults)
+	case *DistLabels:
+		return scheme.prepareFaultsCounted(faults, p.distinct)
+	case *Router:
+		return scheme.PrepareFaults(faults)
+	}
+	return nil, fmt.Errorf("ftrouting: unsupported shard scheme %T", sh.scheme)
+}
+
+// checkPlanContexts verifies the caller supplied a context for every
+// planned shard before any pair runs.
+func (p *BatchPlan) checkPlanContexts(ctxs map[int]any) error {
+	for _, id := range p.shardIDs {
+		if _, ok := ctxs[id]; !ok {
+			return fmt.Errorf("ftrouting: plan needs a prepared context for shard %d", id)
+		}
+	}
+	return nil
+}
+
+// execPlan runs the single ordered fan-out over the original pair list:
+// invalid pairs re-run the vertex checks (producing the identical
+// monolithic error, tagged with the original index), trivial pairs take
+// the cross-component answer, and in-shard pairs evaluate on their
+// shard's context.
+func execPlan[T any](p *BatchPlan, ctxs map[int]any, opts BatchOptions,
+	trivial func(Pair) T, eval func(ctx any, pr Pair) (T, error)) ([]T, error) {
+	if len(p.pairs) == 0 {
+		return nil, nil
+	}
+	if err := p.checkPlanContexts(ctxs); err != nil {
+		return nil, err
+	}
+	n := p.m.g.N()
+	return forEachPairIndexed(p.pairs, opts.Parallelism, func(i int, pr Pair) (T, error) {
+		var zero T
+		switch p.pairShard[i] {
+		case pairInvalid:
+			if err := checkVertex("s", pr.S, n); err != nil {
+				return zero, err
+			}
+			if err := checkVertex("t", pr.T, n); err != nil {
+				return zero, err
+			}
+			return zero, fmt.Errorf("ftrouting: pair (%d,%d) misclassified invalid", pr.S, pr.T)
+		case pairTrivial:
+			return trivial(pr), nil
+		default:
+			return eval(ctxs[int(p.pairShard[i])], pr)
+		}
+	})
+}
+
+// ConnectedBatch evaluates the planned batch on prepared per-shard
+// connectivity contexts (PrepareShard for every id in ShardIDs()).
+// Results are in pair order, bit-identical to the monolithic
+// ConnLabels.ConnectedBatch with the same batch.
+func (p *BatchPlan) ConnectedBatch(ctxs map[int]any, opts BatchOptions) ([]bool, error) {
+	return execPlan(p, ctxs, opts,
+		func(Pair) bool { return false }, // different components: never connected
+		func(ctx any, pr Pair) (bool, error) {
+			c, ok := ctx.(*ConnFaultContext)
+			if !ok {
+				return false, fmt.Errorf("ftrouting: connectivity plan got %T context", ctx)
+			}
+			return c.Connected(pr.S, pr.T)
+		})
+}
+
+// EstimateBatch evaluates the planned batch on prepared per-shard
+// distance contexts, bit-identically to DistLabels.EstimateBatch.
+func (p *BatchPlan) EstimateBatch(ctxs map[int]any, opts BatchOptions) ([]int64, error) {
+	return execPlan(p, ctxs, opts,
+		func(Pair) int64 { return Unreachable }, // different components: no scale connects
+		func(ctx any, pr Pair) (int64, error) {
+			d, ok := ctx.(*DistFaultContext)
+			if !ok {
+				return 0, fmt.Errorf("ftrouting: distance plan got %T context", ctx)
+			}
+			return d.Estimate(pr.S, pr.T)
+		})
+}
+
+// trivialRouteResult is the simulation outcome of a cross-component
+// route: both walks visit only the source (no phase ever finds the
+// target's cluster), the offline optimum is Inf, and nothing is charged —
+// exactly what the monolithic simulator computes, without touching a
+// shard.
+func trivialRouteResult(pr Pair) RouteResult {
+	return RouteResult{Opt: Inf, Trace: []int32{pr.S}}
+}
+
+// RouteBatch routes the planned batch under the unknown-fault model on
+// prepared per-shard contexts, bit-identically to Router.RouteBatch.
+func (p *BatchPlan) RouteBatch(ctxs map[int]any, opts BatchOptions) ([]RouteResult, error) {
+	return execPlan(p, ctxs, opts, trivialRouteResult,
+		func(ctx any, pr Pair) (RouteResult, error) {
+			r, ok := ctx.(*RouteFaultContext)
+			if !ok {
+				return RouteResult{}, fmt.Errorf("ftrouting: route plan got %T context", ctx)
+			}
+			return r.Route(pr.S, pr.T)
+		})
+}
+
+// RouteForbiddenBatch routes the planned batch under the known-fault
+// model. As in Router.RouteForbiddenBatch, every shard's forbidden-set
+// structures are prepared before any pair runs so a preparation error
+// surfaces once, unscoped.
+func (p *BatchPlan) RouteForbiddenBatch(ctxs map[int]any, opts BatchOptions) ([]RouteResult, error) {
+	if len(p.pairs) == 0 {
+		return nil, nil
+	}
+	if err := p.checkPlanContexts(ctxs); err != nil {
+		return nil, err
+	}
+	for _, id := range p.shardIDs {
+		r, ok := ctxs[id].(*RouteFaultContext)
+		if !ok {
+			return nil, fmt.Errorf("ftrouting: route plan got %T context", ctxs[id])
+		}
+		if err := r.PrepareForbidden(); err != nil {
+			return nil, err
+		}
+	}
+	return execPlan(p, ctxs, opts, trivialRouteResult,
+		func(ctx any, pr Pair) (RouteResult, error) {
+			return ctx.(*RouteFaultContext).RouteForbidden(pr.S, pr.T)
+		})
 }

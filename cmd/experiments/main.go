@@ -5,7 +5,10 @@
 // scheme-file sizes and encoded label sizes in bits, on the wire. E16
 // measures batch query throughput (queries/sec) against batch size and
 // worker count. E17 measures the serve daemon over loopback HTTP:
-// queries/sec against cache hit rate and workers.
+// queries/sec against cache hit rate and workers. E18 measures sharded
+// vs monolithic serving: per-shard resident bytes, cold-shard load
+// latency, and warm q/s of the shard router against the whole-scheme
+// server.
 //
 // Usage:
 //
@@ -35,6 +38,7 @@ func main() {
 		experiments.Experiment{ID: "E15", Run: persistedSizes},
 		experiments.Experiment{ID: "E16", Run: batchThroughput},
 		experiments.Experiment{ID: "E17", Run: serveThroughput},
+		experiments.Experiment{ID: "E18", Run: shardThroughput},
 	)
 	// Filter before running: -only must not pay for the experiments it
 	// skips (E16/E17 alone drive minutes of measurement).

@@ -33,6 +33,17 @@
 //	ftroute serve -in conn.ftl -addr :8080 -par 0 -ctxcache 64
 //	curl -s localhost:8080/v1/healthz
 //	curl -s -d '{"pairs":[[0,99]],"faults":[1,2,3]}' localhost:8080/v1/connected
+//
+// Sharded serving (split a scheme per connected component; the daemon
+// loads only the shards a batch touches, evicting least-recently-used
+// under a memory budget, and answers bit-identically to the monolithic
+// daemon):
+//
+//	ftroute build -type conn -graph islands -n 40 -f 3 -out islands.ftlb
+//	ftroute shard -in islands.ftlb -out-dir shards/
+//	ftroute info shards/manifest.ftm
+//	ftroute query -manifest shards/manifest.ftm -s 0 -t 39 -faults 1,2
+//	ftroute serve -manifest shards/manifest.ftm -addr :8080 -shard-budget 67108864
 package main
 
 import (
@@ -67,6 +78,10 @@ func main() {
 		err = runQuery(args)
 	case "serve":
 		err = runServe(args)
+	case "shard":
+		err = runShard(args)
+	case "info":
+		err = runInfo(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -78,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query|serve|shard|info> [flags]
   conn   connectivity query under faults from labels
   dist   approximate distance query under faults from labels
   route  fault-tolerant routing simulation (-in loads a saved router)
@@ -86,9 +101,16 @@ func usage() {
   lower  Theorem 1.6 lower-bound experiment
   build  preprocess once and write a scheme file (-type conn|dist|route)
   query  answer from a scheme file without rebuilding
-         (-pairs FILE|- batches many "s t" queries over the worker pool)
+         (-pairs FILE|- batches many "s t" queries over the worker pool;
+         -manifest answers from a sharded scheme, loading only the
+         shards the batch touches)
   serve  long-running HTTP daemon answering pair batches from a scheme
-         file (-addr, -par, -ctxcache; see package serve for the API)`)
+         file (-addr, -par, -ctxcache; see package serve for the API);
+         -manifest serves a sharded scheme, lazily loading/evicting
+         shards under -shard-budget bytes
+  shard  split a scheme file into a manifest + per-component shard files
+  info   print header, counts, fault bound and label sizes of a scheme
+         or manifest file`)
 }
 
 // graphFlags declares the shared topology flags on a FlagSet.
@@ -108,7 +130,7 @@ type graphFlags struct {
 
 func addGraphFlags(fs *flag.FlagSet) *graphFlags {
 	gf := &graphFlags{
-		kind:   fs.String("graph", "random", "topology: random|grid|fattree|ring|star|path"),
+		kind:   fs.String("graph", "random", "topology: random|grid|fattree|ring|star|path|islands"),
 		n:      fs.Int("n", 100, "vertices (random/star/path)"),
 		extra:  fs.Int("extra", 150, "extra edges beyond spanning tree (random)"),
 		rows:   fs.Int("rows", 8, "grid rows"),
@@ -135,6 +157,10 @@ func addGraphFlags(fs *flag.FlagSet) *graphFlags {
 			g = ftrouting.Star(*gf.n)
 		case "path":
 			g = ftrouting.Path(*gf.n)
+		case "islands":
+			// Disconnected: *gf.n vertices per island, 4 islands — the
+			// workload `ftroute shard` splits one file per component.
+			g = ftrouting.Islands(4, *gf.n, *gf.extra, *gf.seed)
 		default:
 			return nil, fmt.Errorf("unknown graph kind %q", *gf.kind)
 		}

@@ -85,6 +85,7 @@ func runBuild(args []string) error {
 func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	in := fs.String("in", "scheme.ftl", "scheme file written by ftroute build")
+	manifest := fs.String("manifest", "", "shard manifest written by ftroute shard (instead of -in); loads only the shards the query touches")
 	s := fs.Int("s", 0, "source vertex")
 	t := fs.Int("t", 1, "target vertex")
 	faultsFlag := fs.String("faults", "", "comma-separated faulty edge ids")
@@ -97,6 +98,9 @@ func runQuery(args []string) error {
 	faults, err := parseFaultList(*faultsFlag)
 	if err != nil {
 		return err
+	}
+	if *manifest != "" {
+		return runQueryManifest(*manifest, *s, *t, faults, *pairsFlag, *par, *forbidden)
 	}
 	file, err := os.Open(*in)
 	if err != nil {

@@ -38,11 +38,14 @@ const (
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	in := fs.String("in", "scheme.ftl", "scheme file written by ftroute build")
+	manifest := fs.String("manifest", "", "shard manifest written by ftroute shard (instead of -in): shard-aware router mode")
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	par := fs.Int("par", 0, "workers evaluating each request's pairs: 0 uses GOMAXPROCS, 1 is sequential")
 	ctxCache := fs.Int("ctxcache", serve.DefaultContextCacheSize,
-		"prepared fault contexts kept warm (LRU); 0 disables the cache")
+		"prepared fault contexts kept warm (LRU, per shard in -manifest mode); 0 disables the cache")
 	maxBody := fs.Int64("max-body", serve.DefaultMaxRequestBytes, "request body size limit in bytes")
+	shardBudget := fs.Int64("shard-budget", serve.DefaultShardBudgetBytes,
+		"resident shard bytes kept loaded in -manifest mode (LRU eviction above it); 0 keeps nothing resident between requests, < 0 never evicts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,22 +53,43 @@ func runServe(args []string) error {
 		return fmt.Errorf("-max-body must be positive, got %d", *maxBody)
 	}
 
-	file, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	scheme, err := ftrouting.LoadScheme(file)
-	file.Close()
-	if err != nil {
-		return err
-	}
-	opts := serve.Options{Parallelism: *par, ContextCacheSize: *ctxCache, MaxRequestBytes: *maxBody}
+	opts := serve.Options{Parallelism: *par, ContextCacheSize: *ctxCache,
+		MaxRequestBytes: *maxBody, ShardBudgetBytes: *shardBudget}
 	if *ctxCache == 0 {
 		opts.ContextCacheSize = -1 // flag 0 means "off"; Options 0 means "default"
 	}
-	srv, err := serve.New(scheme, opts)
-	if err != nil {
-		return err
+	if *shardBudget == 0 {
+		// Flag 0 means "keep nothing resident between requests"; Options 0
+		// means "default". A 1-byte budget is below any shard file, so only
+		// pinned (in-flight) shards ever stay loaded.
+		opts.ShardBudgetBytes = 1
+	}
+	var srv *serve.Server
+	var source string
+	if *manifest != "" {
+		m, err := ftrouting.LoadManifest(*manifest)
+		if err != nil {
+			return err
+		}
+		if srv, err = serve.NewSharded(m, opts); err != nil {
+			return err
+		}
+		source = fmt.Sprintf("%s manifest from %s (%d components, %d shards)",
+			srv.Kind(), *manifest, m.NumComponents(), m.NumShards())
+	} else {
+		file, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		scheme, err := ftrouting.LoadScheme(file)
+		file.Close()
+		if err != nil {
+			return err
+		}
+		if srv, err = serve.New(scheme, opts); err != nil {
+			return err
+		}
+		source = fmt.Sprintf("%s scheme from %s", srv.Kind(), *in)
 	}
 
 	// Bind before announcing so "listening on" always names a live
@@ -74,7 +98,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %s scheme from %s\n", srv.Kind(), *in)
+	fmt.Printf("loaded %s\n", source)
 	fmt.Printf("listening on %s\n", ln.Addr())
 
 	hs := &http.Server{

@@ -104,7 +104,63 @@ func run(root string) error {
 	if err := rootCorpus(root); err != nil {
 		return err
 	}
+	if err := shardCorpus(root); err != nil {
+		return err
+	}
 	return serveCorpus(root)
+}
+
+// twoCompGraph is the weighted multi-component graph the root corpus
+// schemes are built on. FuzzShard in the root package rebuilds the same
+// sharded fixture (see fuzzFixtureGraph there — keep in sync), so these
+// seeds decode under the fuzz target's manifest.
+func twoCompGraph() *ftrouting.Graph {
+	g := ftrouting.NewGraph(15)
+	for i := int32(0); i < 6; i++ {
+		g.MustAddEdge(i, (i+1)%7, int64(1+i%3))
+	}
+	for i := int32(7); i < 13; i++ {
+		g.MustAddEdge(i, i+1, 2)
+	}
+	return g
+}
+
+// shardCorpus seeds FuzzManifest and FuzzShard with the sharded split of
+// the root corpus's sketch scheme: the manifest, every shard file, and
+// the standard truncation/corruption variants of each.
+func shardCorpus(root string) error {
+	conn, err := ftrouting.BuildConnectivityLabels(twoCompGraph(), ftrouting.ConnOptions{Scheme: ftrouting.SketchBased, Seed: 3})
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "genfuzzshards")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	m, err := ftrouting.SaveShardedConn(dir, conn, ftrouting.ShardOptions{})
+	if err != nil {
+		return err
+	}
+	manifestBytes, err := os.ReadFile(filepath.Join(dir, ftrouting.ManifestFileName))
+	if err != nil {
+		return err
+	}
+	if err := writeCorpus(root, ".", "FuzzManifest",
+		variants("twocomp", manifestBytes)); err != nil {
+		return err
+	}
+	shardEntries := map[string][]byte{}
+	for i, info := range m.Shards() {
+		data, err := os.ReadFile(filepath.Join(dir, info.Name))
+		if err != nil {
+			return err
+		}
+		for k, v := range variants(fmt.Sprintf("twocomp-s%d", i), data) {
+			shardEntries[k] = v
+		}
+	}
+	return writeCorpus(root, ".", "FuzzShard", shardEntries)
 }
 
 // serveCorpus seeds FuzzServeRequest: the HTTP daemon's JSON request
@@ -299,13 +355,7 @@ func routeCorpus(root string) error {
 func rootCorpus(root string) error {
 	// Scheme files of every kind from a weighted multi-component graph —
 	// a shape the inline Path(6) seeds never produce.
-	g := ftrouting.NewGraph(15)
-	for i := int32(0); i < 6; i++ {
-		g.MustAddEdge(i, (i+1)%7, int64(1+i%3))
-	}
-	for i := int32(7); i < 13; i++ {
-		g.MustAddEdge(i, i+1, 2)
-	}
+	g := twoCompGraph()
 	save := func(write func(buf *bytes.Buffer) error) ([]byte, error) {
 		var buf bytes.Buffer
 		if err := write(&buf); err != nil {

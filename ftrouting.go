@@ -37,6 +37,17 @@
 // bit-identically to the saved one, without re-running the graph-search
 // preprocessing — build once, serve from disk (see persist.go and the
 // ftroute build/query subcommands).
+//
+// Schemes shard: because every label is built and decoded per connected
+// component, SaveShardedConn/SaveShardedDist/SaveShardedRouter split a
+// scheme into a manifest (parameters, topology, the vertex →
+// (component, shard) directory) plus per-component shard files, each
+// loading into a partial scheme that answers its components'
+// queries bit-identically to the whole. Manifest.PlanBatch routes a
+// QueryBatch across shards — cross-component pairs are answered from
+// the directory alone — and `ftroute serve -manifest` serves a manifest
+// behind a bounded resident-shard cache (see shard.go and package
+// serve).
 package ftrouting
 
 import (
@@ -97,6 +108,11 @@ func FatTree(k int) (*Graph, int32) { return graph.FatTree(k) }
 
 // RingOfCliques returns num cliques of the given size joined in a ring.
 func RingOfCliques(num, size int) *Graph { return graph.RingOfCliques(num, size) }
+
+// Islands returns k disjoint random connected components of n vertices
+// each — the multi-component workload per-component sharding
+// (SaveShardedConn and friends) distributes across shard files.
+func Islands(k, n, extra int, seed uint64) *Graph { return graph.Islands(k, n, extra, seed) }
 
 // Wheel returns a hub joined to a rim cycle.
 func Wheel(n int) *Graph { return graph.Wheel(n) }

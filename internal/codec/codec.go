@@ -76,6 +76,15 @@ const (
 	KindDistLabels Kind = 2
 	KindRouter     Kind = 3
 
+	// Sharded scheme files (CRC-trailed): a manifest names the scheme
+	// parameters, the global topology and the vertex -> (component, shard)
+	// directory; each shard file carries the per-component payloads of one
+	// shard. A monolithic scheme file is the degenerate case of this split
+	// (one implicit shard holding every component); the loaders share the
+	// per-component decode path.
+	KindManifest Kind = 4
+	KindShard    Kind = 5
+
 	// Individual labels.
 	KindCutVertexLabel    Kind = 16
 	KindCutEdgeLabel      Kind = 17
@@ -95,6 +104,10 @@ func (k Kind) String() string {
 		return "distance labeling"
 	case KindRouter:
 		return "router"
+	case KindManifest:
+		return "shard manifest"
+	case KindShard:
+		return "scheme shard"
 	case KindCutVertexLabel:
 		return "cut vertex label"
 	case KindCutEdgeLabel:

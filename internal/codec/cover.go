@@ -34,10 +34,7 @@ func EncodeHierarchy(w *Writer, h *treecover.Hierarchy) {
 		w.I32s(cover.Home)
 		w.Count(len(cover.Clusters))
 		for _, cl := range cover.Clusters {
-			w.I32(cl.Center)
-			w.I64(cl.Radius)
-			EncodeSubgraph(w, cl.Sub)
-			EncodeTree(w, cl.Tree)
+			EncodeCluster(w, cl)
 		}
 	}
 }
@@ -75,7 +72,7 @@ func decodeCover(r *Reader, g *graph.Graph) (*treecover.Cover, error) {
 	}
 	c := &treecover.Cover{Rho: rho, K: int(k), Home: home}
 	for j := 0; j < numClusters; j++ {
-		cl, err := decodeCluster(r, g)
+		cl, err := DecodeCluster(r, g)
 		if err != nil {
 			return nil, fmt.Errorf("cluster %d: %w", j, err)
 		}
@@ -92,7 +89,20 @@ func decodeCover(r *Reader, g *graph.Graph) (*treecover.Cover, error) {
 	return c, nil
 }
 
-func decodeCluster(r *Reader, g *graph.Graph) (*treecover.Cluster, error) {
+// EncodeCluster writes one tree-cover cluster as a section of w. Shard
+// files reuse this per-cluster section (tagged with the cluster's global
+// index) so monolithic hierarchies and shard payloads decode through the
+// same path.
+func EncodeCluster(w *Writer, cl *treecover.Cluster) {
+	w.I32(cl.Center)
+	w.I64(cl.Radius)
+	EncodeSubgraph(w, cl.Sub)
+	EncodeTree(w, cl.Tree)
+}
+
+// DecodeCluster reads one cluster section of g (the counterpart of
+// EncodeCluster).
+func DecodeCluster(r *Reader, g *graph.Graph) (*treecover.Cluster, error) {
 	center := r.I32()
 	radius := r.I64()
 	if r.Err() != nil {

@@ -107,8 +107,19 @@ func (w *Writer) U64s(s []uint64) {
 	}
 }
 
+// String writes a count-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.Count(len(s))
+	w.Raw([]byte(s))
+}
+
 // Err returns the first write error.
 func (w *Writer) Err() error { return w.err }
+
+// Checksum returns the CRC32-C of everything written so far. After Finish
+// it equals the checksum trailer of the file, so writers of manifest
+// files can record each shard file's checksum as they emit it.
+func (w *Writer) Checksum() uint32 { return w.crc.Sum32() }
 
 // Finish appends the CRC32-C of everything written so far (the trailer
 // itself is not summed) and returns the first error.
@@ -267,6 +278,19 @@ func (r *Reader) U64s(max int) []uint64 {
 	return out
 }
 
+// String reads a count-prefixed string of at most max bytes.
+func (r *Reader) String(max int) string {
+	n := r.Count(max)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	buf := make([]byte, n)
+	if !r.read(buf) {
+		return ""
+	}
+	return string(buf)
+}
+
 // Corrupt records a structural validation failure (used by decoders that
 // discover inconsistency after primitive reads succeeded).
 func (r *Reader) Corrupt(format string, args ...any) {
@@ -277,6 +301,13 @@ func (r *Reader) Corrupt(format string, args ...any) {
 
 // Err returns the first read error.
 func (r *Reader) Err() error { return r.err }
+
+// Checksum returns the CRC32-C of everything read so far. After a
+// successful Finish it equals the file's checksum trailer, letting a
+// manifest-driven loader cross-check a shard file against the checksum
+// its manifest recorded (a valid-but-wrong shard file fails this check
+// even though its own trailer verifies).
+func (r *Reader) Checksum() uint32 { return r.crc.Sum32() }
 
 // Finish reads the 4-byte CRC trailer and verifies it against everything
 // read so far. It must be called exactly at the end of the payload.

@@ -88,7 +88,14 @@ func BuildWithHierarchy(g *graph.Graph, f, k int, opts Options, hier *treecover.
 	var coords []coord
 	for i, cover := range hier.Scales {
 		s.inst = append(s.inst, make([]*Instance, len(cover.Clusters)))
-		for j := range cover.Clusters {
+		for j, cl := range cover.Clusters {
+			// A nil cluster slot marks an instance that lives in another
+			// shard of a partial (sharded) hierarchy; its slot stays to keep
+			// global (scale, cluster) indices — and hence instance seeds —
+			// stable, but nothing is built for it.
+			if cl == nil {
+				continue
+			}
 			coords = append(coords, coord{i, j})
 		}
 	}
@@ -166,6 +173,9 @@ func (s *Scheme) VertexLabel(u int32) VertexLabel {
 	for i, cover := range s.hier.Scales {
 		l.Home[i] = cover.Home[u]
 		for j, cl := range cover.Clusters {
+			if cl == nil {
+				continue // foreign shard's instance; cannot contain u
+			}
 			if lu, ok := cl.Sub.ToLocal[u]; ok {
 				l.Entries = append(l.Entries, VEntry{Scale: i, Cluster: int32(j), L: s.inst[i][j].Conn.VertexLabel(lu)})
 			}
@@ -179,6 +189,9 @@ func (s *Scheme) EdgeLabel(e graph.EdgeID) EdgeLabel {
 	var l EdgeLabel
 	for i, cover := range s.hier.Scales {
 		for j, cl := range cover.Clusters {
+			if cl == nil {
+				continue // foreign shard's instance; cannot contain e
+			}
 			if le, ok := cl.Sub.EdgeToLocal[e]; ok {
 				l.Entries = append(l.Entries, EEntry{Scale: i, Cluster: int32(j), L: s.inst[i][j].Conn.EdgeLabel(le)})
 			}

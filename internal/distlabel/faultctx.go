@@ -32,9 +32,19 @@ type FaultContext struct {
 // distinct faults and prepare the restricted fault set of every instance
 // that contains one.
 func (s *Scheme) PrepareFaults(faults []EdgeLabel) (*FaultContext, error) {
+	return s.PrepareFaultsWithCount(faults, countDistinct(faults))
+}
+
+// PrepareFaultsWithCount is PrepareFaults with the distinct-fault count
+// supplied by the caller instead of derived from the fault labels. A
+// sharded deployment restricts F to one shard's components before label
+// assembly, which would undercount |F| in the estimate formula
+// (4k-1)(|F|+1)·2^i; the shard planner passes the global count here so
+// per-shard decodes stay bit-identical to a whole-scheme decode.
+func (s *Scheme) PrepareFaultsWithCount(faults []EdgeLabel, distinct int) (*FaultContext, error) {
 	ctx := &FaultContext{
 		s:    s,
-		nf:   countDistinct(faults),
+		nf:   distinct,
 		conn: make(map[instKey]*core.SketchFaultContext),
 	}
 	// Gather the per-instance restrictions in the same (faults outer,

@@ -341,3 +341,20 @@ func RandomFaults(g *Graph, k int, seed uint64) []EdgeID {
 	}
 	return out
 }
+
+// Islands returns k disjoint random connected components ("islands") of
+// size n each: the disconnected workload the per-component sharding of
+// scheme files distributes. Each island is a RandomConnected(n, extra)
+// instance with its own derived seed; vertex ids of island i occupy
+// [i*n, (i+1)*n).
+func Islands(k, n, extra int, seed uint64) *Graph {
+	g := New(k * n)
+	for i := 0; i < k; i++ {
+		island := RandomConnected(n, extra, xrand.DeriveSeed(seed, 0x15, uint64(i)))
+		base := int32(i * n)
+		for _, e := range island.Edges() {
+			g.MustAddEdge(base+e.U, base+e.V, e.W)
+		}
+	}
+	return g
+}

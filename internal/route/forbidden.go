@@ -40,6 +40,12 @@ func (r *Router) PrepareForbidden(faultIDs []graph.EdgeID) (*ForbiddenContext, e
 	}
 	for i := range r.inst {
 		for j, inst := range r.inst[i] {
+			if inst == nil {
+				// Foreign shard's instance of a partial router; the planner
+				// restricts F to this shard's components, so no fault edge
+				// can lie in it.
+				continue
+			}
 			fl := instanceFaultLabels(inst, faultIDs)
 			if len(fl) == 0 {
 				continue

@@ -104,7 +104,14 @@ func BuildWithHierarchy(g *graph.Graph, f, k int, opts Options, hier *treecover.
 	var coords []coord
 	for i, cover := range hier.Scales {
 		r.inst = append(r.inst, make([]*Instance, len(cover.Clusters)))
-		for j := range cover.Clusters {
+		for j, cl := range cover.Clusters {
+			// A nil cluster slot marks an instance owned by another shard of
+			// a partial (sharded) hierarchy; the slot stays so global
+			// (scale, cluster) indices — and hence instance seeds — remain
+			// stable, but nothing is built for it.
+			if cl == nil {
+				continue
+			}
 			coords = append(coords, coord{i, j})
 		}
 	}
@@ -264,6 +271,9 @@ func (r *Router) TableBits(v int32) int {
 	copies := r.f + 1
 	for i := range r.inst {
 		for _, inst := range r.inst[i] {
+			if inst == nil {
+				continue // foreign shard's instance of a partial router
+			}
 			lv, ok := inst.Cluster.Sub.ToLocal[v]
 			if !ok {
 				continue

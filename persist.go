@@ -53,10 +53,55 @@ func SaveConnLabels(w io.Writer, c *ConnLabels) error {
 	codec.EncodeGraph(cw, c.g)
 	cw.Count(len(c.subs))
 	for ci := range c.subs {
-		codec.EncodeSubgraph(cw, c.subs[ci])
-		codec.EncodeTree(cw, c.componentTree(ci))
+		encodeConnComponent(cw, c.subs[ci], c.componentTree(ci))
 	}
 	return cw.Finish()
+}
+
+// encodeConnComponent writes one component's labeling section (induced
+// subgraph plus spanning tree) — the unit both the monolithic file and
+// the shard files are made of.
+func encodeConnComponent(cw *codec.Writer, sub *graph.Subgraph, tree *graph.Tree) {
+	codec.EncodeSubgraph(cw, sub)
+	codec.EncodeTree(cw, tree)
+}
+
+// decodeConnComponent reads one component section and validates the tree
+// spans the component. Shared by the monolithic loader and the shard
+// loader, so a monolithic file is internally the one-shard split of the
+// same sections.
+func decodeConnComponent(cr *codec.Reader, g *graph.Graph, ci int) (*graph.Subgraph, *graph.Tree, error) {
+	sub, err := codec.DecodeSubgraph(cr, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := codec.DecodeTree(cr, sub.Local)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tree.Size() != sub.Local.N() {
+		cr.Corrupt("component %d tree spans %d of %d vertices", ci, tree.Size(), sub.Local.N())
+		return nil, nil, cr.Err()
+	}
+	return sub, tree, nil
+}
+
+// readConnParams reads and validates the (scheme, fault bound, seed)
+// prefix shared by monolithic connectivity files and manifests.
+func readConnParams(cr *codec.Reader) (scheme ConnSchemeKind, maxFaults int, seed uint64, err error) {
+	scheme = ConnSchemeKind(cr.U16())
+	maxFaults = int(cr.I32())
+	seed = cr.U64()
+	if err = cr.Err(); err != nil {
+		return
+	}
+	if scheme != CutBased && scheme != SketchBased {
+		cr.Corrupt("unknown connectivity scheme %d", scheme)
+	} else if maxFaults < 0 || maxFaults > maxPersistedFaults {
+		cr.Corrupt("fault bound %d out of range", maxFaults)
+	}
+	err = cr.Err()
+	return
 }
 
 // LoadConnLabels reads a labeling previously written by SaveConnLabels.
@@ -78,19 +123,9 @@ func LoadConnLabels(r io.Reader) (*ConnLabels, error) {
 }
 
 func loadConnPayload(cr *codec.Reader) (*ConnLabels, error) {
-	scheme := ConnSchemeKind(cr.U16())
-	maxFaults := int(cr.I32())
-	seed := cr.U64()
-	if err := cr.Err(); err != nil {
+	scheme, maxFaults, seed, err := readConnParams(cr)
+	if err != nil {
 		return nil, err
-	}
-	if scheme != CutBased && scheme != SketchBased {
-		cr.Corrupt("unknown connectivity scheme %d", scheme)
-		return nil, cr.Err()
-	}
-	if maxFaults < 0 || maxFaults > maxPersistedFaults {
-		cr.Corrupt("fault bound %d out of range", maxFaults)
-		return nil, cr.Err()
 	}
 	g, err := codec.DecodeGraph(cr)
 	if err != nil {
@@ -113,17 +148,9 @@ func loadConnPayload(cr *codec.Reader) (*ConnLabels, error) {
 	}
 	trees := make([]*graph.Tree, ncomp)
 	for ci := 0; ci < ncomp; ci++ {
-		sub, err := codec.DecodeSubgraph(cr, g)
+		sub, tree, err := decodeConnComponent(cr, g, ci)
 		if err != nil {
 			return nil, err
-		}
-		tree, err := codec.DecodeTree(cr, sub.Local)
-		if err != nil {
-			return nil, err
-		}
-		if tree.Size() != sub.Local.N() {
-			cr.Corrupt("component %d tree spans %d of %d vertices", ci, tree.Size(), sub.Local.N())
-			return nil, cr.Err()
 		}
 		c.subs[ci] = sub
 		trees[ci] = tree

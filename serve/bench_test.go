@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"testing"
 
@@ -151,4 +152,100 @@ func BenchmarkServeStats(b *testing.B) {
 		}
 		resp.Body.Close()
 	}
+}
+
+// Sharded-server benchmarks (bench-compare gate: the Serve filter
+// matches these too). Warm measures the shard router's split/merge
+// overhead once shards and contexts are resident — the E18 claim that
+// warm sharded throughput stays within 10% of monolithic. ColdShards
+// adds the full residency churn: a one-byte budget evicts every shard
+// between requests, so each request pays shard decode + label rebuild.
+var benchSharded struct {
+	once sync.Once
+	m    *ftrouting.Manifest
+	err  error
+}
+
+func benchShardedSetup() error {
+	if err := benchSetup(); err != nil {
+		return err
+	}
+	benchSharded.once.Do(func() {
+		g := ftrouting.Islands(6, 64, 100, 1)
+		conn, err := ftrouting.BuildConnectivityLabels(g, ftrouting.ConnOptions{Seed: 1})
+		if err != nil {
+			benchSharded.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "benchshards")
+		if err != nil {
+			benchSharded.err = err
+			return
+		}
+		benchSharded.m, benchSharded.err = ftrouting.SaveShardedConn(dir, conn, ftrouting.ShardOptions{})
+	})
+	return benchSharded.err
+}
+
+// benchServeSharded posts b.N island-spanning requests to a sharded
+// server with the given shard budget.
+func benchServeSharded(b *testing.B, budget int64, faultsFor func(i int) []ftrouting.EdgeID) {
+	if err := benchShardedSetup(); err != nil {
+		b.Fatal(err)
+	}
+	m := benchSharded.m
+	s, err := NewSharded(m, Options{ShardBudgetBytes: budget})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	g := m.Graph()
+	islandN := g.N() / m.NumComponents()
+	pairs := make([][2]int32, benchPairsPerRequest)
+	for i := range pairs {
+		island := int32(i % m.NumComponents())
+		pairs[i] = [2]int32{
+			island*int32(islandN) + int32((i*5)%islandN),
+			island*int32(islandN) + int32((i*11+islandN/2)%islandN),
+		}
+	}
+	url := ts.URL + "/v1/connected"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := json.Marshal(QueryRequest{Pairs: pairs, Faults: faultsFor(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body := new(bytes.Buffer)
+			body.ReadFrom(resp.Body)
+			resp.Body.Close()
+			b.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		resp.Body.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchPairsPerRequest)/b.Elapsed().Seconds(), "queries/s")
+}
+
+func BenchmarkServeShardedConnectedWarm(b *testing.B) {
+	if err := benchShardedSetup(); err != nil {
+		b.Fatal(err)
+	}
+	faults := ftrouting.RandomFaults(benchSharded.m.Graph(), 6, 5)
+	benchServeSharded(b, DefaultShardBudgetBytes, func(int) []ftrouting.EdgeID { return faults })
+}
+
+func BenchmarkServeShardedConnectedColdShards(b *testing.B) {
+	if err := benchShardedSetup(); err != nil {
+		b.Fatal(err)
+	}
+	faults := ftrouting.RandomFaults(benchSharded.m.Graph(), 6, 5)
+	benchServeSharded(b, 1, func(int) []ftrouting.EdgeID { return faults })
 }

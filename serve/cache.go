@@ -37,11 +37,10 @@ func faultKey(canon []ftrouting.EdgeID) string {
 // a goroutine holding the entry completes and uses it even after the
 // entry leaves the table.
 type cacheEntry struct {
-	key    string
-	faults []ftrouting.EdgeID // canonical
-	once   sync.Once
-	ctx    any
-	err    error
+	key  string
+	once sync.Once
+	ctx  any
+	err  error
 }
 
 // contextCache is the bounded LRU. A capacity <= 0 disables caching
@@ -65,17 +64,18 @@ func newContextCache(capacity int) *contextCache {
 	}
 }
 
-// get returns the prepared context for the canonical fault set, running
-// prep at most once per cached entry. Exactly one of the hit/miss
-// counters advances per call.
-func (c *contextCache) get(canon []ftrouting.EdgeID, prep func([]ftrouting.EdgeID) (any, error)) (any, error) {
+// get returns the prepared context stored under key, running prep at
+// most once per cached entry. The key must determine the prepared
+// context (the monolithic server keys by canonical fault set; a sharded
+// server adds the global distinct-fault count the shard's restriction
+// cannot see). Exactly one of the hit/miss counters advances per call.
+func (c *contextCache) get(key string, prep func() (any, error)) (any, error) {
 	if c.capacity <= 0 {
 		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
-		return prep(canon)
+		return prep()
 	}
-	key := faultKey(canon)
 	c.mu.Lock()
 	var e *cacheEntry
 	if el, ok := c.entries[key]; ok {
@@ -84,7 +84,7 @@ func (c *contextCache) get(canon []ftrouting.EdgeID, prep func([]ftrouting.EdgeI
 		e = el.Value.(*cacheEntry)
 	} else {
 		c.misses++
-		e = &cacheEntry{key: key, faults: canon}
+		e = &cacheEntry{key: key}
 		c.entries[key] = c.order.PushFront(e)
 		for c.order.Len() > c.capacity {
 			back := c.order.Back()
@@ -94,7 +94,7 @@ func (c *contextCache) get(canon []ftrouting.EdgeID, prep func([]ftrouting.EdgeI
 		}
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.ctx, e.err = prep(e.faults) })
+	e.once.Do(func() { e.ctx, e.err = prep() })
 	if e.err != nil {
 		// A failed preparation (invalid fault set) is cheap to redo and
 		// not worth a slot; drop it so capacity stays for working

@@ -47,12 +47,14 @@ type prepCounter struct {
 	calls []string
 }
 
-func (p *prepCounter) prepare(canon []ftrouting.EdgeID) (any, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	key := faultKey(canon)
-	p.calls = append(p.calls, key)
-	return "ctx:" + key, nil
+func (p *prepCounter) prepare(canon []ftrouting.EdgeID) func() (any, error) {
+	return func() (any, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		key := faultKey(canon)
+		p.calls = append(p.calls, key)
+		return "ctx:" + key, nil
+	}
 }
 
 func TestContextCacheLRU(t *testing.T) {
@@ -60,7 +62,7 @@ func TestContextCacheLRU(t *testing.T) {
 	p := &prepCounter{}
 	get := func(ids ...ftrouting.EdgeID) string {
 		t.Helper()
-		v, err := c.get(ids, p.prepare)
+		v, err := c.get(faultKey(ids), p.prepare(ids))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +91,7 @@ func TestContextCacheDisabled(t *testing.T) {
 	c := newContextCache(-1)
 	p := &prepCounter{}
 	for i := 0; i < 3; i++ {
-		if _, err := c.get([]ftrouting.EdgeID{7}, p.prepare); err != nil {
+		if _, err := c.get("7", p.prepare([]ftrouting.EdgeID{7})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -106,12 +108,12 @@ func TestContextCacheErrorNotCached(t *testing.T) {
 	c := newContextCache(4)
 	fail := errors.New("invalid fault set")
 	prepared := 0
-	prep := func(canon []ftrouting.EdgeID) (any, error) {
+	prep := func() (any, error) {
 		prepared++
 		return nil, fail
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := c.get([]ftrouting.EdgeID{1}, prep); !errors.Is(err, fail) {
+		if _, err := c.get("1", prep); !errors.Is(err, fail) {
 			t.Fatalf("got %v", err)
 		}
 	}
@@ -134,7 +136,7 @@ func TestContextCacheConcurrentSharedPrepare(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.get([]ftrouting.EdgeID{42}, p.prepare); err != nil {
+			if _, err := c.get("42", p.prepare([]ftrouting.EdgeID{42})); err != nil {
 				t.Error(err)
 			}
 		}()

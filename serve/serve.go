@@ -26,6 +26,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 
 	"ftrouting"
@@ -38,6 +39,9 @@ const (
 	// DefaultMaxRequestBytes bounds a request body (8 MiB ≈ one million
 	// pairs per request).
 	DefaultMaxRequestBytes = 8 << 20
+	// DefaultShardBudgetBytes bounds the resident shards of a sharded
+	// server (measured as shard file bytes, the manifest's recorded cost).
+	DefaultShardBudgetBytes = 1 << 30
 )
 
 // Options configures a Server.
@@ -47,11 +51,19 @@ type Options struct {
 	// API's convention).
 	Parallelism int
 	// ContextCacheSize bounds the prepared-fault-context LRU: 0 selects
-	// DefaultContextCacheSize, negative disables caching.
+	// DefaultContextCacheSize, negative disables caching. A sharded server
+	// applies the bound per resident shard (contexts die with their
+	// shard).
 	ContextCacheSize int
 	// MaxRequestBytes bounds a request body: 0 selects
 	// DefaultMaxRequestBytes.
 	MaxRequestBytes int64
+	// ShardBudgetBytes bounds the resident shard bytes of a sharded
+	// server: 0 selects DefaultShardBudgetBytes, negative disables
+	// eviction. Shards pinned by in-flight requests are never evicted, so
+	// a single batch touching more than the budget transiently exceeds
+	// it. Ignored by monolithic servers.
+	ShardBudgetBytes int64
 }
 
 // endpointCounters counts one endpoint's traffic (lock-free; read by
@@ -61,8 +73,12 @@ type endpointCounters struct {
 	errors   atomic.Uint64
 }
 
-// Server answers batch queries for one loaded scheme. It implements
-// http.Handler and is safe for concurrent requests.
+// Server answers batch queries for one loaded scheme — either a whole
+// scheme held in memory (New) or a shard manifest whose shards load and
+// evict lazily under a memory budget (NewSharded). It implements
+// http.Handler and is safe for concurrent requests. Both modes answer
+// any batch bit-identically: the sharded router splits each batch by
+// component id, evaluates per shard and merges in input order.
 type Server struct {
 	kind   string // "conn", "dist" or "router"
 	conn   *ftrouting.ConnLabels
@@ -70,6 +86,11 @@ type Server struct {
 	router *ftrouting.Router
 	g      *ftrouting.Graph
 	bound  int
+
+	// Sharded mode: manifest plus the two-level cache (shard -> fault
+	// context); nil for monolithic servers.
+	manifest *ftrouting.Manifest
+	shards   *shardCache
 
 	opts        Options
 	cache       *contextCache
@@ -86,9 +107,8 @@ var queryEndpoints = map[string]string{
 	"route-forbidden": "router",
 }
 
-// New wraps a loaded scheme — the *ftrouting.ConnLabels, *DistLabels or
-// *Router a LoadScheme call returned — in a Server.
-func New(scheme any, opts Options) (*Server, error) {
+// normalizeOptions applies the zero-value defaults.
+func normalizeOptions(opts Options) (Options, error) {
 	if opts.ContextCacheSize == 0 {
 		opts.ContextCacheSize = DefaultContextCacheSize
 	}
@@ -96,7 +116,20 @@ func New(scheme any, opts Options) (*Server, error) {
 		opts.MaxRequestBytes = DefaultMaxRequestBytes
 	}
 	if opts.MaxRequestBytes < 0 {
-		return nil, fmt.Errorf("serve: MaxRequestBytes must be positive, got %d", opts.MaxRequestBytes)
+		return opts, fmt.Errorf("serve: MaxRequestBytes must be positive, got %d", opts.MaxRequestBytes)
+	}
+	if opts.ShardBudgetBytes == 0 {
+		opts.ShardBudgetBytes = DefaultShardBudgetBytes
+	}
+	return opts, nil
+}
+
+// New wraps a loaded scheme — the *ftrouting.ConnLabels, *DistLabels or
+// *Router a LoadScheme call returned — in a Server.
+func New(scheme any, opts Options) (*Server, error) {
+	opts, err := normalizeOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{opts: opts, cache: newContextCache(opts.ContextCacheSize)}
 	switch v := scheme.(type) {
@@ -109,6 +142,36 @@ func New(scheme any, opts Options) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("serve: unsupported scheme type %T", scheme)
 	}
+	s.initMux()
+	return s, nil
+}
+
+// NewSharded wraps a loaded shard manifest in a Server: the shard-aware
+// router mode of `ftroute serve -manifest`. Shards load lazily on first
+// touch and evict least-recently-used under Options.ShardBudgetBytes;
+// each resident shard keeps its own prepared-fault-context LRU. Every
+// batch is answered bit-identically to a monolithic server over the same
+// scheme — including error envelopes and cross-component pairs, which
+// are answered from the manifest directory without loading any shard.
+func NewSharded(m *ftrouting.Manifest, opts Options) (*Server, error) {
+	opts, err := normalizeOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:     opts,
+		kind:     m.Kind(),
+		g:        m.Graph(),
+		bound:    m.FaultBound(),
+		manifest: m,
+		shards:   newShardCache(m, opts.ShardBudgetBytes, opts.ContextCacheSize),
+	}
+	s.initMux()
+	return s, nil
+}
+
+// initMux installs the /v1 endpoint handlers and their counters.
+func (s *Server) initMux() {
 	s.counters = make(map[string]*endpointCounters)
 	s.mux = http.NewServeMux()
 	for name := range queryEndpoints {
@@ -131,7 +194,6 @@ func New(scheme any, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorf(http.StatusNotFound, codeNotFound, "no such endpoint %s", r.URL.Path))
 	})
-	return s, nil
 }
 
 // Kind returns the loaded scheme kind: "conn", "dist" or "router".
@@ -142,13 +204,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Stats snapshots the serving counters (the /v1/stats payload).
+// Stats snapshots the serving counters (the /v1/stats payload). For a
+// sharded server the cache block aggregates every shard's prepared-fault-
+// context counters and the shards block breaks residency, loads,
+// evictions and context traffic out per shard.
 func (s *Server) Stats() StatsResponse {
 	resp := StatsResponse{
 		Kind:        s.kind,
 		Endpoints:   make(map[string]EndpointStats, len(s.counters)),
 		PairsServed: s.pairsServed.Load(),
-		Cache:       s.cache.stats(),
+	}
+	if s.shards != nil {
+		resp.Cache = s.shards.aggregateContextStats()
+		sh := s.shards.stats()
+		resp.Shards = &sh
+	} else {
+		resp.Cache = s.cache.stats()
 	}
 	for name, c := range s.counters {
 		resp.Endpoints[name] = EndpointStats{Requests: c.requests.Load(), Errors: c.errors.Load()}
@@ -194,13 +265,21 @@ func (s *Server) answerQuery(w http.ResponseWriter, r *http.Request, name string
 	// Mirror the batch API: an empty pair list returns empty results
 	// without touching (or even validating) the fault set.
 	if len(batch.Pairs) == 0 {
-		return s.respond(w, name, nil, nil)
+		writeJSON(w, emptyPayload(name))
+		return nil
 	}
-	ctx, err := s.cache.get(ftrouting.CanonicalFaults(batch.Faults), s.prepare)
-	if err != nil {
-		return fromBatchError(err)
+	var payload any
+	if s.manifest != nil {
+		payload, e = s.evalSharded(name, batch)
+	} else {
+		payload, e = s.evalMonolithic(name, batch)
 	}
-	return s.respond(w, name, batch.Pairs, ctx)
+	if e != nil {
+		return e
+	}
+	s.pairsServed.Add(uint64(len(batch.Pairs)))
+	writeJSON(w, payload)
+	return nil
 }
 
 // prepare builds the fault context of the loaded scheme kind; the cache
@@ -216,61 +295,128 @@ func (s *Server) prepare(canon []ftrouting.EdgeID) (any, error) {
 	}
 }
 
-// respond evaluates the pairs on the prepared context and writes the
-// endpoint's response type. A nil pair list writes the empty response.
-func (s *Server) respond(w http.ResponseWriter, name string, pairs []ftrouting.Pair, ctx any) *apiError {
+// evalMonolithic answers one batch from the whole in-memory scheme: one
+// cached fault context, one fan-out.
+func (s *Server) evalMonolithic(name string, batch ftrouting.QueryBatch) (any, *apiError) {
+	canon := ftrouting.CanonicalFaults(batch.Faults)
+	ctx, err := s.cache.get(faultKey(canon), func() (any, error) { return s.prepare(canon) })
+	if err != nil {
+		return nil, fromBatchError(err)
+	}
 	opts := ftrouting.BatchOptions{Parallelism: s.opts.Parallelism}
-	var payload any
+	pairs := batch.Pairs
 	switch name {
 	case "connected":
-		results := []bool{}
-		if len(pairs) > 0 {
-			var err error
-			results, err = ctx.(*ftrouting.ConnFaultContext).ConnectedBatch(pairs, opts)
-			if err != nil {
-				return fromBatchError(err)
-			}
+		results, err := ctx.(*ftrouting.ConnFaultContext).ConnectedBatch(pairs, opts)
+		if err != nil {
+			return nil, fromBatchError(err)
 		}
-		payload = ConnectedResponse{Results: results}
+		return ConnectedResponse{Results: results}, nil
 	case "estimate":
-		estimates := []int64{}
-		if len(pairs) > 0 {
-			var err error
-			estimates, err = ctx.(*ftrouting.DistFaultContext).EstimateBatch(pairs, opts)
-			if err != nil {
-				return fromBatchError(err)
-			}
+		estimates, err := ctx.(*ftrouting.DistFaultContext).EstimateBatch(pairs, opts)
+		if err != nil {
+			return nil, fromBatchError(err)
 		}
-		payload = EstimateResponse{Estimates: estimates}
+		return EstimateResponse{Estimates: estimates}, nil
 	default: // route, route-forbidden
-		results := []ftrouting.RouteResult{}
-		if len(pairs) > 0 {
-			rc := ctx.(*ftrouting.RouteFaultContext)
-			var err error
-			if name == "route-forbidden" {
-				// Surface a forbidden-preparation error once, unscoped,
-				// before any pair runs — Router.RouteForbiddenBatch's
-				// semantics.
-				if err := rc.PrepareForbidden(); err != nil {
-					return fromBatchError(err)
-				}
-				results, err = rc.RouteForbiddenBatch(pairs, opts)
-			} else {
-				results, err = rc.RouteBatch(pairs, opts)
+		rc := ctx.(*ftrouting.RouteFaultContext)
+		var results []ftrouting.RouteResult
+		if name == "route-forbidden" {
+			// Surface a forbidden-preparation error once, unscoped, before
+			// any pair runs — Router.RouteForbiddenBatch's semantics.
+			if err := rc.PrepareForbidden(); err != nil {
+				return nil, fromBatchError(err)
 			}
-			if err != nil {
-				return fromBatchError(err)
-			}
+			results, err = rc.RouteForbiddenBatch(pairs, opts)
+		} else {
+			results, err = rc.RouteBatch(pairs, opts)
 		}
-		wire := make([]RouteResult, len(results))
-		for i, res := range results {
-			wire[i] = fromRouteResult(res)
+		if err != nil {
+			return nil, fromBatchError(err)
 		}
-		payload = RouteResponse{Results: wire}
+		return routePayload(results), nil
 	}
-	s.pairsServed.Add(uint64(len(pairs)))
-	writeJSON(w, payload)
-	return nil
+}
+
+// evalSharded answers one batch through the shard router: plan the split
+// by component id, pin (loading if needed) every shard the plan touches,
+// look up or prepare each shard's fault context, and run the merged
+// fan-out. Answers — including error envelopes and cross-component
+// pairs — are bit-identical to evalMonolithic over the same scheme.
+func (s *Server) evalSharded(name string, batch ftrouting.QueryBatch) (any, *apiError) {
+	// Plan over the canonical fault set: the monolithic path validates and
+	// prepares the canonical form too, so error choice and messages agree.
+	canon := ftrouting.CanonicalFaults(batch.Faults)
+	plan, err := s.manifest.PlanBatch(ftrouting.QueryBatch{Pairs: batch.Pairs, Faults: canon})
+	if err != nil {
+		return nil, fromBatchError(err)
+	}
+	ids := plan.ShardIDs()
+	ctxs := make(map[int]any, len(ids))
+	held, err := s.shards.acquireAll(ids)
+	if err != nil {
+		return nil, errorf(http.StatusInternalServerError, codeInternal, "%v", err)
+	}
+	defer s.shards.releaseAll(held)
+	for _, entry := range held {
+		entry := entry
+		// The context key is the shard-restricted canonical fault set plus
+		// the global distinct count (distance estimates scale with the
+		// whole batch's |F|, which the restriction alone cannot see).
+		key := faultKey(plan.ShardFaults(entry.id)) + "#" + strconv.Itoa(plan.DistinctFaults())
+		ctx, err := entry.contexts.get(key, func() (any, error) { return plan.PrepareShard(entry.shard) })
+		if err != nil {
+			return nil, fromBatchError(err)
+		}
+		ctxs[entry.id] = ctx
+	}
+	opts := ftrouting.BatchOptions{Parallelism: s.opts.Parallelism}
+	switch name {
+	case "connected":
+		results, err := plan.ConnectedBatch(ctxs, opts)
+		if err != nil {
+			return nil, fromBatchError(err)
+		}
+		return ConnectedResponse{Results: results}, nil
+	case "estimate":
+		estimates, err := plan.EstimateBatch(ctxs, opts)
+		if err != nil {
+			return nil, fromBatchError(err)
+		}
+		return EstimateResponse{Estimates: estimates}, nil
+	default:
+		var results []ftrouting.RouteResult
+		if name == "route-forbidden" {
+			results, err = plan.RouteForbiddenBatch(ctxs, opts)
+		} else {
+			results, err = plan.RouteBatch(ctxs, opts)
+		}
+		if err != nil {
+			return nil, fromBatchError(err)
+		}
+		return routePayload(results), nil
+	}
+}
+
+// emptyPayload is the zero-pair response of one endpoint.
+func emptyPayload(name string) any {
+	switch name {
+	case "connected":
+		return ConnectedResponse{Results: []bool{}}
+	case "estimate":
+		return EstimateResponse{Estimates: []int64{}}
+	default:
+		return RouteResponse{Results: []RouteResult{}}
+	}
+}
+
+// routePayload converts simulation results to their wire form.
+func routePayload(results []ftrouting.RouteResult) RouteResponse {
+	wire := make([]RouteResult, len(results))
+	for i, res := range results {
+		wire[i] = fromRouteResult(res)
+	}
+	return RouteResponse{Results: wire}
 }
 
 // handleHealthz answers GET /v1/healthz.
@@ -281,14 +427,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		writeError(w, e)
 		return e
 	}
-	writeJSON(w, HealthResponse{
+	resp := HealthResponse{
 		Status:      "ok",
 		Kind:        s.kind,
 		Vertices:    s.g.N(),
 		Edges:       s.g.M(),
 		FaultBound:  s.bound,
 		Unreachable: ftrouting.Unreachable,
-	})
+	}
+	if s.manifest != nil {
+		resp.Components = s.manifest.NumComponents()
+		resp.Shards = s.manifest.NumShards()
+	}
+	writeJSON(w, resp)
 	return nil
 }
 

@@ -99,6 +99,10 @@ type HealthResponse struct {
 	FaultBound int `json:"fault_bound"`
 	// Unreachable is the estimate value of disconnected pairs.
 	Unreachable int64 `json:"unreachable"`
+	// Components and Shards describe a sharded server's manifest; both are
+	// omitted by monolithic servers.
+	Components int `json:"components,omitempty"`
+	Shards     int `json:"shards,omitempty"`
 }
 
 // EndpointStats counts one endpoint's traffic.
@@ -118,12 +122,43 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
-// StatsResponse answers /v1/stats.
+// ShardEntryStats reports one shard's lifetime counters (kept across
+// evictions) and current residency.
+type ShardEntryStats struct {
+	ID       int   `json:"id"`
+	Resident bool  `json:"resident"`
+	Bytes    int64 `json:"bytes"`
+	// Loads and Evictions count this shard's cache entries and exits.
+	Loads     uint64 `json:"loads"`
+	Evictions uint64 `json:"evictions"`
+	// ContextHits/ContextMisses count the shard's prepared-fault-context
+	// lookups; Contexts is the live context count (0 when not resident).
+	ContextHits   uint64 `json:"context_hits"`
+	ContextMisses uint64 `json:"context_misses"`
+	Contexts      int    `json:"contexts"`
+}
+
+// ShardCacheStats reports the resident-shard cache of a sharded server:
+// the memory budget, the resident set, and one row per shard.
+type ShardCacheStats struct {
+	BudgetBytes    int64             `json:"budget_bytes"`
+	ResidentBytes  int64             `json:"resident_bytes"`
+	ResidentShards int               `json:"resident_shards"`
+	TotalShards    int               `json:"total_shards"`
+	Loads          uint64            `json:"loads"`
+	Evictions      uint64            `json:"evictions"`
+	Shards         []ShardEntryStats `json:"shards"`
+}
+
+// StatsResponse answers /v1/stats. For sharded servers Cache aggregates
+// every shard's prepared-fault-context counters and Shards breaks the
+// resident-shard cache out per shard; monolithic servers omit Shards.
 type StatsResponse struct {
 	Kind        string                   `json:"kind"`
 	Endpoints   map[string]EndpointStats `json:"endpoints"`
 	PairsServed uint64                   `json:"pairs_served"`
 	Cache       CacheStats               `json:"cache"`
+	Shards      *ShardCacheStats         `json:"shards,omitempty"`
 }
 
 // ErrorInfo is the structured error payload: a stable machine-readable

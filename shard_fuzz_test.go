@@ -1,0 +1,160 @@
+package ftrouting
+
+// Fuzz targets for the sharded persistence: arbitrary manifest bytes
+// must either load into a manifest whose directory is internally
+// consistent, or fail with a typed error; arbitrary shard bytes read
+// under a fixed valid manifest must either load into a partial scheme
+// that answers in-shard queries without panicking, or be rejected —
+// never mis-served. Seeds mirror cmd/genfuzzcorpus (keep fuzzFixture in
+// sync with its rootCorpus graph) so the fuzzer mutates real structure.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// fuzzFixtureGraph is the two-component, 15-vertex graph rootCorpus in
+// cmd/genfuzzcorpus builds — the FuzzShard seed files are shards of the
+// scheme built here, so the two constructions must stay identical.
+func fuzzFixtureGraph() *Graph {
+	g := NewGraph(15)
+	for i := int32(0); i < 6; i++ {
+		g.MustAddEdge(i, (i+1)%7, int64(1+i%3))
+	}
+	for i := int32(7); i < 13; i++ {
+		g.MustAddEdge(i, i+1, 2)
+	}
+	return g
+}
+
+var fuzzFixture struct {
+	once     sync.Once
+	manifest *Manifest
+	files    map[string][]byte // manifest + shard files
+	err      error
+}
+
+// loadFuzzFixture builds the sharded fixture once per process.
+func loadFuzzFixture() (*Manifest, map[string][]byte, error) {
+	fuzzFixture.once.Do(func() {
+		conn, err := BuildConnectivityLabels(fuzzFixtureGraph(), ConnOptions{Scheme: SketchBased, Seed: 3})
+		if err != nil {
+			fuzzFixture.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "ftshardfuzz")
+		if err != nil {
+			fuzzFixture.err = err
+			return
+		}
+		m, err := SaveShardedConn(dir, conn, ShardOptions{})
+		if err != nil {
+			fuzzFixture.err = err
+			return
+		}
+		files := map[string][]byte{}
+		names := []string{ManifestFileName}
+		for _, info := range m.Shards() {
+			names = append(names, info.Name)
+		}
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				fuzzFixture.err = err
+				return
+			}
+			files[name] = data
+		}
+		fuzzFixture.manifest, fuzzFixture.files = m, files
+	})
+	return fuzzFixture.manifest, fuzzFixture.files, fuzzFixture.err
+}
+
+func FuzzManifest(f *testing.F) {
+	_, files, err := loadFuzzFixture()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(files[ManifestFileName])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadManifest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// An accepted manifest must be internally consistent enough to
+		// plan: directory lookups, fault validation and trivial
+		// cross-component answers must not panic.
+		g := m.Graph()
+		if g.N() == 0 {
+			return
+		}
+		batch := QueryBatch{Pairs: []Pair{{0, int32(g.N() - 1)}, {0, 0}}}
+		if g.M() > 0 {
+			batch.Faults = []EdgeID{0}
+		}
+		plan, err := m.PlanBatch(batch)
+		if err != nil {
+			t.Fatalf("accepted manifest cannot plan: %v", err)
+		}
+		for _, id := range plan.ShardIDs() {
+			if id < 0 || id >= m.NumShards() {
+				t.Fatalf("plan names shard %d of %d", id, m.NumShards())
+			}
+		}
+	})
+}
+
+func FuzzShard(f *testing.F) {
+	m, files, err := loadFuzzFixture()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for name, data := range files {
+		if name != ManifestFileName {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sh, err := m.ReadShard(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// An accepted shard must answer an in-shard query without
+		// panicking, and agree with the manifest on what it holds.
+		comps := sh.Components()
+		if len(comps) == 0 {
+			t.Fatal("accepted shard holds no component")
+		}
+		var v int32 = -1
+		g := m.Graph()
+		for u := int32(0); int(u) < g.N(); u++ {
+			if int32(m.ComponentOf(u)) == comps[0] {
+				v = u
+				break
+			}
+		}
+		if v < 0 {
+			t.Fatalf("shard component %d has no vertices", comps[0])
+		}
+		plan, err := m.PlanBatch(QueryBatch{Pairs: []Pair{{v, v}}})
+		if err != nil {
+			t.Fatalf("planning on fixture manifest: %v", err)
+		}
+		ctx, err := plan.PrepareShard(sh)
+		if err != nil {
+			t.Fatalf("accepted shard cannot prepare: %v", err)
+		}
+		res, err := plan.ConnectedBatch(map[int]any{sh.ID(): ctx}, BatchOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("accepted shard cannot answer: %v", err)
+		}
+		if len(res) != 1 || !res[0] {
+			t.Fatalf("(v,v) answered %v", res)
+		}
+	})
+}
