@@ -33,7 +33,7 @@ FUZZ_TARGETS = \
 	.:FuzzManifest \
 	.:FuzzShard
 
-.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke shard-smoke
+.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke shard-smoke proxy-smoke
 
 all: build lint test
 
@@ -119,7 +119,7 @@ shard-smoke:
 	"$$tmp/ftroute" shard -in "$$tmp/scheme.ftlb" -out-dir "$$tmp/shards"; \
 	"$$tmp/ftroute" info "$$tmp/shards/manifest.ftm"; \
 	"$$tmp/ftroute" serve -in "$$tmp/scheme.ftlb" -addr 127.0.0.1:0 > "$$tmp/mono.log" 2>&1 & mpid=$$!; \
-	"$$tmp/ftroute" serve -manifest "$$tmp/shards/manifest.ftm" -addr 127.0.0.1:0 -shard-budget 8192 > "$$tmp/shard.log" 2>&1 & spid=$$!; \
+	"$$tmp/ftroute" serve -in "$$tmp/shards" -addr 127.0.0.1:0 -shard-budget 8192 > "$$tmp/shard.log" 2>&1 & spid=$$!; \
 	maddr=""; saddr=""; \
 	for i in $$(seq 1 50); do \
 		maddr=$$(sed -n 's/^listening on //p' "$$tmp/mono.log"); \
@@ -141,6 +141,78 @@ shard-smoke:
 	wait $$mpid $$spid; \
 	cat "$$tmp/shard.log"; \
 	echo "shard-smoke OK"
+
+# proxy-smoke proves the fan-out tier end to end: build a multi-island
+# scheme, shard it, serve the manifest from two replicas, front them with
+# `ftroute proxy` at replication 1 and 2, and check the proxies answer
+# byte-identically to the monolithic daemon (including error envelopes).
+# Then kill one replica: the replication-2 proxy must keep answering
+# byte-identically via failover, while the replication-1 proxy reports
+# the typed upstream_failure envelope for the dead replica's shards with
+# healthy shards (and local validation) still answering — the same path
+# the CI proxy-smoke job runs.
+proxy-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$mpid $$r1pid $$r2pid $$p1pid $$p2pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/ftroute" ./cmd/ftroute; \
+	"$$tmp/ftroute" build -type conn -graph islands -n 40 -extra 60 -f 3 -out "$$tmp/scheme.ftlb"; \
+	"$$tmp/ftroute" shard -in "$$tmp/scheme.ftlb" -out-dir "$$tmp/shards"; \
+	"$$tmp/ftroute" serve -in "$$tmp/scheme.ftlb" -addr 127.0.0.1:0 > "$$tmp/mono.log" 2>&1 & mpid=$$!; \
+	"$$tmp/ftroute" serve -in "$$tmp/shards" -addr 127.0.0.1:0 > "$$tmp/r1.log" 2>&1 & r1pid=$$!; \
+	"$$tmp/ftroute" serve -in "$$tmp/shards" -addr 127.0.0.1:0 > "$$tmp/r2.log" 2>&1 & r2pid=$$!; \
+	maddr=""; r1addr=""; r2addr=""; \
+	for i in $$(seq 1 50); do \
+		maddr=$$(sed -n 's/^listening on //p' "$$tmp/mono.log"); \
+		r1addr=$$(sed -n 's/^listening on //p' "$$tmp/r1.log"); \
+		r2addr=$$(sed -n 's/^listening on //p' "$$tmp/r2.log"); \
+		[ -n "$$maddr" ] && [ -n "$$r1addr" ] && [ -n "$$r2addr" ] && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$maddr" ] && [ -n "$$r1addr" ] && [ -n "$$r2addr" ] || { echo "daemons never announced addresses" >&2; cat "$$tmp"/*.log >&2; exit 1; }; \
+	"$$tmp/ftroute" proxy -in "$$tmp/shards" -replicas "http://$$r1addr,http://$$r2addr" -addr 127.0.0.1:0 > "$$tmp/p1.log" 2>&1 & p1pid=$$!; \
+	"$$tmp/ftroute" proxy -in "$$tmp/shards" -replicas "http://$$r1addr,http://$$r2addr" -replication 2 -addr 127.0.0.1:0 > "$$tmp/p2.log" 2>&1 & p2pid=$$!; \
+	p1addr=""; p2addr=""; \
+	for i in $$(seq 1 50); do \
+		p1addr=$$(sed -n 's/^listening on //p' "$$tmp/p1.log"); \
+		p2addr=$$(sed -n 's/^listening on //p' "$$tmp/p2.log"); \
+		[ -n "$$p1addr" ] && [ -n "$$p2addr" ] && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$p1addr" ] && [ -n "$$p2addr" ] || { echo "proxies never announced addresses" >&2; cat "$$tmp"/p*.log >&2; exit 1; }; \
+	bodies='{"pairs":[[0,39],[0,41],[41,79],[80,119]],"faults":[1,2]} {"pairs":[[5,7],[120,159]],"faults":[3,3,9]} {"pairs":[]} {"pairs":[[0,999]]} {"pairs":[[0,1]],"faults":[99999]} {"pairs":[[0,'; \
+	for body in $$bodies; do \
+		curl -sS -d "$$body" "http://$$maddr/v1/connected" > "$$tmp/mono.out"; \
+		curl -sS -d "$$body" "http://$$p1addr/v1/connected" > "$$tmp/p1.out"; \
+		cmp "$$tmp/mono.out" "$$tmp/p1.out" || { echo "replication-1 proxy diverges for $$body" >&2; cat "$$tmp/mono.out" "$$tmp/p1.out" >&2; exit 1; }; \
+		curl -sS -d "$$body" "http://$$p2addr/v1/connected" > "$$tmp/p2.out"; \
+		cmp "$$tmp/mono.out" "$$tmp/p2.out" || { echo "replication-2 proxy diverges for $$body" >&2; cat "$$tmp/mono.out" "$$tmp/p2.out" >&2; exit 1; }; \
+	done; \
+	curl -fsS "http://$$p1addr/v1/healthz" | grep -q '"replicas":2' || { echo "proxy healthz missing replica count" >&2; exit 1; }; \
+	curl -fsS "http://$$p1addr/v1/stats" | grep -q '"upstreams"' || { echo "proxy stats missing upstream rows" >&2; exit 1; }; \
+	kill -TERM $$r2pid; wait $$r2pid; \
+	for body in $$bodies; do \
+		curl -sS -d "$$body" "http://$$maddr/v1/connected" > "$$tmp/mono.out"; \
+		curl -sS -d "$$body" "http://$$p2addr/v1/connected" > "$$tmp/p2.out"; \
+		cmp "$$tmp/mono.out" "$$tmp/p2.out" || { echo "replication-2 proxy diverges after replica death for $$body" >&2; cat "$$tmp/mono.out" "$$tmp/p2.out" >&2; exit 1; }; \
+	done; \
+	ok=0; fail=0; \
+	for body in '{"pairs":[[0,1]]}' '{"pairs":[[41,42]]}' '{"pairs":[[80,81]]}' '{"pairs":[[120,121]]}'; do \
+		out=$$(curl -sS -d "$$body" "http://$$p1addr/v1/connected"); \
+		case "$$out" in \
+			*upstream_failure*) fail=$$((fail+1));; \
+			*results*) ok=$$((ok+1));; \
+		esac; \
+	done; \
+	[ $$ok -ge 1 ] && [ $$fail -ge 1 ] || { echo "replica-down: $$ok shards answered, $$fail reported upstream_failure; want both >= 1" >&2; cat "$$tmp/p1.log" >&2; exit 1; }; \
+	body='{"pairs":[[0,1]],"faults":[99999]}'; \
+	curl -sS -d "$$body" "http://$$maddr/v1/connected" > "$$tmp/mono.out"; \
+	curl -sS -d "$$body" "http://$$p1addr/v1/connected" > "$$tmp/p1.out"; \
+	cmp "$$tmp/mono.out" "$$tmp/p1.out" || { echo "local validation diverges with a dead replica" >&2; cat "$$tmp/mono.out" "$$tmp/p1.out" >&2; exit 1; }; \
+	kill -TERM $$mpid $$r1pid $$p1pid $$p2pid; \
+	wait $$mpid $$r1pid $$p1pid $$p2pid; \
+	cat "$$tmp/p1.log"; \
+	echo "proxy-smoke OK"
 
 lint:
 	$(GO) vet ./...

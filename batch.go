@@ -168,14 +168,7 @@ func forEachPairIndexed[T any](pairs []Pair, parallelism int, eval func(int, Pai
 	err := parallel.ForEach(parallelism, len(pairs), func(i int) error {
 		v, err := eval(i, pairs[i])
 		if err != nil {
-			// The inner error carries the package prefix already; a typed
-			// validation error keeps its code and gains the pair index.
-			var qe *QueryError
-			if errors.As(err, &qe) {
-				return &QueryError{Code: qe.Code, Pair: i,
-					msg: fmt.Sprintf("batch pair %d: %s", i, qe.msg)}
-			}
-			return fmt.Errorf("batch pair %d: %w", i, err)
+			return wrapPairError(i, err)
 		}
 		out[i] = v
 		return nil
@@ -184,6 +177,21 @@ func forEachPairIndexed[T any](pairs []Pair, parallelism int, eval func(int, Pai
 		return nil, err
 	}
 	return out, nil
+}
+
+// wrapPairError tags a per-pair error with its batch index. The inner
+// error carries the package prefix already; a typed validation error
+// keeps its code and gains the pair index. Every layer that reports a
+// pair-scoped batch error (the fan-out here, a proxy validating a plan
+// before forwarding) wraps through this one function so the error text
+// is identical at every tier.
+func wrapPairError(i int, err error) error {
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		return &QueryError{Code: qe.Code, Pair: i,
+			msg: fmt.Sprintf("batch pair %d: %s", i, qe.msg)}
+	}
+	return fmt.Errorf("batch pair %d: %w", i, err)
 }
 
 // ConnFaultContext is a fault set preprocessed against a connectivity
@@ -645,6 +653,88 @@ func (p *BatchPlan) ShardFaults(id int) []EdgeID {
 // (the |F| of the distance estimate formula).
 func (p *BatchPlan) DistinctFaults() int { return p.distinct }
 
+// NumPairs returns the planned batch's pair count.
+func (p *BatchPlan) NumPairs() int { return len(p.pairs) }
+
+// Pair returns the planned batch's i-th pair.
+func (p *BatchPlan) Pair(i int) Pair { return p.pairs[i] }
+
+// SubBatch is one shard's slice of a planned batch: the pairs routed to
+// that shard, alongside their indices in the original pair list. A
+// fan-out tier forwards each sub-batch to a replica holding the shard —
+// together with the batch's FULL fault list, so the replica re-derives
+// the per-shard restriction and the global distinct-fault count itself,
+// exactly as a whole-batch plan would — and scatters the answers back by
+// Indices. Trivial and invalid pairs appear in no sub-batch; see
+// TrivialPairs and FirstPairError.
+type SubBatch struct {
+	// Shard is the shard id every pair of this sub-batch routes to.
+	Shard int
+	// Indices[j] is the position of Pairs[j] in the planned batch.
+	Indices []int
+	// Pairs are the sub-batch's queries, in original batch order.
+	Pairs []Pair
+}
+
+// SubBatches splits the planned batch into one SubBatch per touched
+// shard, in ascending shard order. Within each sub-batch, pairs keep
+// their original relative order, so a replica evaluating the sub-batch
+// reports per-pair errors for the lowest original index first.
+func (p *BatchPlan) SubBatches() []SubBatch {
+	byShard := make(map[int]*SubBatch, len(p.shardIDs))
+	out := make([]SubBatch, len(p.shardIDs))
+	for i, id := range p.shardIDs {
+		out[i].Shard = id
+		byShard[id] = &out[i]
+	}
+	for i, pr := range p.pairs {
+		if p.pairShard[i] < 0 {
+			continue
+		}
+		sb := byShard[int(p.pairShard[i])]
+		sb.Indices = append(sb.Indices, i)
+		sb.Pairs = append(sb.Pairs, pr)
+	}
+	return out
+}
+
+// TrivialPairs returns the indices of the batch's cross-component pairs:
+// the ones every tier answers from the directory alone — false for
+// connectivity, Unreachable for distance, TrivialRouteResult for routing
+// — without touching any shard.
+func (p *BatchPlan) TrivialPairs() []int {
+	var out []int
+	for i, s := range p.pairShard {
+		if s == pairTrivial {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FirstPairError returns the error the plan's executors would report
+// before any shard work: the vertex-range error of the lowest-indexed
+// invalid pair, wrapped exactly as the batch fan-out wraps it (same
+// code, index and text), or nil when every pair is valid. A fan-out
+// tier calls this before forwarding sub-batches so validation failures
+// never leave the proxy.
+func (p *BatchPlan) FirstPairError() error {
+	n := p.m.g.N()
+	for i, s := range p.pairShard {
+		if s != pairInvalid {
+			continue
+		}
+		pr := p.pairs[i]
+		if err := checkVertex("s", pr.S, n); err != nil {
+			return wrapPairError(i, err)
+		}
+		if err := checkVertex("t", pr.T, n); err != nil {
+			return wrapPairError(i, err)
+		}
+	}
+	return nil
+}
+
 // PrepareShard prepares one shard's fault context for this plan's fault
 // set: a *ConnFaultContext, *DistFaultContext or *RouteFaultContext
 // matching the manifest kind, ready for the plan's executors. Distance
@@ -751,6 +841,12 @@ func (p *BatchPlan) EstimateBatch(ctxs map[int]any, opts BatchOptions) ([]int64,
 func trivialRouteResult(pr Pair) RouteResult {
 	return RouteResult{Opt: Inf, Trace: []int32{pr.S}}
 }
+
+// TrivialRouteResult returns the routing answer of a cross-component
+// pair — what the plan executors compute without touching a shard. A
+// fan-out tier answers its plans' TrivialPairs with the same value so
+// merged responses stay bit-identical to a single daemon's.
+func TrivialRouteResult(pr Pair) RouteResult { return trivialRouteResult(pr) }
 
 // RouteBatch routes the planned batch under the unknown-fault model on
 // prepared per-shard contexts, bit-identically to Router.RouteBatch.

@@ -42,8 +42,17 @@
 //	ftroute build -type conn -graph islands -n 40 -f 3 -out islands.ftlb
 //	ftroute shard -in islands.ftlb -out-dir shards/
 //	ftroute info shards/manifest.ftm
-//	ftroute query -manifest shards/manifest.ftm -s 0 -t 39 -faults 1,2
-//	ftroute serve -manifest shards/manifest.ftm -addr :8080 -shard-budget 67108864
+//	ftroute query -in shards/ -s 0 -t 39 -faults 1,2
+//	ftroute serve -in shards/ -addr :8080 -shard-budget 67108864
+//
+// Fan-out proxy tier (shard-affine replicas behind a stateless proxy;
+// every tier speaks the same wire protocol and answers byte-identically,
+// so proxies stack):
+//
+//	ftroute serve -in shards/ -addr :8081 &
+//	ftroute serve -in shards/ -addr :8082 &
+//	ftroute proxy -in shards/ -replicas http://localhost:8081,http://localhost:8082 -replication 2 -addr :8080
+//	curl -s -d '{"pairs":[[0,39]],"faults":[1,2]}' localhost:8080/v1/connected
 package main
 
 import (
@@ -78,6 +87,8 @@ func main() {
 		err = runQuery(args)
 	case "serve":
 		err = runServe(args)
+	case "proxy":
+		err = runProxy(args)
 	case "shard":
 		err = runShard(args)
 	case "info":
@@ -93,21 +104,25 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query|serve|shard|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query|serve|proxy|shard|info> [flags]
   conn   connectivity query under faults from labels
   dist   approximate distance query under faults from labels
   route  fault-tolerant routing simulation (-in loads a saved router)
   sweep  aggregate routing statistics over many random queries
   lower  Theorem 1.6 lower-bound experiment
   build  preprocess once and write a scheme file (-type conn|dist|route)
-  query  answer from a scheme file without rebuilding
-         (-pairs FILE|- batches many "s t" queries over the worker pool;
-         -manifest answers from a sharded scheme, loading only the
-         shards the batch touches)
-  serve  long-running HTTP daemon answering pair batches from a scheme
-         file (-addr, -par, -ctxcache; see package serve for the API);
-         -manifest serves a sharded scheme, lazily loading/evicting
-         shards under -shard-budget bytes
+  query  answer from a scheme source without rebuilding; -in takes a
+         scheme file or a shard manifest (auto-detected; manifests load
+         only the shards the batch touches). -pairs FILE|- batches many
+         "s t" queries over the worker pool
+  serve  long-running HTTP daemon answering pair batches (-addr, -par,
+         -ctxcache; see package serve for the API); -in takes a scheme
+         file or a shard manifest (auto-detected; manifest mode lazily
+         loads/evicts shards under -shard-budget bytes)
+  proxy  fan-out daemon over shard-affine replicas: loads only a shard
+         manifest, assigns shards to -replicas balanced by bytes (with
+         -replication failover), splits each batch per shard and merges
+         replies byte-identically to a single daemon
   shard  split a scheme file into a manifest + per-component shard files
   info   print header, counts, fault bound and label sizes of a scheme
          or manifest file`)

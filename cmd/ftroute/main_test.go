@@ -4,7 +4,10 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"ftrouting"
 )
 
 func parseWith(t *testing.T, args []string) *graphFlags {
@@ -199,5 +202,67 @@ func TestBuildQueryWorkflow(t *testing.T) {
 	}
 	if err := runQuery([]string{"-in", garbled, "-s", "0", "-t", "1"}); err == nil {
 		t.Fatal("corrupt file accepted")
+	}
+}
+
+// TestUnifiedSourceResolution drives the one -in flag over every source
+// form: a monolithic scheme file, a manifest file, and a manifest
+// directory are auto-detected, and the deprecated -manifest alias still
+// routes.
+func TestUnifiedSourceResolution(t *testing.T) {
+	dir := t.TempDir()
+	connFile := filepath.Join(dir, "conn.ftl")
+	if err := runBuild([]string{"-type", "conn", "-scheme", "cut", "-graph", "random", "-n", "30", "-extra", "40", "-f", "2", "-out", connFile}); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(dir, "shards")
+	if err := runShard([]string{"-in", connFile, "-out-dir", shardDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// loadQuerySource sniffs the artifact kind from the codec header.
+	if src, err := loadQuerySource(connFile); err != nil || src.manifest != nil || src.scheme == nil {
+		t.Fatalf("monolithic file: src=%+v err=%v", src, err)
+	}
+	if src, err := loadQuerySource(shardDir); err != nil || src.manifest == nil {
+		t.Fatalf("manifest directory: src=%+v err=%v", src, err)
+	}
+	if src, err := loadQuerySource(filepath.Join(shardDir, ftrouting.ManifestFileName)); err != nil || src.manifest == nil {
+		t.Fatalf("manifest file: src=%+v err=%v", src, err)
+	}
+	if _, err := loadQuerySource(filepath.Join(dir, "absent")); err == nil {
+		t.Fatal("missing source accepted")
+	}
+
+	// query -in serves from either form without a mode flag...
+	if err := runQuery([]string{"-in", shardDir, "-s", "0", "-t", "29", "-faults", "1,2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-in", connFile, "-s", "0", "-t", "29", "-faults", "1,2"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the deprecated -manifest alias still reaches the manifest.
+	if err := runQuery([]string{"-manifest", shardDir, "-s", "0", "-t", "29"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := resolveSourcePath("query", "a", ""); got != "a" {
+		t.Fatalf("resolveSourcePath without alias = %q", got)
+	}
+	if got := resolveSourcePath("query", "a", "b"); got != "b" {
+		t.Fatalf("resolveSourcePath with alias = %q", got)
+	}
+
+	// proxy needs a manifest and at least one replica.
+	if err := runProxy([]string{"-in", connFile, "-replicas", "http://127.0.0.1:1"}); err == nil ||
+		!strings.Contains(err.Error(), "monolithic") {
+		t.Fatalf("proxy over a monolithic file: %v", err)
+	}
+	if err := runProxy([]string{"-in", shardDir, "-replicas", " , "}); err == nil ||
+		!strings.Contains(err.Error(), "replica") {
+		t.Fatalf("proxy without replicas: %v", err)
+	}
+	// An unreachable replica fails startup verification, not serving.
+	if err := runProxy([]string{"-in", shardDir, "-replicas", "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("proxy accepted an unreachable replica")
 	}
 }

@@ -84,8 +84,8 @@ func runBuild(args []string) error {
 
 func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	in := fs.String("in", "scheme.ftl", "scheme file written by ftroute build")
-	manifest := fs.String("manifest", "", "shard manifest written by ftroute shard (instead of -in); loads only the shards the query touches")
+	in := fs.String("in", "scheme.ftl", "scheme source: a file written by ftroute build, or a manifest (file or directory) written by ftroute shard — auto-detected; manifests load only the shards the query touches")
+	manifest := fs.String("manifest", "", "deprecated alias of -in (manifests are auto-detected)")
 	s := fs.Int("s", 0, "source vertex")
 	t := fs.Int("t", 1, "target vertex")
 	faultsFlag := fs.String("faults", "", "comma-separated faulty edge ids")
@@ -99,18 +99,14 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *manifest != "" {
-		return runQueryManifest(*manifest, *s, *t, faults, *pairsFlag, *par, *forbidden)
-	}
-	file, err := os.Open(*in)
+	src, err := loadQuerySource(resolveSourcePath("query", *in, *manifest))
 	if err != nil {
 		return err
 	}
-	defer file.Close()
-	scheme, err := ftrouting.LoadScheme(file)
-	if err != nil {
-		return err
+	if src.manifest != nil {
+		return runQueryManifest(src.manifest, src.path, *s, *t, faults, *pairsFlag, *par, *forbidden)
 	}
+	scheme := src.scheme
 	if *pairsFlag != "" {
 		pairs, err := openPairs(*pairsFlag)
 		if err != nil {
@@ -124,7 +120,7 @@ func runQuery(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded connectivity labeling from %s\n", *in)
+		fmt.Printf("loaded connectivity labeling from %s\n", src.path)
 		fmt.Printf("query: s=%d t=%d |F|=%d\n", *s, *t, len(faults))
 		fmt.Printf("connected in G\\F: %v\n", connected)
 	case *ftrouting.DistLabels:
@@ -132,7 +128,7 @@ func runQuery(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded distance labeling from %s\n", *in)
+		fmt.Printf("loaded distance labeling from %s\n", src.path)
 		fmt.Printf("query: s=%d t=%d |F|=%d\n", *s, *t, len(faults))
 		if est == ftrouting.Unreachable {
 			fmt.Println("estimate: unreachable")
@@ -149,7 +145,7 @@ func runQuery(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded router from %s\n", *in)
+		fmt.Printf("loaded router from %s\n", src.path)
 		printRouteResult(res)
 	default:
 		return fmt.Errorf("unsupported scheme type %T", v)

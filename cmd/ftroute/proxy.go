@@ -1,0 +1,88 @@
+package main
+
+// `ftroute proxy`: the fan-out tier. Loads only a shard manifest (never
+// a shard payload), verifies each configured `ftroute serve` replica is
+// serving the same build via /v1/healthz (scheme kind, digest, fault
+// bound, graph shape), assigns shards to replicas balanced by shard
+// bytes, and answers the full /v1 API by splitting each batch per shard,
+// forwarding sub-batches concurrently, and merging byte-identically to a
+// single daemon. Replicas may themselves be proxies (the tiers stack) or
+// monolithic daemons holding the whole scheme.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"ftrouting/serve"
+)
+
+// proxyStartupTimeout bounds the startup healthz verification of every
+// replica.
+const proxyStartupTimeout = 30 * time.Second
+
+func runProxy(args []string) error {
+	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
+	in := fs.String("in", "shards", "shard manifest (file or directory) written by ftroute shard; the proxy loads only its directory")
+	replicasFlag := fs.String("replicas", "", "comma-separated replica base URLs (e.g. http://h1:8080,http://h2:8080)")
+	replication := fs.Int("replication", 1, "replicas each shard is assigned to (sub-batches fail over within the group)")
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	par := fs.Int("par", 0, "concurrent upstream sub-requests per batch: 0 uses GOMAXPROCS, 1 forwards sequentially")
+	maxBody := fs.Int64("max-body", serve.DefaultMaxRequestBytes, "request body size limit in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxBody <= 0 {
+		return fmt.Errorf("-max-body must be positive, got %d", *maxBody)
+	}
+	var replicas []string
+	for _, r := range strings.Split(*replicasFlag, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicas = append(replicas, r)
+		}
+	}
+	if len(replicas) == 0 {
+		return fmt.Errorf("-replicas must list at least one replica base URL")
+	}
+	src, err := loadQuerySource(*in)
+	if err != nil {
+		return err
+	}
+	if src.manifest == nil {
+		return fmt.Errorf("%s holds a monolithic scheme; ftroute proxy needs a shard manifest (run ftroute shard first)", src.path)
+	}
+	m := src.manifest
+
+	ctx, cancel := context.WithTimeout(context.Background(), proxyStartupTimeout)
+	p, err := serve.NewProxy(ctx, m, replicas, serve.ProxyOptions{
+		Replication: *replication, Parallelism: *par, MaxRequestBytes: *maxBody,
+	})
+	cancel()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fronting %s manifest from %s (%d shards over %d replicas, replication %d)\n",
+		m.Kind(), src.path, m.NumShards(), len(replicas), *replication)
+	for i, shards := range p.Placement() {
+		var bytes int64
+		for _, id := range shards {
+			bytes += m.ShardBytes(id)
+		}
+		fmt.Printf("replica %d %s: %d shards %v (%d bytes)\n", i, replicas[i], len(shards), shards, bytes)
+	}
+	if err := runDaemon(*addr, p); err != nil {
+		return err
+	}
+	stats := p.Stats()
+	var fanned, failed uint64
+	for _, u := range stats.Upstreams {
+		fanned += u.Requests
+		failed += u.Failures
+	}
+	fmt.Printf("served %d pairs; %d sub-batches forwarded, %d replica failures\n",
+		stats.PairsServed, fanned, failed)
+	return nil
+}

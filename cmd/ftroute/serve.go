@@ -1,51 +1,30 @@
 package main
 
-// `ftroute serve`: the long-running query daemon. Loads one scheme file,
-// binds an HTTP listener, and answers pair batches through package serve
-// (bounded LRU of prepared fault contexts, per-endpoint counters,
-// structured errors) until SIGINT/SIGTERM, then drains in-flight
-// requests and exits.
+// `ftroute serve`: the long-running query daemon. Loads one scheme
+// source — a monolithic scheme file or a shard manifest, auto-detected
+// from the artifact header — binds an HTTP listener, and answers pair
+// batches through package serve (bounded LRU of prepared fault contexts,
+// per-endpoint counters, structured errors) until SIGINT/SIGTERM, then
+// drains in-flight requests and exits.
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
-	"ftrouting"
 	"ftrouting/serve"
-)
-
-// serveShutdownGrace bounds the drain of in-flight requests on shutdown.
-const serveShutdownGrace = 10 * time.Second
-
-// Connection hygiene for a public listener: a client that trickles or
-// never finishes its request headers, or parks an idle keep-alive
-// connection, must not pin a goroutine and file descriptor forever.
-// Response writing is left unbounded — large route batches stream full
-// traces and are cut off by the client, not the server.
-const (
-	serveReadHeaderTimeout = 10 * time.Second
-	serveIdleTimeout       = 2 * time.Minute
 )
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	in := fs.String("in", "scheme.ftl", "scheme file written by ftroute build")
-	manifest := fs.String("manifest", "", "shard manifest written by ftroute shard (instead of -in): shard-aware router mode")
+	in := fs.String("in", "scheme.ftl", "scheme source: a file written by ftroute build, or a manifest (file or directory) written by ftroute shard — auto-detected")
+	manifest := fs.String("manifest", "", "deprecated alias of -in (manifests are auto-detected)")
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	par := fs.Int("par", 0, "workers evaluating each request's pairs: 0 uses GOMAXPROCS, 1 is sequential")
 	ctxCache := fs.Int("ctxcache", serve.DefaultContextCacheSize,
-		"prepared fault contexts kept warm (LRU, per shard in -manifest mode); 0 disables the cache")
+		"prepared fault contexts kept warm (LRU, per shard in manifest mode); 0 disables the cache")
 	maxBody := fs.Int64("max-body", serve.DefaultMaxRequestBytes, "request body size limit in bytes")
 	shardBudget := fs.Int64("shard-budget", serve.DefaultShardBudgetBytes,
-		"resident shard bytes kept loaded in -manifest mode (LRU eviction above it); 0 keeps nothing resident between requests, < 0 never evicts")
+		"resident shard bytes kept loaded in manifest mode (LRU eviction above it); 0 keeps nothing resident between requests, < 0 never evicts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,67 +43,27 @@ func runServe(args []string) error {
 		// pinned (in-flight) shards ever stay loaded.
 		opts.ShardBudgetBytes = 1
 	}
-	var srv *serve.Server
-	var source string
-	if *manifest != "" {
-		m, err := ftrouting.LoadManifest(*manifest)
-		if err != nil {
-			return err
-		}
-		if srv, err = serve.NewSharded(m, opts); err != nil {
-			return err
-		}
-		source = fmt.Sprintf("%s manifest from %s (%d components, %d shards)",
-			srv.Kind(), *manifest, m.NumComponents(), m.NumShards())
-	} else {
-		file, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		scheme, err := ftrouting.LoadScheme(file)
-		file.Close()
-		if err != nil {
-			return err
-		}
-		if srv, err = serve.New(scheme, opts); err != nil {
-			return err
-		}
-		source = fmt.Sprintf("%s scheme from %s", srv.Kind(), *in)
-	}
-
-	// Bind before announcing so "listening on" always names a live
-	// address (and resolves port 0), which serve-smoke scripts rely on.
-	ln, err := net.Listen("tcp", *addr)
+	src, err := loadQuerySource(resolveSourcePath("serve", *in, *manifest))
 	if err != nil {
 		return err
 	}
+	var srv *serve.Server
+	var source string
+	if src.manifest != nil {
+		if srv, err = serve.NewSharded(src.manifest, opts); err != nil {
+			return err
+		}
+		source = fmt.Sprintf("%s manifest from %s (%d components, %d shards)",
+			srv.Kind(), src.path, src.manifest.NumComponents(), src.manifest.NumShards())
+	} else {
+		if srv, err = serve.New(src.scheme, opts); err != nil {
+			return err
+		}
+		source = fmt.Sprintf("%s scheme from %s", srv.Kind(), src.path)
+	}
+
 	fmt.Printf("loaded %s\n", source)
-	fmt.Printf("listening on %s\n", ln.Addr())
-
-	hs := &http.Server{
-		Handler:           srv,
-		ReadHeaderTimeout: serveReadHeaderTimeout,
-		IdleTimeout:       serveIdleTimeout,
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	done := make(chan error, 1)
-	go func() { done <- hs.Serve(ln) }()
-
-	select {
-	case err := <-done:
-		// Serve never returns nil; without Shutdown any return is fatal.
-		return err
-	case <-ctx.Done():
-	}
-	stop()
-	fmt.Println("shutting down: draining in-flight requests")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), serveShutdownGrace)
-	defer cancel()
-	if err := hs.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
-	}
-	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := runDaemon(*addr, srv); err != nil {
 		return err
 	}
 	stats := srv.Stats()

@@ -257,15 +257,12 @@ func manifestContexts(m *ftrouting.Manifest, plan *ftrouting.BatchPlan) (map[int
 	return ctxs, nil
 }
 
-// runQueryManifest answers `ftroute query -manifest`: load the manifest,
+// runQueryManifest answers `ftroute query` over a loaded shard manifest:
 // plan the batch, load only the touched shards, and print the same
-// output `ftroute query -in` prints for the equivalent monolithic file.
-func runQueryManifest(path string, s, t int, faults []ftrouting.EdgeID, pairsSpec string, par int, forbidden bool) error {
-	m, err := ftrouting.LoadManifest(path)
-	if err != nil {
-		return err
-	}
+// output the equivalent monolithic file produces.
+func runQueryManifest(m *ftrouting.Manifest, path string, s, t int, faults []ftrouting.EdgeID, pairsSpec string, par int, forbidden bool) error {
 	single := pairsSpec == ""
+	var err error
 	var pairs []ftrouting.Pair
 	if single {
 		pairs = []ftrouting.Pair{{S: int32(s), T: int32(t)}}

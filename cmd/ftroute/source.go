@@ -1,0 +1,129 @@
+package main
+
+// Unified scheme-source loading: `ftroute serve`, `ftroute query` and
+// `ftroute proxy` accept one -in path that may name a monolithic scheme
+// file, a shard manifest, or a manifest's directory — the artifact-kind
+// header distinguishes them (exactly as `ftroute info` does), so the
+// caller never declares which one it has. The old -manifest flag
+// survives as a deprecated alias.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"ftrouting"
+	"ftrouting/internal/codec"
+)
+
+// querySource is one loaded -in artifact: exactly one of scheme
+// (monolithic) or manifest is set. path is the resolved file (a
+// directory argument resolves to its manifest.ftm).
+type querySource struct {
+	path     string
+	scheme   any
+	manifest *ftrouting.Manifest
+}
+
+// resolveSourcePath folds the deprecated -manifest alias into the
+// unified -in, warning once on stderr when the alias is used.
+func resolveSourcePath(cmd, in, manifest string) string {
+	if manifest == "" {
+		return in
+	}
+	fmt.Fprintf(os.Stderr, "ftroute %s: -manifest is deprecated; -in auto-detects manifests\n", cmd)
+	return manifest
+}
+
+// loadQuerySource opens path — scheme file, manifest file, or manifest
+// directory — and loads whichever artifact the header declares.
+func loadQuerySource(path string) (*querySource, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		path = filepath.Join(path, ftrouting.ManifestFileName)
+	}
+	kind, _, err := sniffHeader(path)
+	if err != nil {
+		return nil, err
+	}
+	src := &querySource{path: path}
+	if kind == codec.KindManifest {
+		if src.manifest, err = ftrouting.LoadManifest(path); err != nil {
+			return nil, err
+		}
+		return src, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if src.scheme, err = ftrouting.LoadScheme(f); err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+// Shared daemon plumbing of `ftroute serve` and `ftroute proxy`.
+const daemonShutdownGrace = 10 * time.Second
+
+// Connection hygiene for a public listener: a client that trickles or
+// never finishes its request headers, or parks an idle keep-alive
+// connection, must not pin a goroutine and file descriptor forever.
+// Response writing is left unbounded — large route batches stream full
+// traces and are cut off by the client, not the server.
+const (
+	daemonReadHeaderTimeout = 10 * time.Second
+	daemonIdleTimeout       = 2 * time.Minute
+)
+
+// runDaemon binds addr, announces the live address (port 0 resolves, so
+// smoke scripts can scrape "listening on"), serves handler until
+// SIGINT/SIGTERM, then drains in-flight requests and returns.
+func runDaemon(addr string, handler http.Handler) error {
+	// Bind before announcing so "listening on" always names a live
+	// address.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: daemonReadHeaderTimeout,
+		IdleTimeout:       daemonIdleTimeout,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		// Serve never returns nil; without Shutdown any return is fatal.
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), daemonShutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

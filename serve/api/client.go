@@ -1,0 +1,163 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Error is a structured error a server answered with: the HTTP status
+// plus the decoded envelope. A *Error is authoritative — the upstream
+// received the request and rejected it — as opposed to the plain errors
+// Client returns for transport failures (connection refused, truncated
+// or non-JSON bodies), which a fan-out tier may retry on another
+// replica.
+type Error struct {
+	Status int
+	Info   ErrorInfo
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("server error %d (%s): %s", e.Status, e.Info.Code, e.Info.Message)
+}
+
+// Client is the typed client of the serving API. Every tier — monolithic
+// daemon, shard-affine replica, fan-out proxy — speaks the same
+// protocol, so one client talks to any of them.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (scheme + host,
+// e.g. "http://127.0.0.1:8080"). A nil httpClient uses
+// http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// BaseURL returns the server address the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// decodeResponse classifies one HTTP exchange: 2xx bodies decode into
+// out, non-2xx bodies must carry the structured envelope and become a
+// *Error. Anything else — a non-2xx body that does not decode to an
+// envelope — is a transport-level failure.
+func decodeResponse(resp *http.Response, out any) error {
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("api: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		if err := json.Unmarshal(body, &eb); err == nil && eb.Error.Code != "" {
+			return &Error{Status: resp.StatusCode, Info: eb.Error}
+		}
+		return fmt.Errorf("api: server returned status %d with unstructured body", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("api: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Query posts req to the named query endpoint (connected, estimate,
+// route, route-forbidden) and decodes the 2xx body into out. Structured
+// server rejections return a *Error; transport failures return plain
+// errors.
+func (c *Client) Query(ctx context.Context, endpoint string, req *QueryRequest, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("api: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/"+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("api: building request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+// get fetches one GET endpoint into out.
+func (c *Client) get(ctx context.Context, endpoint string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/"+endpoint, nil)
+	if err != nil {
+		return fmt.Errorf("api: building request: %w", err)
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+// Connected answers /v1/connected: one bool per pair, in order.
+func (c *Client) Connected(ctx context.Context, req *QueryRequest) ([]bool, error) {
+	var resp ConnectedResponse
+	if err := c.Query(ctx, "connected", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Estimate answers /v1/estimate: one estimate per pair, in order.
+func (c *Client) Estimate(ctx context.Context, req *QueryRequest) ([]int64, error) {
+	var resp EstimateResponse
+	if err := c.Query(ctx, "estimate", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Estimates, nil
+}
+
+// Route answers /v1/route: one unknown-fault routing result per pair.
+func (c *Client) Route(ctx context.Context, req *QueryRequest) ([]RouteResult, error) {
+	var resp RouteResponse
+	if err := c.Query(ctx, "route", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// RouteForbidden answers /v1/route-forbidden: one known-fault routing
+// result per pair.
+func (c *Client) RouteForbidden(ctx context.Context, req *QueryRequest) ([]RouteResult, error) {
+	var resp RouteResponse
+	if err := c.Query(ctx, "route-forbidden", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Healthz fetches /v1/healthz.
+func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
+	var resp HealthResponse
+	if err := c.get(ctx, "healthz", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.get(ctx, "stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,522 @@
+package serve
+
+// The fan-out proxy tier: a stateless daemon that holds only a shard
+// manifest's directory (never a shard payload), assigns shards to
+// configured `ftroute serve` replicas balanced by shard bytes, splits
+// each incoming batch with the manifest's PlanBatch machinery, forwards
+// one sub-batch per touched shard to a replica holding it, and merges
+// the answers back in pair order. Every tier speaks the identical wire
+// protocol and the merge is byte-identical to a single daemon over the
+// whole scheme — trivial cross-component pairs are answered from the
+// directory without any upstream call, validation errors never leave the
+// proxy, and Go's JSON encoding round-trips decoded replica results to
+// the exact bytes a monolithic server would have written. Because the
+// proxy serves the same API it consumes, proxies stack: a replica may
+// itself be a proxy, or a monolithic daemon holding the whole scheme —
+// anything whose /v1/healthz reports the manifest's scheme digest.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"ftrouting"
+	"ftrouting/internal/parallel"
+	"ftrouting/serve/api"
+)
+
+// ProxyOptions configures a Proxy.
+type ProxyOptions struct {
+	// Replication is how many replicas each shard is assigned to: 0
+	// selects 1. Higher factors buy failover — a sub-batch retries on the
+	// shard's other replicas when one fails at the transport level.
+	Replication int
+	// Parallelism bounds the concurrent upstream sub-requests per batch:
+	// 0 uses GOMAXPROCS, 1 forwards sequentially.
+	Parallelism int
+	// MaxRequestBytes bounds a request body: 0 selects
+	// DefaultMaxRequestBytes (the same default the replicas apply).
+	MaxRequestBytes int64
+	// HTTPClient issues the upstream requests; nil uses
+	// http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// upstream is one configured replica: its typed client, the shards the
+// placement assigned to it, and its traffic counters.
+type upstream struct {
+	client *api.Client
+	shards []int
+	// requests counts sub-batches sent, errors the structured rejections
+	// answered, failures the transport-level losses that moved a
+	// sub-batch to another replica (or exhausted the assignment).
+	requests, errors, failures atomic.Uint64
+}
+
+// Proxy fans batches out over shard-affine replicas. It implements
+// http.Handler with the exact endpoint surface of a Server and is safe
+// for concurrent requests.
+type Proxy struct {
+	m      *ftrouting.Manifest
+	kind   string
+	digest string
+	opts   ProxyOptions
+
+	ups []*upstream
+	// assign[shard] lists the replica indices holding the shard, in
+	// placement order; rr rotates the starting replica per sub-request so
+	// a replication group shares its load.
+	assign [][]int
+	rr     atomic.Uint64
+
+	mux         *http.ServeMux
+	counters    map[string]*endpointCounters
+	pairsServed atomic.Uint64
+}
+
+// PlanPlacement assigns shards to replicas balanced by shard bytes:
+// shards in decreasing byte order (ties to the lower id) each go to the
+// replication least-loaded replicas (ties to the lower index). The
+// result maps shard id to its replica indices and is deterministic in
+// its inputs. Replication is clamped to the replica count.
+func PlanPlacement(shardBytes []int64, replicas, replication int) [][]int {
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > replicas {
+		replication = replicas
+	}
+	order := make([]int, len(shardBytes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if shardBytes[order[a]] != shardBytes[order[b]] {
+			return shardBytes[order[a]] > shardBytes[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	load := make([]int64, replicas)
+	assign := make([][]int, len(shardBytes))
+	ranked := make([]int, replicas)
+	for _, id := range order {
+		for i := range ranked {
+			ranked[i] = i
+		}
+		sort.SliceStable(ranked, func(a, b int) bool {
+			if load[ranked[a]] != load[ranked[b]] {
+				return load[ranked[a]] < load[ranked[b]]
+			}
+			return ranked[a] < ranked[b]
+		})
+		for _, rep := range ranked[:replication] {
+			assign[id] = append(assign[id], rep)
+			load[rep] += shardBytes[id]
+		}
+	}
+	return assign
+}
+
+// NewProxy builds the fan-out tier over a loaded manifest and the base
+// URLs of its replicas. Every replica's /v1/healthz is verified before
+// any traffic: it must report the manifest's scheme kind, digest, fault
+// bound and graph shape, so a replica serving a foreign or incompatible
+// build is rejected at startup rather than corrupting merged answers.
+func NewProxy(ctx context.Context, m *ftrouting.Manifest, replicas []string, opts ProxyOptions) (*Proxy, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("serve: proxy needs at least one replica")
+	}
+	if opts.Replication == 0 {
+		opts.Replication = 1
+	}
+	if opts.Replication < 1 || opts.Replication > len(replicas) {
+		return nil, fmt.Errorf("serve: replication factor %d needs 1..%d (the replica count)",
+			opts.Replication, len(replicas))
+	}
+	if opts.MaxRequestBytes == 0 {
+		opts.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if opts.MaxRequestBytes < 0 {
+		return nil, fmt.Errorf("serve: MaxRequestBytes must be positive, got %d", opts.MaxRequestBytes)
+	}
+	p := &Proxy{
+		m:      m,
+		kind:   m.Kind(),
+		digest: fmt.Sprintf("%08x", m.Digest()),
+		opts:   opts,
+	}
+	for _, base := range replicas {
+		p.ups = append(p.ups, &upstream{client: api.NewClient(base, opts.HTTPClient)})
+	}
+	for i, u := range p.ups {
+		if err := p.verifyReplica(ctx, u.client); err != nil {
+			return nil, fmt.Errorf("serve: replica %d (%s): %w", i, u.client.BaseURL(), err)
+		}
+	}
+	bytes := make([]int64, m.NumShards())
+	for id := range bytes {
+		bytes[id] = m.ShardBytes(id)
+	}
+	p.assign = PlanPlacement(bytes, len(replicas), opts.Replication)
+	for id, reps := range p.assign {
+		for _, rep := range reps {
+			p.ups[rep].shards = append(p.ups[rep].shards, id)
+		}
+	}
+	p.initMux()
+	return p, nil
+}
+
+// verifyReplica checks one upstream's /v1/healthz against the manifest.
+func (p *Proxy) verifyReplica(ctx context.Context, c *api.Client) error {
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		return err
+	}
+	switch {
+	case h.Status != "ok":
+		return fmt.Errorf("reports status %q", h.Status)
+	case h.Kind != p.kind:
+		return fmt.Errorf("serves a %s scheme; the manifest holds a %s scheme", h.Kind, p.kind)
+	case h.Digest != p.digest:
+		return fmt.Errorf("serves scheme digest %s; the manifest's digest is %s (foreign build)",
+			h.Digest, p.digest)
+	case h.FaultBound != p.m.FaultBound():
+		return fmt.Errorf("reports fault bound %d; the manifest's bound is %d", h.FaultBound, p.m.FaultBound())
+	case h.Vertices != p.m.Graph().N() || h.Edges != p.m.Graph().M():
+		return fmt.Errorf("reports a %d-vertex %d-edge graph; the manifest records %d vertices, %d edges",
+			h.Vertices, h.Edges, p.m.Graph().N(), p.m.Graph().M())
+	}
+	return nil
+}
+
+// initMux installs the /v1 endpoint handlers, mirroring Server.initMux.
+func (p *Proxy) initMux() {
+	p.counters = make(map[string]*endpointCounters)
+	p.mux = http.NewServeMux()
+	for name := range queryEndpoints {
+		name := name
+		p.counters[name] = &endpointCounters{}
+		p.mux.HandleFunc("/v1/"+name, func(w http.ResponseWriter, r *http.Request) {
+			c := p.counters[name]
+			c.requests.Add(1)
+			if e := p.answerQuery(w, r, name); e != nil {
+				c.errors.Add(1)
+				writeError(w, e)
+			}
+		})
+	}
+	for name, h := range map[string]func(http.ResponseWriter, *http.Request) error{
+		"healthz": p.handleHealthz,
+		"stats":   p.handleStats,
+	} {
+		name, h := name, h
+		p.counters[name] = &endpointCounters{}
+		p.mux.HandleFunc("/v1/"+name, func(w http.ResponseWriter, r *http.Request) {
+			c := p.counters[name]
+			c.requests.Add(1)
+			if err := h(w, r); err != nil {
+				c.errors.Add(1)
+			}
+		})
+	}
+	p.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, errorf(http.StatusNotFound, codeNotFound, "no such endpoint %s", r.URL.Path))
+	})
+}
+
+// Kind returns the fronted scheme kind: "conn", "dist" or "router".
+func (p *Proxy) Kind() string { return p.kind }
+
+// Placement returns each replica's assigned shard ids, in replica order.
+func (p *Proxy) Placement() [][]int {
+	out := make([][]int, len(p.ups))
+	for i, u := range p.ups {
+		out[i] = append([]int(nil), u.shards...)
+	}
+	return out
+}
+
+// ServeHTTP dispatches to the /v1 endpoint handlers.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mux.ServeHTTP(w, r)
+}
+
+// subAnswer is one sub-batch's outcome: exactly one of the per-endpoint
+// result slices (matching the sub-batch's pairs) or a remapped error.
+type subAnswer struct {
+	conn  []bool
+	est   []int64
+	route []api.RouteResult
+	err   *apiError
+}
+
+// answerQuery is the proxy's query pipeline, mirroring the Server's
+// stage for stage so every error a single daemon would produce is
+// reproduced byte-identically: method and endpoint-kind checks, request
+// decoding, the batch API's empty-batch shortcut, global fault
+// validation and per-pair vertex checks via the manifest's plan — all
+// before any replica sees a byte. Only validation-clean sub-batches fan
+// out.
+func (p *Proxy) answerQuery(w http.ResponseWriter, r *http.Request, name string) *apiError {
+	if r.Method != http.MethodPost {
+		return errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			"/v1/%s accepts POST, not %s", name, r.Method)
+	}
+	if want := queryEndpoints[name]; want != p.kind {
+		return errorf(http.StatusNotFound, codeUnsupported,
+			"/v1/%s serves %s schemes; this server holds a %s scheme", name, want, p.kind)
+	}
+	req, e := decodeQueryRequest(r.Body, p.opts.MaxRequestBytes)
+	if e != nil {
+		return e
+	}
+	batch := req.Batch()
+	if len(batch.Pairs) == 0 {
+		writeJSON(w, emptyPayload(name))
+		return nil
+	}
+	// Plan over the canonical fault set — the form every tier validates
+	// and prepares — and forward that same canonical list upstream, so a
+	// replica's own plan derives the identical per-shard restriction and
+	// global distinct-fault count (which distance estimates need and a
+	// shard-restricted list could not reconstruct).
+	canon := ftrouting.CanonicalFaults(batch.Faults)
+	plan, err := p.m.PlanBatch(ftrouting.QueryBatch{Pairs: batch.Pairs, Faults: canon})
+	if err != nil {
+		return fromBatchError(err)
+	}
+	if err := plan.FirstPairError(); err != nil {
+		return fromBatchError(err)
+	}
+	subs := plan.SubBatches()
+	answers := make([]subAnswer, len(subs))
+	parallel.ForEach(p.opts.Parallelism, len(subs), func(i int) error {
+		answers[i] = p.forwardSub(r.Context(), name, canon, subs[i])
+		return nil // errors merge below, under batch-order precedence
+	})
+	if e := pickSubError(subs, answers); e != nil {
+		return e
+	}
+	payload, e := p.mergeAnswers(name, plan, subs, answers)
+	if e != nil {
+		return e
+	}
+	p.pairsServed.Add(uint64(len(batch.Pairs)))
+	writeJSON(w, payload)
+	return nil
+}
+
+// forwardSub sends one sub-batch to the replicas assigned to its shard,
+// starting at a rotating offset so a replication group shares load, and
+// failing over on transport errors. A structured rejection from a
+// replica that answered is authoritative — the request reached a healthy
+// server and was refused — so it is returned (remapped to batch indices)
+// rather than retried. When every assigned replica fails at the
+// transport level the sub-batch reports the typed upstream-failure
+// envelope.
+func (p *Proxy) forwardSub(ctx context.Context, name string, canon []ftrouting.EdgeID, sub ftrouting.SubBatch) subAnswer {
+	req := api.FromBatch(ftrouting.QueryBatch{Pairs: sub.Pairs, Faults: canon})
+	reps := p.assign[sub.Shard]
+	start := int(p.rr.Add(1)-1) % len(reps)
+	var lastErr error
+	for i := 0; i < len(reps); i++ {
+		u := p.ups[reps[(start+i)%len(reps)]]
+		u.requests.Add(1)
+		var ans subAnswer
+		var err error
+		switch name {
+		case "connected":
+			ans.conn, err = u.client.Connected(ctx, req)
+		case "estimate":
+			ans.est, err = u.client.Estimate(ctx, req)
+		case "route":
+			ans.route, err = u.client.Route(ctx, req)
+		default:
+			ans.route, err = u.client.RouteForbidden(ctx, req)
+		}
+		if err == nil {
+			return ans
+		}
+		if ce, ok := err.(*api.Error); ok {
+			u.errors.Add(1)
+			return subAnswer{err: remapSubError(ce, sub)}
+		}
+		u.failures.Add(1)
+		lastErr = err
+	}
+	return subAnswer{err: errorf(http.StatusBadGateway, codeUpstream,
+		"shard %d: every assigned replica failed: %v", sub.Shard, lastErr)}
+}
+
+// remapSubError rewrites a replica's sub-batch-scoped error onto the
+// original batch: the pair index (and the "batch pair N:" message
+// prefix) translate through the sub-batch's index map; unscoped errors
+// pass through untouched.
+func remapSubError(ce *api.Error, sub ftrouting.SubBatch) *apiError {
+	e := fromClientError(ce)
+	if e.pair < 0 || e.pair >= len(sub.Indices) {
+		return e
+	}
+	local := e.pair
+	e.pair = sub.Indices[local]
+	if suffix, ok := strings.CutPrefix(e.msg, fmt.Sprintf("batch pair %d: ", local)); ok {
+		e.msg = fmt.Sprintf("batch pair %d: %s", e.pair, suffix)
+	}
+	return e
+}
+
+// pickSubError selects the error to surface when sub-batches failed,
+// mirroring a single daemon's precedence as closely as the fan-out
+// allows: an unscoped structured rejection first (a monolithic server
+// surfaces those before any pair runs), then the pair-scoped rejection
+// with the lowest batch index (the fan-out's lowest-index rule), then —
+// with no authoritative answer to prefer — the upstream failure of the
+// lowest shard id.
+func pickSubError(subs []ftrouting.SubBatch, answers []subAnswer) *apiError {
+	var unscoped, scoped, upstreamE *apiError
+	for i := range answers {
+		e := answers[i].err
+		if e == nil {
+			continue
+		}
+		switch {
+		case e.code == codeUpstream:
+			if upstreamE == nil {
+				upstreamE = e
+			}
+		case e.pair >= 0:
+			if scoped == nil || e.pair < scoped.pair {
+				scoped = e
+			}
+		default:
+			if unscoped == nil {
+				unscoped = e
+			}
+		}
+	}
+	if unscoped != nil {
+		return unscoped
+	}
+	if scoped != nil {
+		return scoped
+	}
+	return upstreamE
+}
+
+// mergeAnswers scatters the sub-batch results back into pair order and
+// answers the plan's trivial (cross-component) pairs from the directory:
+// never connected, Unreachable, or the trivial route simulation —
+// exactly the values a single daemon computes for them.
+func (p *Proxy) mergeAnswers(name string, plan *ftrouting.BatchPlan, subs []ftrouting.SubBatch, answers []subAnswer) (any, *apiError) {
+	n := plan.NumPairs()
+	badLen := func(sub ftrouting.SubBatch, got int) *apiError {
+		return errorf(http.StatusInternalServerError, codeInternal,
+			"shard %d: replica answered %d results for %d pairs", sub.Shard, got, len(sub.Pairs))
+	}
+	switch name {
+	case "connected":
+		out := make([]bool, n)
+		for i, sub := range subs {
+			if len(answers[i].conn) != len(sub.Pairs) {
+				return nil, badLen(sub, len(answers[i].conn))
+			}
+			for j, idx := range sub.Indices {
+				out[idx] = answers[i].conn[j]
+			}
+		}
+		// Trivial pairs stay false: different components never connect.
+		return ConnectedResponse{Results: out}, nil
+	case "estimate":
+		out := make([]int64, n)
+		for i, sub := range subs {
+			if len(answers[i].est) != len(sub.Pairs) {
+				return nil, badLen(sub, len(answers[i].est))
+			}
+			for j, idx := range sub.Indices {
+				out[idx] = answers[i].est[j]
+			}
+		}
+		for _, idx := range plan.TrivialPairs() {
+			out[idx] = ftrouting.Unreachable
+		}
+		return EstimateResponse{Estimates: out}, nil
+	default: // route, route-forbidden
+		out := make([]RouteResult, n)
+		for i, sub := range subs {
+			if len(answers[i].route) != len(sub.Pairs) {
+				return nil, badLen(sub, len(answers[i].route))
+			}
+			for j, idx := range sub.Indices {
+				out[idx] = answers[i].route[j]
+			}
+		}
+		for _, idx := range plan.TrivialPairs() {
+			out[idx] = fromRouteResult(ftrouting.TrivialRouteResult(plan.Pair(idx)))
+		}
+		return RouteResponse{Results: out}, nil
+	}
+}
+
+// Stats snapshots the proxy's counters: endpoint traffic, pairs served,
+// and one upstream row per replica. The cache blocks stay zero — the
+// proxy holds no labels and prepares no fault contexts.
+func (p *Proxy) Stats() StatsResponse {
+	resp := StatsResponse{
+		Kind:        p.kind,
+		Endpoints:   make(map[string]EndpointStats, len(p.counters)),
+		PairsServed: p.pairsServed.Load(),
+	}
+	for name, c := range p.counters {
+		resp.Endpoints[name] = EndpointStats{Requests: c.requests.Load(), Errors: c.errors.Load()}
+	}
+	for _, u := range p.ups {
+		resp.Upstreams = append(resp.Upstreams, UpstreamStats{
+			Replica:  u.client.BaseURL(),
+			Shards:   append([]int(nil), u.shards...),
+			Requests: u.requests.Load(),
+			Errors:   u.errors.Load(),
+			Failures: u.failures.Load(),
+		})
+	}
+	return resp
+}
+
+// handleHealthz answers GET /v1/healthz with the fronted scheme's facts
+// plus the proxy's replica count.
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		e := errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			"/v1/healthz accepts GET, not %s", r.Method)
+		writeError(w, e)
+		return e
+	}
+	writeJSON(w, HealthResponse{
+		Status:      "ok",
+		Kind:        p.kind,
+		Vertices:    p.m.Graph().N(),
+		Edges:       p.m.Graph().M(),
+		FaultBound:  p.m.FaultBound(),
+		Unreachable: ftrouting.Unreachable,
+		Digest:      p.digest,
+		Components:  p.m.NumComponents(),
+		Shards:      p.m.NumShards(),
+		Replicas:    len(p.ups),
+	})
+	return nil
+}
+
+// handleStats answers GET /v1/stats.
+func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		e := errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			"/v1/stats accepts GET, not %s", r.Method)
+		writeError(w, e)
+		return e
+	}
+	writeJSON(w, p.Stats())
+	return nil
+}

@@ -86,6 +86,7 @@ type Server struct {
 	router *ftrouting.Router
 	g      *ftrouting.Graph
 	bound  int
+	digest uint32
 
 	// Sharded mode: manifest plus the two-level cache (shard -> fault
 	// context); nil for monolithic servers.
@@ -142,6 +143,9 @@ func New(scheme any, opts Options) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("serve: unsupported scheme type %T", scheme)
 	}
+	if s.digest, err = ftrouting.SchemeDigest(scheme); err != nil {
+		return nil, err
+	}
 	s.initMux()
 	return s, nil
 }
@@ -163,6 +167,7 @@ func NewSharded(m *ftrouting.Manifest, opts Options) (*Server, error) {
 		kind:     m.Kind(),
 		g:        m.Graph(),
 		bound:    m.FaultBound(),
+		digest:   m.Digest(),
 		manifest: m,
 		shards:   newShardCache(m, opts.ShardBudgetBytes, opts.ContextCacheSize),
 	}
@@ -261,7 +266,7 @@ func (s *Server) answerQuery(w http.ResponseWriter, r *http.Request, name string
 	if e != nil {
 		return e
 	}
-	batch := req.batch()
+	batch := req.Batch()
 	// Mirror the batch API: an empty pair list returns empty results
 	// without touching (or even validating) the fault set.
 	if len(batch.Pairs) == 0 {
@@ -434,6 +439,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		Edges:       s.g.M(),
 		FaultBound:  s.bound,
 		Unreachable: ftrouting.Unreachable,
+		Digest:      fmt.Sprintf("%08x", s.digest),
 	}
 	if s.manifest != nil {
 		resp.Components = s.manifest.NumComponents()

@@ -7,7 +7,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,6 +19,7 @@ import (
 	"testing"
 
 	"ftrouting"
+	"ftrouting/serve/api"
 )
 
 // connMatrix mirrors the root package's connectivity generator matrix:
@@ -388,26 +391,17 @@ func TestServeHealthzAndStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := startServer(t, labels, Options{})
+	client := api.NewClient(ts.URL, nil)
+	ctx := context.Background()
 
-	get := func(path string, v any) {
-		t.Helper()
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		data, _ := io.ReadAll(resp.Body)
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, data)
-		}
-		decodeInto(t, data, v)
+	health, err := client.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	var health HealthResponse
-	get("/v1/healthz", &health)
 	if health.Status != "ok" || health.Kind != "dist" ||
 		health.Vertices != g.N() || health.Edges != g.M() ||
-		health.FaultBound != 2 || health.Unreachable != ftrouting.Unreachable {
+		health.FaultBound != 2 || health.Unreachable != ftrouting.Unreachable ||
+		health.Digest == "" {
 		t.Fatalf("healthz = %+v", health)
 	}
 
@@ -415,13 +409,18 @@ func TestServeHealthzAndStats(t *testing.T) {
 	// misses, 3 requests, pairs accounted.
 	pairs := servePairs(g.N())
 	for _, faults := range [][]ftrouting.EdgeID{{0}, {0}, {1}} {
-		status, body := postJSON(t, ts.URL+"/v1/estimate", QueryRequest{Pairs: pairs, Faults: faults})
-		if status != http.StatusOK {
-			t.Fatalf("status %d: %s", status, body)
+		ests, err := client.Estimate(ctx, &api.QueryRequest{Pairs: pairs, Faults: faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ests) != len(pairs) {
+			t.Fatalf("got %d estimates for %d pairs", len(ests), len(pairs))
 		}
 	}
-	var stats StatsResponse
-	get("/v1/stats", &stats)
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Kind != "dist" {
 		t.Fatalf("stats kind %q", stats.Kind)
 	}
@@ -439,12 +438,19 @@ func TestServeHealthzAndStats(t *testing.T) {
 		t.Fatalf("cache capacity %d", stats.Cache.Capacity)
 	}
 
-	// Errors tick the endpoint's error counter.
-	status, _ := postJSON(t, ts.URL+"/v1/estimate", QueryRequest{Pairs: [][2]int32{{0, 99}}})
-	if status != http.StatusBadRequest {
-		t.Fatalf("bad pair: status %d", status)
+	// Errors come back from the typed client as *api.Error carrying the
+	// decoded envelope, and tick the endpoint's error counter.
+	_, err = client.Estimate(ctx, &api.QueryRequest{Pairs: [][2]int32{{0, 99}}})
+	var ce *api.Error
+	if !errors.As(err, &ce) || ce.Status != http.StatusBadRequest ||
+		ce.Info.Code != string(ftrouting.CodeVertexRange) ||
+		ce.Info.PairIndex == nil || *ce.Info.PairIndex != 0 {
+		t.Fatalf("bad pair: err = %v", err)
 	}
-	get("/v1/stats", &stats)
+	stats, err = client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ep := stats.Endpoints["estimate"]; ep.Requests != 4 || ep.Errors != 1 {
 		t.Fatalf("after error: estimate counters = %+v", ep)
 	}

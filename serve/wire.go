@@ -1,10 +1,10 @@
 package serve
 
-// Wire types of the HTTP/JSON API. Requests and responses mirror the
-// batch API of the root package exactly: a request is one QueryBatch
-// (pairs + fault set), a response carries the batch results in pair
-// order, and errors round-trip the batch API's machine-readable codes and
-// pair indices in a structured envelope instead of formatted text.
+// The wire types of the HTTP/JSON API live in the importable serve/api
+// package, shared verbatim by every tier (monolithic daemon, shard
+// replica, fan-out proxy) and by clients. This file aliases them into
+// the serve namespace and keeps the server-side helpers: the internal
+// error carrier, request decoding and response rendering.
 
 import (
 	"encoding/json"
@@ -14,178 +14,42 @@ import (
 	"net/http"
 
 	"ftrouting"
+	"ftrouting/serve/api"
 )
 
-// QueryRequest is the body of every query endpoint: a pair list and one
-// fault set, the wire form of ftrouting.QueryBatch. Duplicate fault ids
-// count once toward the fault bound; duplicate pairs are answered
-// independently.
-type QueryRequest struct {
-	// Pairs lists the (source, target) queries as two-element arrays.
-	Pairs [][2]int32 `json:"pairs"`
-	// Faults lists the failed edge ids; order and duplication are
-	// irrelevant (results depend only on the fault set).
-	Faults []ftrouting.EdgeID `json:"faults,omitempty"`
-}
-
-// batch converts the request to the root package's batch form.
-func (q *QueryRequest) batch() ftrouting.QueryBatch {
-	pairs := make([]ftrouting.Pair, len(q.Pairs))
-	for i, p := range q.Pairs {
-		pairs[i] = ftrouting.Pair{S: p[0], T: p[1]}
-	}
-	return ftrouting.QueryBatch{Pairs: pairs, Faults: q.Faults}
-}
-
-// ConnectedResponse answers /v1/connected: one bool per pair, in order.
-type ConnectedResponse struct {
-	Results []bool `json:"results"`
-}
-
-// EstimateResponse answers /v1/estimate: one estimate per pair, in order.
-// Disconnected pairs carry the Unreachable sentinel from /v1/healthz.
-type EstimateResponse struct {
-	Estimates []int64 `json:"estimates"`
-}
-
-// RouteResult is the wire form of ftrouting.RouteResult, field for field.
-type RouteResult struct {
-	Reached       bool    `json:"reached"`
-	Cost          int64   `json:"cost"`
-	Opt           int64   `json:"opt"`
-	Stretch       float64 `json:"stretch"`
-	Hops          int     `json:"hops"`
-	Probes        int     `json:"probes"`
-	Detections    int     `json:"detections"`
-	Phases        int     `json:"phases"`
-	Iterations    int     `json:"iterations"`
-	MaxHeaderBits int     `json:"max_header_bits"`
-	ProbeCost     int64   `json:"probe_cost"`
-	Trace         []int32 `json:"trace,omitempty"`
-}
-
-// fromRouteResult converts a simulation result to its wire form.
-func fromRouteResult(r ftrouting.RouteResult) RouteResult {
-	return RouteResult{
-		Reached:       r.Reached,
-		Cost:          r.Cost,
-		Opt:           r.Opt,
-		Stretch:       r.Stretch,
-		Hops:          r.Hops,
-		Probes:        r.Probes,
-		Detections:    r.Detections,
-		Phases:        r.Phases,
-		Iterations:    r.Iterations,
-		MaxHeaderBits: r.MaxHeaderBits,
-		ProbeCost:     r.ProbeCost,
-		Trace:         r.Trace,
-	}
-}
-
-// RouteResponse answers /v1/route and /v1/route-forbidden.
-type RouteResponse struct {
-	Results []RouteResult `json:"results"`
-}
-
-// HealthResponse answers /v1/healthz: static facts about the loaded
-// scheme a client needs to form valid requests.
-type HealthResponse struct {
-	Status string `json:"status"`
-	// Kind is the loaded scheme kind: conn, dist or router.
-	Kind     string `json:"kind"`
-	Vertices int    `json:"vertices"`
-	Edges    int    `json:"edges"`
-	// FaultBound is the scheme's f; -1 means unbounded (sketch labels).
-	FaultBound int `json:"fault_bound"`
-	// Unreachable is the estimate value of disconnected pairs.
-	Unreachable int64 `json:"unreachable"`
-	// Components and Shards describe a sharded server's manifest; both are
-	// omitted by monolithic servers.
-	Components int `json:"components,omitempty"`
-	Shards     int `json:"shards,omitempty"`
-}
-
-// EndpointStats counts one endpoint's traffic.
-type EndpointStats struct {
-	Requests uint64 `json:"requests"`
-	Errors   uint64 `json:"errors"`
-}
-
-// CacheStats reports the prepared-fault-context cache counters. Every
-// lookup is exactly one hit or one miss, so Hits+Misses equals the number
-// of non-empty query requests that reached fault preparation.
-type CacheStats struct {
-	Capacity  int    `json:"capacity"`
-	Size      int    `json:"size"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-}
-
-// ShardEntryStats reports one shard's lifetime counters (kept across
-// evictions) and current residency.
-type ShardEntryStats struct {
-	ID       int   `json:"id"`
-	Resident bool  `json:"resident"`
-	Bytes    int64 `json:"bytes"`
-	// Loads and Evictions count this shard's cache entries and exits.
-	Loads     uint64 `json:"loads"`
-	Evictions uint64 `json:"evictions"`
-	// ContextHits/ContextMisses count the shard's prepared-fault-context
-	// lookups; Contexts is the live context count (0 when not resident).
-	ContextHits   uint64 `json:"context_hits"`
-	ContextMisses uint64 `json:"context_misses"`
-	Contexts      int    `json:"contexts"`
-}
-
-// ShardCacheStats reports the resident-shard cache of a sharded server:
-// the memory budget, the resident set, and one row per shard.
-type ShardCacheStats struct {
-	BudgetBytes    int64             `json:"budget_bytes"`
-	ResidentBytes  int64             `json:"resident_bytes"`
-	ResidentShards int               `json:"resident_shards"`
-	TotalShards    int               `json:"total_shards"`
-	Loads          uint64            `json:"loads"`
-	Evictions      uint64            `json:"evictions"`
-	Shards         []ShardEntryStats `json:"shards"`
-}
-
-// StatsResponse answers /v1/stats. For sharded servers Cache aggregates
-// every shard's prepared-fault-context counters and Shards breaks the
-// resident-shard cache out per shard; monolithic servers omit Shards.
-type StatsResponse struct {
-	Kind        string                   `json:"kind"`
-	Endpoints   map[string]EndpointStats `json:"endpoints"`
-	PairsServed uint64                   `json:"pairs_served"`
-	Cache       CacheStats               `json:"cache"`
-	Shards      *ShardCacheStats         `json:"shards,omitempty"`
-}
-
-// ErrorInfo is the structured error payload: a stable machine-readable
-// code (the ftrouting.ErrorCode values plus the transport-level codes
-// below), the human-readable message, and the failing pair index when the
-// error is scoped to one pair of the batch.
-type ErrorInfo struct {
-	Code      string `json:"code"`
-	Message   string `json:"message"`
-	PairIndex *int   `json:"pair_index,omitempty"`
-}
-
-// ErrorBody is the envelope of every non-2xx response.
-type ErrorBody struct {
-	Error ErrorInfo `json:"error"`
-}
+// Aliases of the shared wire types (see package serve/api for the
+// contract each carries).
+type (
+	QueryRequest      = api.QueryRequest
+	ConnectedResponse = api.ConnectedResponse
+	EstimateResponse  = api.EstimateResponse
+	RouteResult       = api.RouteResult
+	RouteResponse     = api.RouteResponse
+	HealthResponse    = api.HealthResponse
+	EndpointStats     = api.EndpointStats
+	CacheStats        = api.CacheStats
+	ShardEntryStats   = api.ShardEntryStats
+	ShardCacheStats   = api.ShardCacheStats
+	UpstreamStats     = api.UpstreamStats
+	StatsResponse     = api.StatsResponse
+	ErrorInfo         = api.ErrorInfo
+	ErrorBody         = api.ErrorBody
+)
 
 // Transport-level error codes (validation failures reuse the stable
 // ftrouting.ErrorCode values verbatim).
 const (
-	codeBadRequest       = "bad_request"
-	codeRequestTooLarge  = "request_too_large"
-	codeMethodNotAllowed = "method_not_allowed"
-	codeNotFound         = "not_found"
-	codeUnsupported      = "unsupported_endpoint"
-	codeInternal         = string(ftrouting.CodeInternal)
+	codeBadRequest       = api.CodeBadRequest
+	codeRequestTooLarge  = api.CodeRequestTooLarge
+	codeMethodNotAllowed = api.CodeMethodNotAllowed
+	codeNotFound         = api.CodeNotFound
+	codeUnsupported      = api.CodeUnsupported
+	codeInternal         = api.CodeInternal
+	codeUpstream         = api.CodeUpstream
 )
+
+// fromRouteResult converts a simulation result to its wire form.
+func fromRouteResult(r ftrouting.RouteResult) RouteResult { return api.FromRouteResult(r) }
 
 // apiError pairs an HTTP status with the structured error payload.
 type apiError struct {
@@ -211,6 +75,17 @@ func fromBatchError(err error) *apiError {
 		status = http.StatusInternalServerError
 	}
 	return &apiError{status: status, code: string(code), msg: err.Error(), pair: ftrouting.PairIndexOf(err)}
+}
+
+// fromClientError maps an api.Error a replica answered with back onto an
+// apiError, preserving status, code, message and pair scope — the proxy's
+// passthrough of an authoritative upstream rejection.
+func fromClientError(e *api.Error) *apiError {
+	pair := -1
+	if e.Info.PairIndex != nil {
+		pair = *e.Info.PairIndex
+	}
+	return &apiError{status: e.Status, code: e.Info.Code, msg: e.Info.Message, pair: pair}
 }
 
 // decodeQueryRequest parses a request body of at most maxBytes bytes.

@@ -246,6 +246,64 @@ func schemeDigest(kind codec.Kind, writeParams func(*codec.Writer), g *Graph) (u
 	return w.Checksum(), nil
 }
 
+// connParamsWriter encodes the connectivity parameter prefix — the one
+// encoding shared by monolithic files, manifests and the scheme digest.
+func connParamsWriter(scheme ConnSchemeKind, maxFaults int, seed uint64) func(*codec.Writer) {
+	return func(w *codec.Writer) {
+		w.U16(uint16(scheme))
+		w.I32(int32(maxFaults))
+		w.U64(seed)
+	}
+}
+
+// hierParamsWriter encodes the dist/router parameter prefix (balanced is
+// written for routers only).
+func hierParamsWriter(kind codec.Kind, f, k int, seed uint64, params sketch.Params, balanced bool) func(*codec.Writer) {
+	return func(w *codec.Writer) {
+		w.I32(int32(f))
+		w.I32(int32(k))
+		w.U64(seed)
+		w.I32(int32(params.Units))
+		w.I32(int32(params.Levels))
+		if kind == codec.KindRouter {
+			w.Bool(balanced)
+		}
+	}
+}
+
+// Digest returns the scheme digest binding the manifest, its shards and
+// any serving tier over them: the CRC32-C of the scheme kind, parameters
+// and global topology. Every artifact of one build — the manifest, a
+// monolithic file of the same scheme (SchemeDigest), every replica's
+// /v1/healthz — reports the same digest, so a fan-out tier can reject an
+// upstream serving a foreign or incompatible build before taking traffic.
+func (m *Manifest) Digest() uint32 { return m.digest }
+
+// SchemeDigest computes the digest of a loaded scheme — the same value
+// the manifest of a sharded split of that scheme records (Digest), since
+// both hash the identical kind/parameter/topology encoding. Serving
+// tiers report it from /v1/healthz whether they hold the whole scheme or
+// a manifest, which is what lets a proxy front monolithic daemons,
+// shard-affine replicas and other proxies interchangeably.
+func SchemeDigest(scheme any) (uint32, error) {
+	switch v := scheme.(type) {
+	case *ConnLabels:
+		return schemeDigest(codec.KindConnLabels,
+			connParamsWriter(v.opts.Scheme, v.opts.MaxFaults, v.opts.Seed), v.g)
+	case *DistLabels:
+		s := v.inner
+		o := s.Options()
+		return schemeDigest(codec.KindDistLabels,
+			hierParamsWriter(codec.KindDistLabels, s.F(), s.K(), o.Seed, o.Params, false), s.Graph())
+	case *Router:
+		r := v.inner
+		o := r.Options()
+		return schemeDigest(codec.KindRouter,
+			hierParamsWriter(codec.KindRouter, r.F(), r.K(), o.Seed, o.Params, o.Balanced), r.Graph())
+	}
+	return 0, fmt.Errorf("ftrouting: unsupported scheme type %T", scheme)
+}
+
 // componentStats tallies per-component vertex and edge counts from a
 // directory.
 func componentStats(g *Graph, comp []int32, ncomp int) (verts, edges []int) {
@@ -359,11 +417,7 @@ func (m *Manifest) writeManifestFile(dir string, writeParams func(*codec.Writer)
 func SaveShardedConn(dir string, c *ConnLabels, opts ShardOptions) (*Manifest, error) {
 	m := manifestSkeleton(codec.KindConnLabels, c.g, c.comp, len(c.subs), opts)
 	m.connScheme, m.maxFaults, m.seed = c.opts.Scheme, c.opts.MaxFaults, c.opts.Seed
-	writeParams := func(w *codec.Writer) {
-		w.U16(uint16(c.opts.Scheme))
-		w.I32(int32(c.opts.MaxFaults))
-		w.U64(c.opts.Seed)
-	}
+	writeParams := connParamsWriter(c.opts.Scheme, c.opts.MaxFaults, c.opts.Seed)
 	var err error
 	if m.digest, err = schemeDigest(m.kind, writeParams, c.g); err != nil {
 		return nil, err
@@ -436,13 +490,7 @@ func SaveShardedDist(dir string, d *DistLabels, opts ShardOptions) (*Manifest, e
 	for _, cover := range hier.Scales {
 		m.clusterCounts = append(m.clusterCounts, len(cover.Clusters))
 	}
-	writeParams := func(w *codec.Writer) {
-		w.I32(int32(m.f))
-		w.I32(int32(m.k))
-		w.U64(m.seed)
-		w.I32(int32(m.params.Units))
-		w.I32(int32(m.params.Levels))
-	}
+	writeParams := hierParamsWriter(m.kind, m.f, m.k, m.seed, m.params, false)
 	var err error
 	if m.digest, err = schemeDigest(m.kind, writeParams, m.g); err != nil {
 		return nil, err
@@ -474,14 +522,7 @@ func SaveShardedRouter(dir string, r *Router, opts ShardOptions) (*Manifest, err
 	for _, cover := range hier.Scales {
 		m.clusterCounts = append(m.clusterCounts, len(cover.Clusters))
 	}
-	writeParams := func(w *codec.Writer) {
-		w.I32(int32(m.f))
-		w.I32(int32(m.k))
-		w.U64(m.seed)
-		w.I32(int32(m.params.Units))
-		w.I32(int32(m.params.Levels))
-		w.Bool(m.balanced)
-	}
+	writeParams := hierParamsWriter(m.kind, m.f, m.k, m.seed, m.params, m.balanced)
 	var err error
 	if m.digest, err = schemeDigest(m.kind, writeParams, m.g); err != nil {
 		return nil, err
@@ -540,11 +581,7 @@ func ReadManifest(r io.Reader) (*Manifest, error) {
 			return nil, err
 		}
 		m.connScheme, m.maxFaults, m.seed = scheme, maxFaults, seed
-		writeParams = func(w *codec.Writer) {
-			w.U16(uint16(scheme))
-			w.I32(int32(maxFaults))
-			w.U64(seed)
-		}
+		writeParams = connParamsWriter(scheme, maxFaults, seed)
 	case codec.KindDistLabels, codec.KindRouter:
 		f, k, seed, params, err := readSchemeParams(cr)
 		if err != nil {
@@ -558,16 +595,7 @@ func ReadManifest(r io.Reader) (*Manifest, error) {
 			}
 		}
 		m.f, m.k, m.seed, m.params, m.balanced = f, k, seed, params, balanced
-		writeParams = func(w *codec.Writer) {
-			w.I32(int32(f))
-			w.I32(int32(k))
-			w.U64(seed)
-			w.I32(int32(params.Units))
-			w.I32(int32(params.Levels))
-			if kind == codec.KindRouter {
-				w.Bool(balanced)
-			}
-		}
+		writeParams = hierParamsWriter(kind, f, k, seed, params, balanced)
 	default:
 		return nil, fmt.Errorf("%w: manifest holds unknown scheme kind %d", codec.ErrCorrupt, kind)
 	}
