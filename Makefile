@@ -5,10 +5,10 @@ GO ?= go
 FUZZTIME ?= 10s
 # bench-compare: revision to diff benchmarks against, and the counts/gate
 # the CI job uses. The Serve pattern covers BenchmarkServe* and
-# BenchmarkServeSharded* alike.
+# BenchmarkServeSharded* alike; Obs covers the internal/obs instruments.
 BASE ?= main
 BENCHCOUNT ?= 5
-BENCHFILTER ?= Query|Decode|Routing|Serve
+BENCHFILTER ?= Query|Decode|Routing|Serve|Obs
 BENCHTHRESHOLD ?= 25
 
 # Every decoder has a FuzzUnmarshal*/FuzzDecode*/FuzzLoad* target; `make
@@ -33,7 +33,7 @@ FUZZ_TARGETS = \
 	.:FuzzManifest \
 	.:FuzzShard
 
-.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke shard-smoke proxy-smoke
+.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke shard-smoke proxy-smoke metrics-smoke
 
 all: build lint test
 
@@ -213,6 +213,61 @@ proxy-smoke:
 	wait $$mpid $$r1pid $$p1pid $$p2pid; \
 	cat "$$tmp/p1.log"; \
 	echo "proxy-smoke OK"
+
+# metrics-smoke proves the observability layer end to end on real
+# daemons: serve a sharded replica and a proxy with default
+# instrumentation, check a traced query's body is byte-identical to an
+# uninstrumented daemon's, scrape /metrics on both tiers and check the
+# exposition is well-formed (every sample line parses, the expected
+# families and terminal +Inf buckets exist), check the trace ID appears
+# in both tiers' JSON access logs, and check ?debug=timing is opt-in —
+# the same path the CI metrics-smoke job runs.
+metrics-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$bpid $$rpid $$ppid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/ftroute" ./cmd/ftroute; \
+	"$$tmp/ftroute" build -type conn -graph islands -n 40 -extra 60 -f 3 -out "$$tmp/scheme.ftlb"; \
+	"$$tmp/ftroute" shard -in "$$tmp/scheme.ftlb" -out-dir "$$tmp/shards"; \
+	"$$tmp/ftroute" serve -in "$$tmp/shards" -addr 127.0.0.1:0 -metrics=off -log-level off > "$$tmp/bare.log" 2>&1 & bpid=$$!; \
+	"$$tmp/ftroute" serve -in "$$tmp/shards" -addr 127.0.0.1:0 > "$$tmp/replica.log" 2> "$$tmp/replica.json" & rpid=$$!; \
+	baddr=""; raddr=""; \
+	for i in $$(seq 1 50); do \
+		baddr=$$(sed -n 's/^listening on //p' "$$tmp/bare.log"); \
+		raddr=$$(sed -n 's/^listening on //p' "$$tmp/replica.log"); \
+		[ -n "$$baddr" ] && [ -n "$$raddr" ] && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$baddr" ] && [ -n "$$raddr" ] || { echo "daemons never announced addresses" >&2; cat "$$tmp"/*.log >&2; exit 1; }; \
+	"$$tmp/ftroute" proxy -in "$$tmp/shards" -replicas "http://$$raddr" -addr 127.0.0.1:0 > "$$tmp/proxy.log" 2> "$$tmp/proxy.json" & ppid=$$!; \
+	paddr=""; \
+	for i in $$(seq 1 50); do \
+		paddr=$$(sed -n 's/^listening on //p' "$$tmp/proxy.log"); \
+		[ -n "$$paddr" ] && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$paddr" ] || { echo "proxy never announced an address" >&2; cat "$$tmp/proxy.log" >&2; exit 1; }; \
+	body='{"pairs":[[0,39],[0,41],[41,79],[80,119]],"faults":[1,2]}'; \
+	curl -sS -d "$$body" "http://$$baddr/v1/connected" > "$$tmp/bare.out"; \
+	curl -sS -H 'X-Ftroute-Trace: smoke-trace-1' -d "$$body" "http://$$paddr/v1/connected" > "$$tmp/instr.out"; \
+	cmp "$$tmp/bare.out" "$$tmp/instr.out" || { echo "instrumented body diverges from bare daemon" >&2; cat "$$tmp/bare.out" "$$tmp/instr.out" >&2; exit 1; }; \
+	grep -q '"timing"' "$$tmp/instr.out" && { echo "timing echo leaked without ?debug=timing" >&2; exit 1; }; \
+	curl -sS -H 'X-Ftroute-Trace: smoke-trace-2' -d "$$body" "http://$$paddr/v1/connected?debug=timing" | grep -q '"timing"' || { echo "?debug=timing echoed no timing block" >&2; exit 1; }; \
+	curl -fsS "http://$$raddr/metrics" > "$$tmp/replica.metrics"; \
+	curl -fsS "http://$$paddr/metrics" > "$$tmp/proxy.metrics"; \
+	for f in replica proxy; do \
+		awk '$$0 !~ /^#/ && $$0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9+.eE-]+$$/ { print "malformed sample: " $$0; bad = 1 } END { exit bad }' "$$tmp/$$f.metrics" || { echo "$$f /metrics exposition malformed" >&2; exit 1; }; \
+		grep -q '^# HELP ftroute_requests_total ' "$$tmp/$$f.metrics" || { echo "$$f /metrics missing ftroute_requests_total HELP" >&2; exit 1; }; \
+		grep -q '^# TYPE ftroute_request_seconds histogram$$' "$$tmp/$$f.metrics" || { echo "$$f /metrics missing request_seconds histogram TYPE" >&2; exit 1; }; \
+		grep -q 'le="+Inf"' "$$tmp/$$f.metrics" || { echo "$$f /metrics has no terminal +Inf bucket" >&2; exit 1; }; \
+	done; \
+	grep -q '^ftroute_shard_resident_bytes ' "$$tmp/replica.metrics" || { echo "replica /metrics missing shard_resident_bytes" >&2; exit 1; }; \
+	grep -q 'ftroute_upstream_seconds_count{replica=' "$$tmp/proxy.metrics" || { echo "proxy /metrics missing upstream_seconds" >&2; exit 1; }; \
+	grep -q '"trace":"smoke-trace-1"' "$$tmp/proxy.json" || { echo "proxy access log missing the client trace" >&2; cat "$$tmp/proxy.json" >&2; exit 1; }; \
+	grep -q '"trace":"smoke-trace-1"' "$$tmp/replica.json" || { echo "replica access log missing the propagated trace" >&2; cat "$$tmp/replica.json" >&2; exit 1; }; \
+	kill -TERM $$bpid $$rpid $$ppid; \
+	wait $$bpid $$rpid $$ppid; \
+	echo "metrics-smoke OK"
 
 lint:
 	$(GO) vet ./...

@@ -8,7 +8,8 @@
 // queries/sec against cache hit rate and workers. E18 measures sharded
 // vs monolithic serving: per-shard resident bytes, cold-shard load
 // latency, and warm q/s of the shard router against the whole-scheme
-// server.
+// server. E19 measures the observability layer's overhead: warm q/s of
+// the instrumented daemon (metrics + access log) against the bare one.
 //
 // Usage:
 //
@@ -39,6 +40,7 @@ func main() {
 		experiments.Experiment{ID: "E16", Run: batchThroughput},
 		experiments.Experiment{ID: "E17", Run: serveThroughput},
 		experiments.Experiment{ID: "E18", Run: shardThroughput},
+		experiments.Experiment{ID: "E19", Run: obsCost},
 	)
 	// Filter before running: -only must not pay for the experiments it
 	// skips (E16/E17 alone drive minutes of measurement).

@@ -53,6 +53,16 @@
 //	ftroute serve -in shards/ -addr :8082 &
 //	ftroute proxy -in shards/ -replicas http://localhost:8081,http://localhost:8082 -replication 2 -addr :8080
 //	curl -s -d '{"pairs":[[0,39]],"faults":[1,2]}' localhost:8080/v1/connected
+//
+// Observability (both daemons): Prometheus metrics at GET /metrics
+// (-metrics off disables), structured JSON access logs on stderr with
+// request trace IDs (-log-level, -log-sample), an opt-in per-stage
+// timing echo (?debug=timing), and a pprof side listener (-debug-addr):
+//
+//	ftroute serve -in conn.ftl -addr :8080 -log-level warn -debug-addr :6060
+//	curl -s localhost:8080/metrics
+//	curl -s -H 'X-Ftroute-Trace: my-trace-1' -d '{"pairs":[[0,99]]}' 'localhost:8080/v1/connected?debug=timing'
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -118,11 +128,14 @@ func usage() {
   serve  long-running HTTP daemon answering pair batches (-addr, -par,
          -ctxcache; see package serve for the API); -in takes a scheme
          file or a shard manifest (auto-detected; manifest mode lazily
-         loads/evicts shards under -shard-budget bytes)
+         loads/evicts shards under -shard-budget bytes). Observability:
+         -metrics (GET /metrics), -log-level/-log-sample (JSON access
+         log with trace IDs), -debug-addr (pprof side listener)
   proxy  fan-out daemon over shard-affine replicas: loads only a shard
          manifest, assigns shards to -replicas balanced by bytes (with
          -replication failover), splits each batch per shard and merges
-         replies byte-identically to a single daemon
+         replies byte-identically to a single daemon; shares serve's
+         observability flags and propagates X-Ftroute-Trace on fan-out
   shard  split a scheme file into a manifest + per-component shard files
   info   print header, counts, fault bound and label sizes of a scheme
          or manifest file`)

@@ -31,11 +31,16 @@ func runProxy(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	par := fs.Int("par", 0, "concurrent upstream sub-requests per batch: 0 uses GOMAXPROCS, 1 forwards sequentially")
 	maxBody := fs.Int64("max-body", serve.DefaultMaxRequestBytes, "request body size limit in bytes")
+	df := addDaemonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *maxBody <= 0 {
 		return fmt.Errorf("-max-body must be positive, got %d", *maxBody)
+	}
+	obsCfg, err := df.observability()
+	if err != nil {
+		return err
 	}
 	var replicas []string
 	for _, r := range strings.Split(*replicasFlag, ",") {
@@ -57,7 +62,7 @@ func runProxy(args []string) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), proxyStartupTimeout)
 	p, err := serve.NewProxy(ctx, m, replicas, serve.ProxyOptions{
-		Replication: *replication, Parallelism: *par, MaxRequestBytes: *maxBody,
+		Replication: *replication, Parallelism: *par, MaxRequestBytes: *maxBody, Obs: obsCfg,
 	})
 	cancel()
 	if err != nil {
@@ -73,7 +78,7 @@ func runProxy(args []string) error {
 		}
 		fmt.Printf("replica %d %s: %d shards %v (%d bytes)\n", i, replicas[i], len(shards), shards, bytes)
 	}
-	if err := runDaemon(*addr, p); err != nil {
+	if err := runDaemon(*addr, *df.debugAddr, p); err != nil {
 		return err
 	}
 	stats := p.Stats()

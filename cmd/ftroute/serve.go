@@ -25,15 +25,20 @@ func runServe(args []string) error {
 	maxBody := fs.Int64("max-body", serve.DefaultMaxRequestBytes, "request body size limit in bytes")
 	shardBudget := fs.Int64("shard-budget", serve.DefaultShardBudgetBytes,
 		"resident shard bytes kept loaded in manifest mode (LRU eviction above it); 0 keeps nothing resident between requests, < 0 never evicts")
+	df := addDaemonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *maxBody <= 0 {
 		return fmt.Errorf("-max-body must be positive, got %d", *maxBody)
 	}
+	obsCfg, err := df.observability()
+	if err != nil {
+		return err
+	}
 
 	opts := serve.Options{Parallelism: *par, ContextCacheSize: *ctxCache,
-		MaxRequestBytes: *maxBody, ShardBudgetBytes: *shardBudget}
+		MaxRequestBytes: *maxBody, ShardBudgetBytes: *shardBudget, Obs: obsCfg}
 	if *ctxCache == 0 {
 		opts.ContextCacheSize = -1 // flag 0 means "off"; Options 0 means "default"
 	}
@@ -63,7 +68,7 @@ func runServe(args []string) error {
 	}
 
 	fmt.Printf("loaded %s\n", source)
-	if err := runDaemon(*addr, srv); err != nil {
+	if err := runDaemon(*addr, *df.debugAddr, srv); err != nil {
 		return err
 	}
 	stats := srv.Stats()

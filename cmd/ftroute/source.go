@@ -10,9 +10,12 @@ package main
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -21,6 +24,8 @@ import (
 
 	"ftrouting"
 	"ftrouting/internal/codec"
+	"ftrouting/internal/obs"
+	"ftrouting/serve"
 )
 
 // querySource is one loaded -in artifact: exactly one of scheme
@@ -77,6 +82,71 @@ func loadQuerySource(path string) (*querySource, error) {
 // Shared daemon plumbing of `ftroute serve` and `ftroute proxy`.
 const daemonShutdownGrace = 10 * time.Second
 
+// daemonFlags is the shared observability flag surface of `ftroute
+// serve` and `ftroute proxy`.
+type daemonFlags struct {
+	metrics   *string
+	logLevel  *string
+	logSample *int
+	debugAddr *string
+}
+
+// addDaemonFlags declares the shared daemon flags on a FlagSet.
+func addDaemonFlags(fs *flag.FlagSet) *daemonFlags {
+	return &daemonFlags{
+		metrics:   fs.String("metrics", "on", "Prometheus metrics at GET /metrics: on|off"),
+		logLevel:  fs.String("log-level", "info", "structured access log on stderr: debug|info|warn|error|off (warn shows only failing requests)"),
+		logSample: fs.Int("log-sample", 1, "log every Nth successful request (1 logs all; errors always log)"),
+		debugAddr: fs.String("debug-addr", "", "optional second listener serving net/http/pprof under /debug/pprof/ (empty disables)"),
+	}
+}
+
+// observability builds the serve.Observability the daemon flags select.
+func (d *daemonFlags) observability() (serve.Observability, error) {
+	var o serve.Observability
+	switch *d.metrics {
+	case "on":
+		o.Metrics = obs.NewRegistry()
+	case "off":
+	default:
+		return o, fmt.Errorf("-metrics must be on or off, got %q", *d.metrics)
+	}
+	if *d.logSample < 1 {
+		return o, fmt.Errorf("-log-sample must be >= 1, got %d", *d.logSample)
+	}
+	var level slog.Level
+	switch *d.logLevel {
+	case "off":
+		return o, nil
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return o, fmt.Errorf("-log-level must be debug, info, warn, error or off, got %q", *d.logLevel)
+	}
+	o.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	o.LogSample = *d.logSample
+	return o, nil
+}
+
+// pprofMux builds the /debug/pprof handler of the -debug-addr listener.
+// The profiling endpoints never share the serving listener: profiles can
+// run for seconds and must not be reachable from the query-facing port.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // Connection hygiene for a public listener: a client that trickles or
 // never finishes its request headers, or parks an idle keep-alive
 // connection, must not pin a goroutine and file descriptor forever.
@@ -89,8 +159,10 @@ const (
 
 // runDaemon binds addr, announces the live address (port 0 resolves, so
 // smoke scripts can scrape "listening on"), serves handler until
-// SIGINT/SIGTERM, then drains in-flight requests and returns.
-func runDaemon(addr string, handler http.Handler) error {
+// SIGINT/SIGTERM, then drains in-flight requests and returns. A
+// non-empty debugAddr binds a second listener serving net/http/pprof,
+// kept off the query-facing port.
+func runDaemon(addr, debugAddr string, handler http.Handler) error {
 	// Bind before announcing so "listening on" always names a live
 	// address.
 	ln, err := net.Listen("tcp", addr)
@@ -98,6 +170,17 @@ func runDaemon(addr string, handler http.Handler) error {
 		return err
 	}
 	fmt.Printf("listening on %s\n", ln.Addr())
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Printf("debug listening on %s\n", dln.Addr())
+		ds := &http.Server{Handler: pprofMux(), ReadHeaderTimeout: daemonReadHeaderTimeout}
+		defer ds.Close()
+		go ds.Serve(dln)
+	}
 
 	hs := &http.Server{
 		Handler:           handler,

@@ -1,0 +1,62 @@
+package obs
+
+// BenchmarkObsHistogram gates the per-observation cost of the metrics
+// core under bench-compare (the Obs filter): every served request pays a
+// handful of these, so a regression here is a regression in serving
+// overhead.
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+}
+
+func BenchmarkObsHistogramObserveParallel(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+			d += time.Nanosecond
+		}
+	})
+}
+
+func BenchmarkObsHistogramSnapshot(b *testing.B) {
+	h := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		if s.Quantile(0.99) == 0 {
+			b.Fatal("lost observations")
+		}
+	}
+}
+
+func BenchmarkObsCounterAdd(b *testing.B) {
+	c := &Counter{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsTraceID(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if NewTraceID() == "" {
+			b.Fatal("empty trace id")
+		}
+	}
+}

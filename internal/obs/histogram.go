@@ -1,0 +1,147 @@
+package obs
+
+// The latency histogram: fixed log₂ buckets over nanoseconds, updated
+// with two atomic adds per observation and snapshotted without stopping
+// writers. Bucket k counts observations in [2^(k-1), 2^k) ns, so the
+// bucket layout needs no configuration, covers 1ns..~9min at constant
+// relative error, and two snapshots merge by summing — the property the
+// sharded stats aggregation and multi-process rollups rely on.
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets bounds the histogram range: bucket NumBuckets-1 collects
+// everything at or above 2^(NumBuckets-2) ns (~2^38 ns ≈ 4.6 minutes —
+// beyond any sane request latency).
+const NumBuckets = 40
+
+// Histogram is a lock-free fixed-bucket log₂ latency histogram.
+type Histogram struct {
+	labels labelSet
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	k := bits.Len64(uint64(d))
+	if k >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return k
+}
+
+// BucketBound returns the exclusive upper bound of bucket k in
+// nanoseconds (2^k), or -1 for the terminal +Inf bucket.
+func BucketBound(k int) int64 {
+	if k >= NumBuckets-1 {
+		return -1
+	}
+	return int64(1) << uint(k)
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Snapshot copies the current state. Concurrent observations may land in
+// either the snapshot or the next one, but never vanish: once writers
+// stop, a snapshot's total equals the number of observations exactly.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Snapshots
+// merge by addition.
+type HistogramSnapshot struct {
+	Counts [NumBuckets]uint64
+	Sum    int64 // nanoseconds
+}
+
+// Merge adds another snapshot into this one.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Sum += o.Sum
+}
+
+// Count totals the observations.
+func (s HistogramSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(s.Sum) / n)
+}
+
+// Quantile extracts the q-quantile (0 < q <= 1, e.g. 0.99) by linear
+// interpolation inside the covering bucket — exact to within the
+// bucket's factor-of-two width. Returns 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for k, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lower := float64(0)
+			if k > 0 {
+				lower = float64(int64(1) << uint(k-1))
+			}
+			upper := 2 * lower
+			if k == 0 {
+				upper = 1
+			}
+			if k == NumBuckets-1 {
+				// The open-ended terminal bucket has no upper edge to
+				// interpolate toward; report its lower bound.
+				return time.Duration(lower)
+			}
+			frac := (rank - cum) / float64(c)
+			return time.Duration(lower + (upper-lower)*frac)
+		}
+		cum = next
+	}
+	// Unreachable: rank <= total and every count was consumed.
+	return time.Duration(int64(1) << uint(NumBuckets-2))
+}

@@ -1,0 +1,220 @@
+// Package obs is the dependency-free metrics core of the serving stack:
+// lock-free atomic counters and gauges, fixed-bucket log₂ latency
+// histograms with mergeable snapshots and quantile extraction, a
+// registry that renders everything in Prometheus text exposition format,
+// and request trace-ID generation. The hot path never takes a lock —
+// instruments are resolved once at wire-up time and mutated with single
+// atomic adds — so instrumentation stays cheap enough to leave on under
+// production load (experiment E19 gates the overhead below 5%).
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge or
+// *Histogram are no-ops, so callers hold plain fields that are simply
+// left nil when metrics are disabled instead of branching at every
+// observation site.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	labels labelSet
+	v      atomic.Uint64
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (resident bytes, live entries).
+type Gauge struct {
+	labels labelSet
+	v      atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Label is one name="value" pair qualifying a metric instance.
+type Label struct {
+	Name, Value string
+}
+
+// L builds a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// labelSet is a rendered, sorted label list: the instance key within a
+// family and the text between the braces of every exposed sample.
+type labelSet string
+
+// makeLabelSet sorts, escapes and renders labels. Label names must be
+// valid metric identifiers; this is a registration-time programmer
+// error, so violations panic.
+func makeLabelSet(labels []Label) labelSet {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Name < sorted[b].Name })
+	var b strings.Builder
+	for i, l := range sorted {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return labelSet(b.String())
+}
+
+// escapeLabelValue applies the exposition-format escapes: backslash,
+// double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// validName reports whether s is a legal metric or label identifier:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// metricType tags a family for the TYPE line.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// family is one metric name: its HELP/TYPE header and every labeled
+// instance registered under it.
+type family struct {
+	name      string
+	help      string
+	typ       metricType
+	instances map[labelSet]any // *Counter, *Gauge or *Histogram
+}
+
+// Registry holds metric families and renders them for scraping.
+// Registration takes a lock and is meant for wire-up time; the
+// instruments it returns are lock-free. Registering the same
+// name+labels twice returns the same instance, so instruments are safe
+// to resolve idempotently.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register resolves (or creates) the instance of name+labels, building a
+// new instrument with build. Name collisions across types are
+// registration-time programmer errors and panic.
+func (r *Registry) register(name, help string, typ metricType, labels []Label, build func(labelSet) any) any {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := makeLabelSet(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, instances: make(map[labelSet]any)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.typ, typ))
+	}
+	inst := f.instances[ls]
+	if inst == nil {
+		inst = build(ls)
+		f.instances[ls] = inst
+	}
+	return inst
+}
+
+// Counter resolves the counter name{labels}, registering it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, typeCounter, labels, func(ls labelSet) any {
+		return &Counter{labels: ls}
+	}).(*Counter)
+}
+
+// Gauge resolves the gauge name{labels}, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, typeGauge, labels, func(ls labelSet) any {
+		return &Gauge{labels: ls}
+	}).(*Gauge)
+}
+
+// Histogram resolves the histogram name{labels}, registering it on first
+// use.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.register(name, help, typeHistogram, labels, func(ls labelSet) any {
+		return &Histogram{labels: ls}
+	}).(*Histogram)
+}

@@ -1,0 +1,424 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramConcurrent is the -race hammer: concurrent observers and
+// snapshotters over one histogram, with the conservation check that once
+// writers stop, the snapshot total equals the observation count and the
+// sum equals the summed durations exactly.
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	const writers, perWriter = 8, 5000
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshotters: totals they see must never decrease.
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n := h.Snapshot().Count(); n < last {
+					t.Errorf("snapshot count went backwards: %d after %d", n, last)
+					return
+				} else {
+					last = n
+				}
+			}
+		}()
+	}
+	var wantSum int64
+	var sumMu sync.Mutex
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local int64
+			for i := 0; i < perWriter; i++ {
+				d := time.Duration((w*perWriter+i)%100000) * time.Nanosecond
+				h.Observe(d)
+				local += int64(d)
+			}
+			sumMu.Lock()
+			wantSum += local
+			sumMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := h.Snapshot()
+	if got := s.Count(); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d (observations lost)", got, writers*perWriter)
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+// TestCounterGaugeConcurrent hammers Counter and Gauge under -race and
+// checks totals conserve.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	c := &Counter{}
+	g := &Gauge{}
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}
+
+// TestNilInstrumentsAreNoOps proves disabled metrics need no branching
+// at observation sites.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count() != 0 {
+		t.Fatal("nil instruments reported non-zero values")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	// 1000 observations of exactly 1000ns: every quantile lands in bucket
+	// [512, 1024) and interpolates inside it.
+	for i := 0; i < 1000; i++ {
+		h.Observe(1000 * time.Nanosecond)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.Snapshot().Quantile(q)
+		if got < 512 || got > 1024 {
+			t.Fatalf("p%g = %v, want within bucket [512ns, 1024ns]", q*100, got)
+		}
+	}
+	// Add 9000 much slower observations: the p50 must move to the slow
+	// bucket, and p999 stay there too.
+	for i := 0; i < 9000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 512*time.Microsecond || p50 > 1024*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [512µs, 1024µs]", p50)
+	}
+	if s.Quantile(0.05) > 1024 {
+		t.Fatalf("p5 = %v, want within the fast bucket", s.Quantile(0.05))
+	}
+	if got, want := s.Mean(), time.Duration((1000*1000+9000*1000000)/10000); got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Microsecond)
+		b.Observe(time.Millisecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if merged.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", merged.Count())
+	}
+	if merged.Sum != sa.Sum+sb.Sum {
+		t.Fatalf("merged sum = %d, want %d", merged.Sum, sa.Sum+sb.Sum)
+	}
+	// Merging is per-bucket: the fast and slow populations stay distinct.
+	if p25, p75 := merged.Quantile(0.25), merged.Quantile(0.75); p25 > 2*time.Microsecond ||
+		p75 < 512*time.Microsecond {
+		t.Fatalf("merged p25/p75 = %v/%v, want the two source populations", p25, p75)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	if bucketOf(0) != 0 || bucketOf(-5) != 0 {
+		t.Fatal("non-positive durations must land in bucket 0")
+	}
+	if bucketOf(1) != 1 || bucketOf(1023) != 10 || bucketOf(1024) != 11 {
+		t.Fatalf("bucket mapping off: %d %d %d", bucketOf(1), bucketOf(1023), bucketOf(1024))
+	}
+	if bucketOf(time.Duration(1)<<62) != NumBuckets-1 {
+		t.Fatal("huge durations must clamp to the terminal bucket")
+	}
+	if BucketBound(NumBuckets-1) != -1 {
+		t.Fatal("terminal bucket must report +Inf")
+	}
+	for k := 0; k < NumBuckets-2; k++ {
+		if BucketBound(k)*2 != BucketBound(k+1) {
+			t.Fatalf("bucket bounds not log2: %d -> %d", BucketBound(k), BucketBound(k+1))
+		}
+	}
+}
+
+// TestRegistryIdempotentAndCollisions: same name+labels returns the same
+// instance; type collisions panic.
+func TestRegistryIdempotentAndCollisions(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ftroute_test_total", "help", L("x", "1"))
+	b := r.Counter("ftroute_test_total", "help", L("x", "1"))
+	if a != b {
+		t.Fatal("re-registration returned a different instance")
+	}
+	if r.Counter("ftroute_test_total", "help", L("x", "2")) == a {
+		t.Fatal("different labels returned the same instance")
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("type collision", func() { r.Gauge("ftroute_test_total", "help") })
+	mustPanic("bad metric name", func() { r.Counter("bad name", "help") })
+	mustPanic("bad label name", func() { r.Counter("ftroute_ok", "help", L("bad-label", "v")) })
+}
+
+// TestWritePrometheus lints the exposition output: one HELP/TYPE pair
+// per family, sorted deterministic samples, escaped label values,
+// monotone cumulative buckets with a terminal +Inf, and sum/count lines.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ftroute_requests_total", "requests", L("endpoint", "connected")).Add(3)
+	r.Counter("ftroute_requests_total", "requests", L("endpoint", "estimate")).Add(1)
+	r.Gauge("ftroute_resident_bytes", "resident").Set(4096)
+	r.Counter("ftroute_escaped_total", "esc", L("v", "a\"b\\c\nd")).Inc()
+	h := r.Histogram("ftroute_request_seconds", "latency", L("endpoint", "connected"))
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Microsecond)
+	h.Observe(100 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	LintPromText(t, out)
+
+	for _, want := range []string{
+		`ftroute_requests_total{endpoint="connected"} 3`,
+		`ftroute_requests_total{endpoint="estimate"} 1`,
+		"ftroute_resident_bytes 4096",
+		`ftroute_escaped_total{v="a\"b\\c\nd"} 1`,
+		`ftroute_request_seconds_bucket{endpoint="connected",le="+Inf"} 3`,
+		`ftroute_request_seconds_count{endpoint="connected"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Determinism: a second render is byte-identical.
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2)
+	if sb2.String() != out {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+// LintPromText statically checks text exposition output: every sample
+// belongs to a family with exactly one HELP and one TYPE line (appearing
+// before its samples), histogram bucket series are cumulative-monotone
+// in le order, and every bucket series terminates with le="+Inf" whose
+// value equals the family's _count. Shared with the serve package's
+// /metrics lint via export_test-style reuse in this package's tests.
+func LintPromText(t *testing.T, text string) {
+	t.Helper()
+	help := map[string]int{}
+	typ := map[string]string{}
+	lastCum := map[string]uint64{}  // series key -> last cumulative value
+	lastLe := map[string]string{}   // series key -> last le seen
+	bucketOf := map[string]string{} // series key -> family
+	counts := map[string]uint64{}   // family+labels -> _count value
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			name := strings.Fields(line)[2]
+			if help[name]++; help[name] > 1 {
+				t.Fatalf("duplicate HELP for %s", name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if _, dup := typ[f[2]]; dup {
+				t.Fatalf("duplicate TYPE for %s", f[2])
+			}
+			typ[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value := splitSample(t, line)
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && typ[base] == "histogram" {
+				family = base
+			}
+		}
+		if typ[family] == "" {
+			t.Fatalf("sample %q has no TYPE line", line)
+		}
+		if help[family] == 0 {
+			t.Fatalf("sample %q has no HELP line", line)
+		}
+		if typ[family] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le := ""
+			rest := make([]string, 0, 4)
+			for _, l := range strings.Split(labels, ",") {
+				if v, ok := strings.CutPrefix(l, "le="); ok {
+					le = strings.Trim(v, `"`)
+				} else if l != "" {
+					rest = append(rest, l)
+				}
+			}
+			if le == "" {
+				t.Fatalf("bucket sample without le: %q", line)
+			}
+			key := family + "{" + strings.Join(rest, ",") + "}"
+			cum, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", value, err)
+			}
+			if cum < lastCum[key] {
+				t.Fatalf("bucket series %s not monotone: %d after %d (le=%s)", key, cum, lastCum[key], le)
+			}
+			if lastLe[key] == "+Inf" {
+				t.Fatalf("bucket series %s continues after le=+Inf", key)
+			}
+			lastCum[key], lastLe[key] = cum, le
+			bucketOf[key] = family
+		}
+		if strings.HasSuffix(name, "_count") && typ[family] == "histogram" {
+			v, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("count value %q: %v", value, err)
+			}
+			counts[family+"{"+labels+"}"] = v
+		}
+	}
+	for key, le := range lastLe {
+		if le != "+Inf" {
+			t.Fatalf("bucket series %s does not terminate with le=+Inf (last le=%s)", key, le)
+		}
+		if got, want := lastCum[key], counts[key]; got != want {
+			t.Fatalf("bucket series %s: +Inf bucket %d != _count %d", key, got, want)
+		}
+	}
+}
+
+// splitSample parses "name{labels} value" or "name value".
+func splitSample(t *testing.T, line string) (name, labels, value string) {
+	t.Helper()
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		t.Fatalf("malformed sample %q", line)
+	}
+	head, value := line[:sp], line[sp+1:]
+	if open := strings.IndexByte(head, '{'); open >= 0 {
+		if !strings.HasSuffix(head, "}") {
+			t.Fatalf("malformed labels in %q", line)
+		}
+		return head[:open], head[open+1 : len(head)-1], value
+	}
+	return head, "", value
+}
+
+func TestTraceIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q not 16 hex digits", id)
+		}
+		if SanitizeTraceID(id) != id {
+			t.Fatalf("generated id %q fails its own sanitizer", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+	for supplied, want := range map[string]string{
+		"abc-DEF_123":                "abc-DEF_123",
+		"":                           "",
+		strings.Repeat("a", 65):      "",
+		"evil\nheader":               "",
+		`quote"inject`:               "",
+		"sp ace":                     "",
+		strings.Repeat("f", 64):      strings.Repeat("f", 64),
+		"trace{label=\"overwrite\"}": "",
+	} {
+		if got := SanitizeTraceID(supplied); got != want {
+			t.Fatalf("SanitizeTraceID(%q) = %q, want %q", supplied, got, want)
+		}
+	}
+}
+
+// TestQuantileRendersStable pins the summary numbers /v1/stats exposes.
+func TestQuantileRendersStable(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1024; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	// The distribution is uniform over (0, 1024µs]; log2 buckets put p50
+	// inside [512µs, 1024µs).
+	if p50 := s.Quantile(0.5); p50 < 512*time.Microsecond || p50 >= 1024*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	// The covering bucket is [2^19, 2^20) ns, so interpolation may land
+	// slightly above 1024µs — the factor-of-two bucket-width guarantee.
+	if p999 := s.Quantile(0.999); p999 < 512*time.Microsecond || p999 > time.Duration(1<<20) {
+		t.Fatalf("p999 = %v", p999)
+	}
+	if fmt.Sprintf("%d", s.Count()) != "1024" {
+		t.Fatalf("count = %d", s.Count())
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4): one HELP and one
+// TYPE line per family, samples sorted by family name then label set, so
+// output is deterministic and diffs cleanly. Histograms render the
+// conventional cumulative _bucket{le=...} series in seconds with the
+// terminal le="+Inf" bucket, plus _sum and _count.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// ContentType is the Content-Type of the /metrics response.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in text exposition
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the instance lists under the lock; the atomic reads below
+	// run outside it.
+	type inst struct {
+		labels labelSet
+		m      any
+	}
+	byFamily := make([][]inst, len(names))
+	for i, name := range names {
+		f := r.families[name]
+		for ls, m := range f.instances {
+			byFamily[i] = append(byFamily[i], inst{ls, m})
+		}
+		sort.Slice(byFamily[i], func(a, b int) bool { return byFamily[i][a].labels < byFamily[i][b].labels })
+	}
+	helps := make([]string, len(names))
+	types := make([]metricType, len(names))
+	for i, name := range names {
+		helps[i], types[i] = r.families[name].help, r.families[name].typ
+	}
+	r.mu.Unlock()
+
+	for i, name := range names {
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, helps[i])
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, types[i])
+		for _, in := range byFamily[i] {
+			switch m := in.m.(type) {
+			case *Counter:
+				writeSample(bw, name, in.labels, "", formatUint(m.Value()))
+			case *Gauge:
+				writeSample(bw, name, in.labels, "", strconv.FormatInt(m.Value(), 10))
+			case *Histogram:
+				writeHistogram(bw, name, in.labels, m.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram instance: cumulative buckets (le
+// in seconds), sum (seconds) and count.
+func writeHistogram(w io.Writer, name string, ls labelSet, s HistogramSnapshot) {
+	var cum uint64
+	for k, c := range s.Counts {
+		cum += c
+		// Collapse empty leading/trailing buckets except the mandatory
+		// terminal one, keeping the exposition compact while cumulative
+		// counts stay monotone.
+		if c == 0 && k != NumBuckets-1 {
+			continue
+		}
+		le := "+Inf"
+		if b := BucketBound(k); b >= 0 {
+			le = strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)
+		}
+		writeSample(w, name+"_bucket", ls, `le="`+le+`"`, formatUint(cum))
+	}
+	writeSample(w, name+"_sum", ls, "", strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64))
+	writeSample(w, name+"_count", ls, "", formatUint(cum))
+}
+
+// writeSample renders one sample line, splicing an extra label (the
+// histogram's le) after the instance labels.
+func writeSample(w io.Writer, name string, ls labelSet, extra, value string) {
+	labels := string(ls)
+	if extra != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extra
+	}
+	if labels != "" {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	} else {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	}
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// Handler serves the registry as a GET /metrics scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "metrics endpoint accepts GET", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,48 @@
+package obs
+
+// Request trace IDs: the edge tier mints one per request (honoring a
+// caller-supplied X-Ftroute-Trace), every tier stamps it on its access
+// log line, and the proxy forwards it on each sub-batch fan-out — so one
+// grep over the stack's logs reconstructs a request's whole tree.
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// traceBase decorrelates concurrent processes; the counter makes IDs
+// unique (and cheap) within one.
+var (
+	traceBase = rand.Uint64()
+	traceSeq  atomic.Uint64
+)
+
+// NewTraceID mints a 16-hex-digit trace ID, unique within the process
+// and collision-resistant across processes.
+func NewTraceID() string {
+	var b [8]byte
+	v := traceBase ^ (traceSeq.Add(1) * 0x9e3779b97f4a7c15)
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeTraceID validates a caller-supplied trace ID: 1..64 characters
+// of [0-9A-Za-z_-]. Anything else returns "" and the caller mints a
+// fresh ID — a hostile header never reaches logs or upstream requests.
+func SanitizeTraceID(s string) string {
+	if len(s) == 0 || len(s) > 64 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+			(c >= 'A' && c <= 'Z') || c == '_' || c == '-'
+		if !ok {
+			return ""
+		}
+	}
+	return s
+}

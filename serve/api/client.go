@@ -80,11 +80,18 @@ func (c *Client) Query(ctx context.Context, endpoint string, req *QueryRequest, 
 	if err != nil {
 		return fmt.Errorf("api: encoding request: %w", err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/"+endpoint, bytes.NewReader(body))
+	url := c.base + "/v1/" + endpoint
+	if DebugTimingFrom(ctx) {
+		url += "?" + DebugTimingParam + "=" + DebugTimingValue
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("api: building request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if t := TraceFrom(ctx); t != "" {
+		hreq.Header.Set(TraceHeader, t)
+	}
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("api: %w", err)
@@ -98,6 +105,9 @@ func (c *Client) get(ctx context.Context, endpoint string, out any) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/"+endpoint, nil)
 	if err != nil {
 		return fmt.Errorf("api: building request: %w", err)
+	}
+	if t := TraceFrom(ctx); t != "" {
+		hreq.Header.Set(TraceHeader, t)
 	}
 	resp, err := c.hc.Do(hreq)
 	if err != nil {

@@ -1,0 +1,44 @@
+package api
+
+// Context-carried request options. Threading trace IDs and the debug
+// timing opt-in through the context keeps every Client method signature
+// stable: the proxy fan-out, e2e suites and CLI all keep calling
+// Query/Connected/... unchanged, and opt in per request with WithTrace /
+// WithDebugTiming.
+
+import "context"
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	debugTimingKey
+)
+
+// WithTrace returns a context carrying trace; the client stamps it on
+// outgoing requests as the X-Ftroute-Trace header. An empty trace leaves
+// the context unchanged.
+func WithTrace(ctx context.Context, trace string) context.Context {
+	if trace == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, trace)
+}
+
+// TraceFrom extracts the trace ID carried by WithTrace ("" if none).
+func TraceFrom(ctx context.Context) string {
+	t, _ := ctx.Value(traceKey).(string)
+	return t
+}
+
+// WithDebugTiming returns a context that opts outgoing query requests
+// into the ?debug=timing per-stage breakdown echo.
+func WithDebugTiming(ctx context.Context) context.Context {
+	return context.WithValue(ctx, debugTimingKey, true)
+}
+
+// DebugTimingFrom reports whether ctx carries the debug-timing opt-in.
+func DebugTimingFrom(ctx context.Context) bool {
+	d, _ := ctx.Value(debugTimingKey).(bool)
+	return d
+}

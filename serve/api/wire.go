@@ -47,15 +47,55 @@ func FromBatch(b ftrouting.QueryBatch) *QueryRequest {
 	return req
 }
 
+// TraceHeader carries the request trace ID. The edge tier mints one when
+// the caller does not supply it, every tier logs it, and the proxy
+// forwards it on each sub-batch fan-out.
+const TraceHeader = "X-Ftroute-Trace"
+
+// DebugTimingParam and DebugTimingValue form the ?debug=timing query
+// parameter that opts a request into the per-stage timing echo.
+const (
+	DebugTimingParam = "debug"
+	DebugTimingValue = "timing"
+)
+
+// StageTiming reports one named serving stage's wall time.
+type StageTiming struct {
+	Stage string `json:"stage"`
+	Nanos int64  `json:"nanos"`
+}
+
+// UpstreamTiming reports one proxy sub-batch: which shard group went to
+// which replica, the upstream call's wall time, and the replica's own
+// echoed breakdown (nested again for stacked proxies).
+type UpstreamTiming struct {
+	Shard   int     `json:"shard"`
+	Replica string  `json:"replica"`
+	Nanos   int64   `json:"nanos"`
+	Timing  *Timing `json:"timing,omitempty"`
+}
+
+// Timing is the opt-in (?debug=timing) per-request breakdown echoed in
+// the response envelope. It is absent unless requested, so instrumented
+// responses stay byte-identical to uninstrumented ones.
+type Timing struct {
+	Trace      string           `json:"trace,omitempty"`
+	TotalNanos int64            `json:"total_nanos"`
+	Stages     []StageTiming    `json:"stages,omitempty"`
+	Upstreams  []UpstreamTiming `json:"upstreams,omitempty"`
+}
+
 // ConnectedResponse answers /v1/connected: one bool per pair, in order.
 type ConnectedResponse struct {
-	Results []bool `json:"results"`
+	Results []bool  `json:"results"`
+	Timing  *Timing `json:"timing,omitempty"`
 }
 
 // EstimateResponse answers /v1/estimate: one estimate per pair, in order.
 // Disconnected pairs carry the Unreachable sentinel from /v1/healthz.
 type EstimateResponse struct {
 	Estimates []int64 `json:"estimates"`
+	Timing    *Timing `json:"timing,omitempty"`
 }
 
 // RouteResult is the wire form of ftrouting.RouteResult, field for field.
@@ -95,6 +135,7 @@ func FromRouteResult(r ftrouting.RouteResult) RouteResult {
 // RouteResponse answers /v1/route and /v1/route-forbidden.
 type RouteResponse struct {
 	Results []RouteResult `json:"results"`
+	Timing  *Timing       `json:"timing,omitempty"`
 }
 
 // HealthResponse answers /v1/healthz: static facts about the loaded
@@ -180,18 +221,37 @@ type UpstreamStats struct {
 	Failures uint64 `json:"failures"`
 }
 
+// LatencySummary condenses one request-latency histogram: the request
+// count, the mean, and interpolated quantiles, all in nanoseconds.
+type LatencySummary struct {
+	Count     uint64 `json:"count"`
+	MeanNanos int64  `json:"mean_nanos"`
+	P50Nanos  int64  `json:"p50_nanos"`
+	P99Nanos  int64  `json:"p99_nanos"`
+}
+
+// StageSummary condenses one serving stage's timing histogram.
+type StageSummary struct {
+	Count     uint64 `json:"count"`
+	MeanNanos int64  `json:"mean_nanos"`
+}
+
 // StatsResponse answers /v1/stats. For sharded servers Cache aggregates
 // every shard's prepared-fault-context counters and Shards breaks the
 // resident-shard cache out per shard; monolithic servers omit Shards.
 // Proxies report one Upstreams row per replica and omit the local cache
-// blocks.
+// blocks. Latency (per endpoint) and Stages (per serving stage) summarize
+// the live latency histograms; both are omitted when metrics are
+// disabled, keeping the pre-instrumentation body unchanged.
 type StatsResponse struct {
-	Kind        string                   `json:"kind"`
-	Endpoints   map[string]EndpointStats `json:"endpoints"`
-	PairsServed uint64                   `json:"pairs_served"`
-	Cache       CacheStats               `json:"cache"`
-	Shards      *ShardCacheStats         `json:"shards,omitempty"`
-	Upstreams   []UpstreamStats          `json:"upstreams,omitempty"`
+	Kind        string                    `json:"kind"`
+	Endpoints   map[string]EndpointStats  `json:"endpoints"`
+	PairsServed uint64                    `json:"pairs_served"`
+	Cache       CacheStats                `json:"cache"`
+	Shards      *ShardCacheStats          `json:"shards,omitempty"`
+	Upstreams   []UpstreamStats           `json:"upstreams,omitempty"`
+	Latency     map[string]LatencySummary `json:"latency,omitempty"`
+	Stages      map[string]StageSummary   `json:"stages,omitempty"`
 }
 
 // ErrorInfo is the structured error payload: a stable machine-readable

@@ -10,6 +10,8 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -17,6 +19,8 @@ import (
 	"testing"
 
 	"ftrouting"
+	"ftrouting/internal/obs"
+	"ftrouting/serve/api"
 )
 
 // benchPairsPerRequest keeps requests small enough that fault-set
@@ -50,7 +54,13 @@ func benchSetup() error {
 // benchServe posts b.N requests to one endpoint, drawing the request's
 // fault set from faultsFor(i), and reports query throughput.
 func benchServe(b *testing.B, scheme any, endpoint string, g *ftrouting.Graph, faultsFor func(i int) []ftrouting.EdgeID) {
-	s, err := New(scheme, Options{})
+	benchServeOpts(b, scheme, endpoint, g, Options{}, faultsFor)
+}
+
+// benchServeOpts is benchServe with explicit server options, so the
+// instrumented variants measure the same workload.
+func benchServeOpts(b *testing.B, scheme any, endpoint string, g *ftrouting.Graph, opts Options, faultsFor func(i int) []ftrouting.EdgeID) {
+	s, err := New(scheme, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -99,6 +109,22 @@ func BenchmarkServeConnectedWarm(b *testing.B) {
 		func(int) []ftrouting.EdgeID { return faults })
 }
 
+// BenchmarkServeConnectedInstrumented is the warm workload with the full
+// observability layer live (metrics registry + discarded structured
+// log); E19 compares it against the uninstrumented warm number.
+func BenchmarkServeConnectedInstrumented(b *testing.B) {
+	if err := benchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	faults := ftrouting.RandomFaults(benchSchemes.g, 6, 5)
+	opts := Options{Obs: Observability{
+		Metrics:   obs.NewRegistry(),
+		AccessLog: slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	}}
+	benchServeOpts(b, benchSchemes.conn, "connected", benchSchemes.g, opts,
+		func(int) []ftrouting.EdgeID { return faults })
+}
+
 func BenchmarkServeConnectedCold(b *testing.B) {
 	if err := benchSetup(); err != nil {
 		b.Fatal(err)
@@ -129,7 +155,8 @@ func BenchmarkServeEstimateCold(b *testing.B) {
 }
 
 // BenchmarkServeStats measures the monitoring endpoint (lock-free counter
-// snapshot + small JSON body).
+// snapshot + small JSON body), decoding each body so a malformed stats
+// response fails the benchmark instead of inflating its throughput.
 func BenchmarkServeStats(b *testing.B) {
 	if err := benchSetup(); err != nil {
 		b.Fatal(err)
@@ -150,7 +177,16 @@ func BenchmarkServeStats(b *testing.B) {
 		if resp.StatusCode != http.StatusOK {
 			b.Fatalf("status %d", resp.StatusCode)
 		}
+		var stats api.StatsResponse
+		err = json.NewDecoder(resp.Body).Decode(&stats)
 		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Kind != "conn" || stats.Endpoints["stats"].Requests != uint64(i+1) {
+			b.Fatalf("stats body off: kind %q, stats requests %d at i=%d",
+				stats.Kind, stats.Endpoints["stats"].Requests, i)
+		}
 	}
 }
 

@@ -65,22 +65,26 @@ func newContextCache(capacity int) *contextCache {
 }
 
 // get returns the prepared context stored under key, running prep at
-// most once per cached entry. The key must determine the prepared
-// context (the monolithic server keys by canonical fault set; a sharded
-// server adds the global distinct-fault count the shard's restriction
-// cannot see). Exactly one of the hit/miss counters advances per call.
-func (c *contextCache) get(key string, prep func() (any, error)) (any, error) {
+// most once per cached entry, and reports whether the lookup hit. The
+// key must determine the prepared context (the monolithic server keys by
+// canonical fault set; a sharded server adds the global distinct-fault
+// count the shard's restriction cannot see). Exactly one of the hit/miss
+// counters advances per call, matching the returned flag.
+func (c *contextCache) get(key string, prep func() (any, error)) (any, bool, error) {
 	if c.capacity <= 0 {
 		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
-		return prep()
+		ctx, err := prep()
+		return ctx, false, err
 	}
 	c.mu.Lock()
 	var e *cacheEntry
+	var hit bool
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits++
+		hit = true
 		e = el.Value.(*cacheEntry)
 	} else {
 		c.misses++
@@ -100,9 +104,9 @@ func (c *contextCache) get(key string, prep func() (any, error)) (any, error) {
 		// not worth a slot; drop it so capacity stays for working
 		// contexts. Same-key retries fail identically either way.
 		c.remove(key, e)
-		return nil, e.err
+		return nil, hit, e.err
 	}
-	return e.ctx, nil
+	return e.ctx, hit, nil
 }
 
 // remove deletes the entry iff it still occupies its slot (a concurrent

@@ -62,7 +62,7 @@ func TestContextCacheLRU(t *testing.T) {
 	p := &prepCounter{}
 	get := func(ids ...ftrouting.EdgeID) string {
 		t.Helper()
-		v, err := c.get(faultKey(ids), p.prepare(ids))
+		v, _, err := c.get(faultKey(ids), p.prepare(ids))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +91,7 @@ func TestContextCacheDisabled(t *testing.T) {
 	c := newContextCache(-1)
 	p := &prepCounter{}
 	for i := 0; i < 3; i++ {
-		if _, err := c.get("7", p.prepare([]ftrouting.EdgeID{7})); err != nil {
+		if _, _, err := c.get("7", p.prepare([]ftrouting.EdgeID{7})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -113,7 +113,7 @@ func TestContextCacheErrorNotCached(t *testing.T) {
 		return nil, fail
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := c.get("1", prep); !errors.Is(err, fail) {
+		if _, _, err := c.get("1", prep); !errors.Is(err, fail) {
 			t.Fatalf("got %v", err)
 		}
 	}
@@ -136,7 +136,7 @@ func TestContextCacheConcurrentSharedPrepare(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.get("42", p.prepare([]ftrouting.EdgeID{42})); err != nil {
+			if _, _, err := c.get("42", p.prepare([]ftrouting.EdgeID{42})); err != nil {
 				t.Error(err)
 			}
 		}()

@@ -22,8 +22,10 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"ftrouting"
+	"ftrouting/internal/obs"
 	"ftrouting/internal/parallel"
 	"ftrouting/serve/api"
 )
@@ -43,6 +45,10 @@ type ProxyOptions struct {
 	// HTTPClient issues the upstream requests; nil uses
 	// http.DefaultClient.
 	HTTPClient *http.Client
+	// Obs configures metrics, request tracing and access logging; the
+	// zero value disables the whole layer and keeps the proxy
+	// byte-for-byte on its uninstrumented behavior.
+	Obs Observability
 }
 
 // upstream is one configured replica: its typed client, the shards the
@@ -54,6 +60,10 @@ type upstream struct {
 	// answered, failures the transport-level losses that moved a
 	// sub-batch to another replica (or exhausted the assignment).
 	requests, errors, failures atomic.Uint64
+	// Optional instruments (nil-safe, resolved at construction):
+	// sub-request latency, structured rejections, transport failovers.
+	lat             *obs.Histogram
+	errCtr, failCtr *obs.Counter
 }
 
 // Proxy fans batches out over shard-affine replicas. It implements
@@ -72,6 +82,7 @@ type Proxy struct {
 	assign [][]int
 	rr     atomic.Uint64
 
+	obs         *tierObs
 	mux         *http.ServeMux
 	counters    map[string]*endpointCounters
 	pairsServed atomic.Uint64
@@ -147,9 +158,12 @@ func NewProxy(ctx context.Context, m *ftrouting.Manifest, replicas []string, opt
 		kind:   m.Kind(),
 		digest: fmt.Sprintf("%08x", m.Digest()),
 		opts:   opts,
+		obs:    newTierObs(opts.Obs),
 	}
 	for _, base := range replicas {
-		p.ups = append(p.ups, &upstream{client: api.NewClient(base, opts.HTTPClient)})
+		u := &upstream{client: api.NewClient(base, opts.HTTPClient)}
+		u.lat, u.errCtr, u.failCtr = p.obs.upstreamInstruments(base)
+		p.ups = append(p.ups, u)
 	}
 	for i, u := range p.ups {
 		if err := p.verifyReplica(ctx, u.client); err != nil {
@@ -193,35 +207,29 @@ func (p *Proxy) verifyReplica(ctx context.Context, c *api.Client) error {
 	return nil
 }
 
-// initMux installs the /v1 endpoint handlers, mirroring Server.initMux.
+// initMux installs the /v1 endpoint handlers, mirroring Server.initMux,
+// plus the /metrics scrape target when metrics are enabled.
 func (p *Proxy) initMux() {
 	p.counters = make(map[string]*endpointCounters)
 	p.mux = http.NewServeMux()
 	for name := range queryEndpoints {
 		name := name
 		p.counters[name] = &endpointCounters{}
-		p.mux.HandleFunc("/v1/"+name, func(w http.ResponseWriter, r *http.Request) {
-			c := p.counters[name]
-			c.requests.Add(1)
-			if e := p.answerQuery(w, r, name); e != nil {
-				c.errors.Add(1)
-				writeError(w, e)
-			}
-		})
+		p.mux.HandleFunc("/v1/"+name, instrumented(p.obs, p.counters, name,
+			func(w http.ResponseWriter, r *http.Request, ro *reqObs) *apiError {
+				return p.answerQuery(w, r, name, ro)
+			}))
 	}
-	for name, h := range map[string]func(http.ResponseWriter, *http.Request) error{
+	for name, h := range map[string]func(http.ResponseWriter, *http.Request, *reqObs) *apiError{
 		"healthz": p.handleHealthz,
 		"stats":   p.handleStats,
 	} {
 		name, h := name, h
 		p.counters[name] = &endpointCounters{}
-		p.mux.HandleFunc("/v1/"+name, func(w http.ResponseWriter, r *http.Request) {
-			c := p.counters[name]
-			c.requests.Add(1)
-			if err := h(w, r); err != nil {
-				c.errors.Add(1)
-			}
-		})
+		p.mux.HandleFunc("/v1/"+name, instrumented(p.obs, p.counters, name, h))
+	}
+	if h := p.obs.metricsHandler(); h != nil {
+		p.mux.Handle("/metrics", h)
 	}
 	p.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorf(http.StatusNotFound, codeNotFound, "no such endpoint %s", r.URL.Path))
@@ -247,11 +255,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // subAnswer is one sub-batch's outcome: exactly one of the per-endpoint
 // result slices (matching the sub-batch's pairs) or a remapped error.
+// up records the answering replica's fan-out timing (and its own echoed
+// breakdown under ?debug=timing) for the merged timing envelope.
 type subAnswer struct {
 	conn  []bool
 	est   []int64
 	route []api.RouteResult
 	err   *apiError
+	up    api.UpstreamTiming
 }
 
 // answerQuery is the proxy's query pipeline, mirroring the Server's
@@ -261,7 +272,7 @@ type subAnswer struct {
 // validation and per-pair vertex checks via the manifest's plan — all
 // before any replica sees a byte. Only validation-clean sub-batches fan
 // out.
-func (p *Proxy) answerQuery(w http.ResponseWriter, r *http.Request, name string) *apiError {
+func (p *Proxy) answerQuery(w http.ResponseWriter, r *http.Request, name string, ro *reqObs) *apiError {
 	if r.Method != http.MethodPost {
 		return errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
 			"/v1/%s accepts POST, not %s", name, r.Method)
@@ -270,13 +281,16 @@ func (p *Proxy) answerQuery(w http.ResponseWriter, r *http.Request, name string)
 		return errorf(http.StatusNotFound, codeUnsupported,
 			"/v1/%s serves %s schemes; this server holds a %s scheme", name, want, p.kind)
 	}
+	st := ro.now()
 	req, e := decodeQueryRequest(r.Body, p.opts.MaxRequestBytes)
 	if e != nil {
 		return e
 	}
+	ro.stage(stageDecode, st)
 	batch := req.Batch()
+	ro.setBatch(len(batch.Pairs), len(batch.Faults))
 	if len(batch.Pairs) == 0 {
-		writeJSON(w, emptyPayload(name))
+		writeJSON(w, attachTiming(emptyPayload(name), ro.timing()))
 		return nil
 	}
 	// Plan over the canonical fault set — the form every tier validates
@@ -284,6 +298,7 @@ func (p *Proxy) answerQuery(w http.ResponseWriter, r *http.Request, name string)
 	// replica's own plan derives the identical per-shard restriction and
 	// global distinct-fault count (which distance estimates need and a
 	// shard-restricted list could not reconstruct).
+	st = ro.now()
 	canon := ftrouting.CanonicalFaults(batch.Faults)
 	plan, err := p.m.PlanBatch(ftrouting.QueryBatch{Pairs: batch.Pairs, Faults: canon})
 	if err != nil {
@@ -292,21 +307,33 @@ func (p *Proxy) answerQuery(w http.ResponseWriter, r *http.Request, name string)
 	if err := plan.FirstPairError(); err != nil {
 		return fromBatchError(err)
 	}
+	ro.stage(stageValidate, st)
 	subs := plan.SubBatches()
 	answers := make([]subAnswer, len(subs))
+	st = ro.now()
 	parallel.ForEach(p.opts.Parallelism, len(subs), func(i int) error {
-		answers[i] = p.forwardSub(r.Context(), name, canon, subs[i])
+		answers[i] = p.forwardSub(r.Context(), name, canon, subs[i], ro)
 		return nil // errors merge below, under batch-order precedence
 	})
+	ro.stage(stageEval, st)
+	// Collect the fan-out timings after the join — never concurrently —
+	// in sub-batch (shard) order so the echo is deterministic.
+	for i := range answers {
+		if answers[i].err == nil && answers[i].up.Replica != "" {
+			ro.addUpstream(answers[i].up)
+		}
+	}
 	if e := pickSubError(subs, answers); e != nil {
 		return e
 	}
+	st = ro.now()
 	payload, e := p.mergeAnswers(name, plan, subs, answers)
 	if e != nil {
 		return e
 	}
+	ro.stage(stageMerge, st)
 	p.pairsServed.Add(uint64(len(batch.Pairs)))
-	writeJSON(w, payload)
+	writeJSON(w, attachTiming(payload, ro.timing()))
 	return nil
 }
 
@@ -318,8 +345,16 @@ func (p *Proxy) answerQuery(w http.ResponseWriter, r *http.Request, name string)
 // rather than retried. When every assigned replica fails at the
 // transport level the sub-batch reports the typed upstream-failure
 // envelope.
-func (p *Proxy) forwardSub(ctx context.Context, name string, canon []ftrouting.EdgeID, sub ftrouting.SubBatch) subAnswer {
+func (p *Proxy) forwardSub(ctx context.Context, name string, canon []ftrouting.EdgeID, sub ftrouting.SubBatch, ro *reqObs) subAnswer {
 	req := api.FromBatch(ftrouting.QueryBatch{Pairs: sub.Pairs, Faults: canon})
+	if ro != nil {
+		// Propagate the trace on every fan-out hop, and the timing opt-in
+		// so stacked tiers echo their own breakdowns.
+		ctx = api.WithTrace(ctx, ro.trace)
+		if ro.debug {
+			ctx = api.WithDebugTiming(ctx)
+		}
+	}
 	reps := p.assign[sub.Shard]
 	start := int(p.rr.Add(1)-1) % len(reps)
 	var lastErr error
@@ -327,27 +362,44 @@ func (p *Proxy) forwardSub(ctx context.Context, name string, canon []ftrouting.E
 		u := p.ups[reps[(start+i)%len(reps)]]
 		u.requests.Add(1)
 		var ans subAnswer
+		var echoed *api.Timing
 		var err error
+		t0 := time.Now()
 		switch name {
 		case "connected":
-			ans.conn, err = u.client.Connected(ctx, req)
+			var resp api.ConnectedResponse
+			err = u.client.Query(ctx, name, req, &resp)
+			ans.conn, echoed = resp.Results, resp.Timing
 		case "estimate":
-			ans.est, err = u.client.Estimate(ctx, req)
-		case "route":
-			ans.route, err = u.client.Route(ctx, req)
-		default:
-			ans.route, err = u.client.RouteForbidden(ctx, req)
+			var resp api.EstimateResponse
+			err = u.client.Query(ctx, name, req, &resp)
+			ans.est, echoed = resp.Estimates, resp.Timing
+		default: // route, route-forbidden
+			var resp api.RouteResponse
+			err = u.client.Query(ctx, name, req, &resp)
+			ans.route, echoed = resp.Results, resp.Timing
 		}
+		d := time.Since(t0)
+		u.lat.Observe(d)
 		if err == nil {
+			ans.up = api.UpstreamTiming{
+				Shard:   sub.Shard,
+				Replica: u.client.BaseURL(),
+				Nanos:   int64(d),
+				Timing:  echoed,
+			}
 			return ans
 		}
 		if ce, ok := err.(*api.Error); ok {
 			u.errors.Add(1)
+			u.errCtr.Inc()
 			return subAnswer{err: remapSubError(ce, sub)}
 		}
 		u.failures.Add(1)
+		u.failCtr.Inc()
 		lastErr = err
 	}
+	p.obs.badGatewayInc()
 	return subAnswer{err: errorf(http.StatusBadGateway, codeUpstream,
 		"shard %d: every assigned replica failed: %v", sub.Shard, lastErr)}
 }
@@ -482,17 +534,17 @@ func (p *Proxy) Stats() StatsResponse {
 			Failures: u.failures.Load(),
 		})
 	}
+	resp.Latency = p.obs.latencySummaries()
+	resp.Stages = p.obs.stageSummaries()
 	return resp
 }
 
 // handleHealthz answers GET /v1/healthz with the fronted scheme's facts
 // plus the proxy's replica count.
-func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request, _ *reqObs) *apiError {
 	if r.Method != http.MethodGet {
-		e := errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+		return errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
 			"/v1/healthz accepts GET, not %s", r.Method)
-		writeError(w, e)
-		return e
 	}
 	writeJSON(w, HealthResponse{
 		Status:      "ok",
@@ -510,12 +562,10 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 }
 
 // handleStats answers GET /v1/stats.
-func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) error {
+func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request, _ *reqObs) *apiError {
 	if r.Method != http.MethodGet {
-		e := errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+		return errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
 			"/v1/stats accepts GET, not %s", r.Method)
-		writeError(w, e)
-		return e
 	}
 	writeJSON(w, p.Stats())
 	return nil

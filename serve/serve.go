@@ -64,6 +64,10 @@ type Options struct {
 	// a single batch touching more than the budget transiently exceeds
 	// it. Ignored by monolithic servers.
 	ShardBudgetBytes int64
+	// Obs configures metrics, request tracing and access logging; the
+	// zero value disables the whole layer and keeps the server
+	// byte-for-byte on its uninstrumented behavior.
+	Obs Observability
 }
 
 // endpointCounters counts one endpoint's traffic (lock-free; read by
@@ -95,6 +99,7 @@ type Server struct {
 
 	opts        Options
 	cache       *contextCache
+	obs         *tierObs
 	mux         *http.ServeMux
 	counters    map[string]*endpointCounters
 	pairsServed atomic.Uint64
@@ -132,7 +137,8 @@ func New(scheme any, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{opts: opts, cache: newContextCache(opts.ContextCacheSize)}
+	s := &Server{opts: opts, cache: newContextCache(opts.ContextCacheSize), obs: newTierObs(opts.Obs)}
+	s.obs.cacheInstruments()
 	switch v := scheme.(type) {
 	case *ftrouting.ConnLabels:
 		s.kind, s.conn, s.g, s.bound = "conn", v, v.Graph(), v.FaultBound()
@@ -170,31 +176,37 @@ func NewSharded(m *ftrouting.Manifest, opts Options) (*Server, error) {
 		digest:   m.Digest(),
 		manifest: m,
 		shards:   newShardCache(m, opts.ShardBudgetBytes, opts.ContextCacheSize),
+		obs:      newTierObs(opts.Obs),
 	}
+	s.obs.cacheInstruments()
+	s.shards.loadTime, s.shards.residentGauge, s.shards.evictedCtr = s.obs.shardInstruments()
 	s.initMux()
 	return s, nil
 }
 
-// initMux installs the /v1 endpoint handlers and their counters.
+// initMux installs the /v1 endpoint handlers and their counters, plus
+// the /metrics scrape target when metrics are enabled.
 func (s *Server) initMux() {
 	s.counters = make(map[string]*endpointCounters)
 	s.mux = http.NewServeMux()
 	for name := range queryEndpoints {
 		name := name
 		s.counters[name] = &endpointCounters{}
-		s.mux.HandleFunc("/v1/"+name, func(w http.ResponseWriter, r *http.Request) {
-			s.handleQuery(w, r, name)
-		})
+		s.mux.HandleFunc("/v1/"+name, instrumented(s.obs, s.counters, name,
+			func(w http.ResponseWriter, r *http.Request, ro *reqObs) *apiError {
+				return s.answerQuery(w, r, name, ro)
+			}))
 	}
-	for name, h := range map[string]func(http.ResponseWriter, *http.Request) error{
+	for name, h := range map[string]func(http.ResponseWriter, *http.Request, *reqObs) *apiError{
 		"healthz": s.handleHealthz,
 		"stats":   s.handleStats,
 	} {
 		name, h := name, h
 		s.counters[name] = &endpointCounters{}
-		s.mux.HandleFunc("/v1/"+name, func(w http.ResponseWriter, r *http.Request) {
-			s.counted(w, r, name, h)
-		})
+		s.mux.HandleFunc("/v1/"+name, instrumented(s.obs, s.counters, name, h))
+	}
+	if h := s.obs.metricsHandler(); h != nil {
+		s.mux.Handle("/metrics", h)
 	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorf(http.StatusNotFound, codeNotFound, "no such endpoint %s", r.URL.Path))
@@ -229,31 +241,14 @@ func (s *Server) Stats() StatsResponse {
 	for name, c := range s.counters {
 		resp.Endpoints[name] = EndpointStats{Requests: c.requests.Load(), Errors: c.errors.Load()}
 	}
+	resp.Latency = s.obs.latencySummaries()
+	resp.Stages = s.obs.stageSummaries()
 	return resp
 }
 
-// counted runs a handler under the endpoint's request/error counters.
-func (s *Server) counted(w http.ResponseWriter, r *http.Request, name string, h func(http.ResponseWriter, *http.Request) error) {
-	c := s.counters[name]
-	c.requests.Add(1)
-	if err := h(w, r); err != nil {
-		c.errors.Add(1)
-	}
-}
-
-// handleQuery is the shared query-endpoint pipeline: decode, look up (or
+// answerQuery is the shared query-endpoint pipeline: decode, look up (or
 // prepare) the fault context, fan the pairs out, respond.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string) {
-	s.counted(w, r, name, func(w http.ResponseWriter, r *http.Request) error {
-		if e := s.answerQuery(w, r, name); e != nil {
-			writeError(w, e)
-			return e
-		}
-		return nil
-	})
-}
-
-func (s *Server) answerQuery(w http.ResponseWriter, r *http.Request, name string) *apiError {
+func (s *Server) answerQuery(w http.ResponseWriter, r *http.Request, name string, ro *reqObs) *apiError {
 	if r.Method != http.MethodPost {
 		return errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
 			"/v1/%s accepts POST, not %s", name, r.Method)
@@ -262,28 +257,31 @@ func (s *Server) answerQuery(w http.ResponseWriter, r *http.Request, name string
 		return errorf(http.StatusNotFound, codeUnsupported,
 			"/v1/%s serves %s schemes; this server holds a %s scheme", name, want, s.kind)
 	}
+	st := ro.now()
 	req, e := decodeQueryRequest(r.Body, s.opts.MaxRequestBytes)
 	if e != nil {
 		return e
 	}
+	ro.stage(stageDecode, st)
 	batch := req.Batch()
+	ro.setBatch(len(batch.Pairs), len(batch.Faults))
 	// Mirror the batch API: an empty pair list returns empty results
 	// without touching (or even validating) the fault set.
 	if len(batch.Pairs) == 0 {
-		writeJSON(w, emptyPayload(name))
+		writeJSON(w, attachTiming(emptyPayload(name), ro.timing()))
 		return nil
 	}
 	var payload any
 	if s.manifest != nil {
-		payload, e = s.evalSharded(name, batch)
+		payload, e = s.evalSharded(name, batch, ro)
 	} else {
-		payload, e = s.evalMonolithic(name, batch)
+		payload, e = s.evalMonolithic(name, batch, ro)
 	}
 	if e != nil {
 		return e
 	}
 	s.pairsServed.Add(uint64(len(batch.Pairs)))
-	writeJSON(w, payload)
+	writeJSON(w, attachTiming(payload, ro.timing()))
 	return nil
 }
 
@@ -302,27 +300,32 @@ func (s *Server) prepare(canon []ftrouting.EdgeID) (any, error) {
 
 // evalMonolithic answers one batch from the whole in-memory scheme: one
 // cached fault context, one fan-out.
-func (s *Server) evalMonolithic(name string, batch ftrouting.QueryBatch) (any, *apiError) {
+func (s *Server) evalMonolithic(name string, batch ftrouting.QueryBatch, ro *reqObs) (any, *apiError) {
 	canon := ftrouting.CanonicalFaults(batch.Faults)
-	ctx, err := s.cache.get(faultKey(canon), func() (any, error) { return s.prepare(canon) })
+	st := ro.now()
+	ctx, hit, err := s.cache.get(faultKey(canon), func() (any, error) { return s.prepare(canon) })
 	if err != nil {
 		return nil, fromBatchError(err)
 	}
+	ro.cacheResult(hit)
+	ro.stage(stageContext, st)
 	opts := ftrouting.BatchOptions{Parallelism: s.opts.Parallelism}
 	pairs := batch.Pairs
+	st = ro.now()
+	var payload any
 	switch name {
 	case "connected":
 		results, err := ctx.(*ftrouting.ConnFaultContext).ConnectedBatch(pairs, opts)
 		if err != nil {
 			return nil, fromBatchError(err)
 		}
-		return ConnectedResponse{Results: results}, nil
+		payload = ConnectedResponse{Results: results}
 	case "estimate":
 		estimates, err := ctx.(*ftrouting.DistFaultContext).EstimateBatch(pairs, opts)
 		if err != nil {
 			return nil, fromBatchError(err)
 		}
-		return EstimateResponse{Estimates: estimates}, nil
+		payload = EstimateResponse{Estimates: estimates}
 	default: // route, route-forbidden
 		rc := ctx.(*ftrouting.RouteFaultContext)
 		var results []ftrouting.RouteResult
@@ -339,8 +342,10 @@ func (s *Server) evalMonolithic(name string, batch ftrouting.QueryBatch) (any, *
 		if err != nil {
 			return nil, fromBatchError(err)
 		}
-		return routePayload(results), nil
+		payload = routePayload(results)
 	}
+	ro.stage(stageEval, st)
+	return payload, nil
 }
 
 // evalSharded answers one batch through the shard router: plan the split
@@ -348,16 +353,19 @@ func (s *Server) evalMonolithic(name string, batch ftrouting.QueryBatch) (any, *
 // look up or prepare each shard's fault context, and run the merged
 // fan-out. Answers — including error envelopes and cross-component
 // pairs — are bit-identical to evalMonolithic over the same scheme.
-func (s *Server) evalSharded(name string, batch ftrouting.QueryBatch) (any, *apiError) {
+func (s *Server) evalSharded(name string, batch ftrouting.QueryBatch, ro *reqObs) (any, *apiError) {
 	// Plan over the canonical fault set: the monolithic path validates and
 	// prepares the canonical form too, so error choice and messages agree.
 	canon := ftrouting.CanonicalFaults(batch.Faults)
+	st := ro.now()
 	plan, err := s.manifest.PlanBatch(ftrouting.QueryBatch{Pairs: batch.Pairs, Faults: canon})
 	if err != nil {
 		return nil, fromBatchError(err)
 	}
+	ro.stage(stageValidate, st)
 	ids := plan.ShardIDs()
 	ctxs := make(map[int]any, len(ids))
+	st = ro.now()
 	held, err := s.shards.acquireAll(ids)
 	if err != nil {
 		return nil, errorf(http.StatusInternalServerError, codeInternal, "%v", err)
@@ -369,26 +377,30 @@ func (s *Server) evalSharded(name string, batch ftrouting.QueryBatch) (any, *api
 		// the global distinct count (distance estimates scale with the
 		// whole batch's |F|, which the restriction alone cannot see).
 		key := faultKey(plan.ShardFaults(entry.id)) + "#" + strconv.Itoa(plan.DistinctFaults())
-		ctx, err := entry.contexts.get(key, func() (any, error) { return plan.PrepareShard(entry.shard) })
+		ctx, hit, err := entry.contexts.get(key, func() (any, error) { return plan.PrepareShard(entry.shard) })
 		if err != nil {
 			return nil, fromBatchError(err)
 		}
+		ro.cacheResult(hit)
 		ctxs[entry.id] = ctx
 	}
+	ro.stage(stageContext, st)
 	opts := ftrouting.BatchOptions{Parallelism: s.opts.Parallelism}
+	st = ro.now()
+	var payload any
 	switch name {
 	case "connected":
 		results, err := plan.ConnectedBatch(ctxs, opts)
 		if err != nil {
 			return nil, fromBatchError(err)
 		}
-		return ConnectedResponse{Results: results}, nil
+		payload = ConnectedResponse{Results: results}
 	case "estimate":
 		estimates, err := plan.EstimateBatch(ctxs, opts)
 		if err != nil {
 			return nil, fromBatchError(err)
 		}
-		return EstimateResponse{Estimates: estimates}, nil
+		payload = EstimateResponse{Estimates: estimates}
 	default:
 		var results []ftrouting.RouteResult
 		if name == "route-forbidden" {
@@ -399,8 +411,10 @@ func (s *Server) evalSharded(name string, batch ftrouting.QueryBatch) (any, *api
 		if err != nil {
 			return nil, fromBatchError(err)
 		}
-		return routePayload(results), nil
+		payload = routePayload(results)
 	}
+	ro.stage(stageEval, st)
+	return payload, nil
 }
 
 // emptyPayload is the zero-pair response of one endpoint.
@@ -425,12 +439,10 @@ func routePayload(results []ftrouting.RouteResult) RouteResponse {
 }
 
 // handleHealthz answers GET /v1/healthz.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, _ *reqObs) *apiError {
 	if r.Method != http.MethodGet {
-		e := errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+		return errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
 			"/v1/healthz accepts GET, not %s", r.Method)
-		writeError(w, e)
-		return e
 	}
 	resp := HealthResponse{
 		Status:      "ok",
@@ -450,12 +462,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 }
 
 // handleStats answers GET /v1/stats.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ *reqObs) *apiError {
 	if r.Method != http.MethodGet {
-		e := errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
+		return errorf(http.StatusMethodNotAllowed, codeMethodNotAllowed,
 			"/v1/stats accepts GET, not %s", r.Method)
-		writeError(w, e)
-		return e
 	}
 	writeJSON(w, s.Stats())
 	return nil

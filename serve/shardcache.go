@@ -13,8 +13,10 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"ftrouting"
+	"ftrouting/internal/obs"
 )
 
 // shardEntry is one resident (or loading) shard. Loading runs outside
@@ -47,6 +49,12 @@ type shardCache struct {
 	m      *ftrouting.Manifest
 	budget int64
 	ctxCap int
+
+	// Optional instruments (nil-safe, set at server construction): shard
+	// load latency, resident bytes, and evictions.
+	loadTime      *obs.Histogram
+	residentGauge *obs.Gauge
+	evictedCtr    *obs.Counter
 
 	mu        sync.Mutex
 	entries   map[int]*list.Element
@@ -95,6 +103,7 @@ func (c *shardCache) acquireAll(ids []int) ([]*shardEntry, error) {
 			e = &shardEntry{id: id, bytes: c.m.ShardBytes(id), contexts: newContextCache(c.ctxCap), pins: 1}
 			c.entries[id] = c.order.PushFront(e)
 			c.resident += e.bytes
+			c.residentGauge.Set(c.resident)
 			c.loads++
 			c.counter(id).loads++
 		}
@@ -110,7 +119,13 @@ func (c *shardCache) acquireAll(ids []int) ([]*shardEntry, error) {
 	var firstErr error
 	for _, e := range out {
 		e := e
-		e.once.Do(func() { e.shard, e.err = c.m.LoadShard(e.id) })
+		e.once.Do(func() {
+			start := time.Now()
+			e.shard, e.err = c.m.LoadShard(e.id)
+			if e.err == nil {
+				c.loadTime.Observe(time.Since(start))
+			}
+		})
 		if e.err != nil && firstErr == nil {
 			firstErr = e.err
 		}
@@ -170,9 +185,11 @@ func (c *shardCache) removeLocked(id int, e *shardEntry, evicted bool) {
 	c.order.Remove(el)
 	delete(c.entries, id)
 	c.resident -= e.bytes
+	c.residentGauge.Set(c.resident)
 	if evicted {
 		c.evictions++
 		c.counter(id).evictions++
+		c.evictedCtr.Inc()
 	}
 	cs := e.contexts.stats()
 	pc := c.counter(id)
