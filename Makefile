@@ -33,7 +33,7 @@ FUZZ_TARGETS = \
 	.:FuzzManifest \
 	.:FuzzShard
 
-.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke shard-smoke proxy-smoke metrics-smoke
+.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke shard-smoke proxy-smoke metrics-smoke remote-smoke
 
 all: build lint test
 
@@ -213,6 +213,67 @@ proxy-smoke:
 	wait $$mpid $$r1pid $$p1pid $$p2pid; \
 	cat "$$tmp/p1.log"; \
 	echo "proxy-smoke OK"
+
+# remote-smoke proves the remote shard backend end to end: build a
+# multi-island scheme, shard it, serve the shard directory over plain
+# HTTP with `ftroute blobserve`, and boot a manifest-only replica whose
+# -in is the blob server's URL — it holds nothing on local disk and
+# fetches (and verifies) shards on demand. The replica must answer
+# byte-identically to the monolithic daemon, including error envelopes;
+# /v1/stats must carry the fetch counters; `ftroute query` must serve
+# straight from the URL; and killing the blob server must turn queries
+# for not-yet-resident shards into typed upstream_failure envelopes —
+# the same path the CI remote-smoke job runs.
+remote-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$mpid $$bpid $$rpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/ftroute" ./cmd/ftroute; \
+	"$$tmp/ftroute" build -type conn -graph islands -n 40 -extra 60 -f 3 -out "$$tmp/scheme.ftlb"; \
+	"$$tmp/ftroute" shard -in "$$tmp/scheme.ftlb" -out-dir "$$tmp/shards"; \
+	"$$tmp/ftroute" serve -in "$$tmp/scheme.ftlb" -addr 127.0.0.1:0 > "$$tmp/mono.log" 2>&1 & mpid=$$!; \
+	"$$tmp/ftroute" blobserve -dir "$$tmp/shards" -addr 127.0.0.1:0 > "$$tmp/blob.log" 2>&1 & bpid=$$!; \
+	maddr=""; baddr=""; \
+	for i in $$(seq 1 50); do \
+		maddr=$$(sed -n 's/^listening on //p' "$$tmp/mono.log"); \
+		baddr=$$(sed -n 's/^listening on //p' "$$tmp/blob.log"); \
+		[ -n "$$maddr" ] && [ -n "$$baddr" ] && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$maddr" ] && [ -n "$$baddr" ] || { echo "daemons never announced addresses" >&2; cat "$$tmp"/*.log >&2; exit 1; }; \
+	"$$tmp/ftroute" query -in "http://$$baddr/manifest.ftm" -s 0 -t 39 -faults 1,2 || { echo "query straight from the URL failed" >&2; exit 1; }; \
+	"$$tmp/ftroute" serve -in "http://$$baddr/" -addr 127.0.0.1:0 -fetch-retries 1 -fetch-backoff 10ms -fetch-timeout 5s > "$$tmp/remote.log" 2>&1 & rpid=$$!; \
+	raddr=""; \
+	for i in $$(seq 1 50); do \
+		raddr=$$(sed -n 's/^listening on //p' "$$tmp/remote.log"); \
+		[ -n "$$raddr" ] && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$raddr" ] || { echo "manifest-only replica never announced an address" >&2; cat "$$tmp/remote.log" >&2; exit 1; }; \
+	for body in '{"pairs":[[0,39],[0,41],[41,79],[80,119]],"faults":[1,2]}' \
+	            '{"pairs":[[5,7],[80,82]],"faults":[3,3,9]}' \
+	            '{"pairs":[[0,999]]}' \
+	            '{"pairs":[[0,1]],"faults":[99999]}' \
+	            '{"pairs":[[0,'; do \
+		curl -sS -d "$$body" "http://$$maddr/v1/connected" > "$$tmp/mono.out"; \
+		curl -sS -d "$$body" "http://$$raddr/v1/connected" > "$$tmp/remote.out"; \
+		cmp "$$tmp/mono.out" "$$tmp/remote.out" || { echo "manifest-only replica diverges for $$body" >&2; cat "$$tmp/mono.out" "$$tmp/remote.out" >&2; exit 1; }; \
+	done; \
+	curl -fsS "http://$$raddr/v1/stats" | grep -q '"fetches"' || { echo "remote stats missing fetch counters" >&2; exit 1; }; \
+	kill -TERM $$bpid; wait $$bpid; \
+	out=$$(curl -sS -d '{"pairs":[[120,121]]}' "http://$$raddr/v1/connected"); \
+	case "$$out" in \
+		*upstream_failure*) ;; \
+		*) echo "dead blob backend did not yield a typed upstream_failure envelope: $$out" >&2; cat "$$tmp/remote.log" >&2; exit 1;; \
+	esac; \
+	body='{"pairs":[[0,39],[0,41]],"faults":[1,2]}'; \
+	curl -sS -d "$$body" "http://$$maddr/v1/connected" > "$$tmp/mono.out"; \
+	curl -sS -d "$$body" "http://$$raddr/v1/connected" > "$$tmp/remote.out"; \
+	cmp "$$tmp/mono.out" "$$tmp/remote.out" || { echo "resident shards stopped answering after backend death" >&2; cat "$$tmp/mono.out" "$$tmp/remote.out" >&2; exit 1; }; \
+	kill -TERM $$mpid $$rpid; \
+	wait $$mpid $$rpid; \
+	cat "$$tmp/remote.log"; \
+	echo "remote-smoke OK"
 
 # metrics-smoke proves the observability layer end to end on real
 # daemons: serve a sharded replica and a proxy with default

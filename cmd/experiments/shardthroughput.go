@@ -146,6 +146,6 @@ func shardThroughput(seed uint64) *experiments.Table {
 		fmt.Sprintf("check: warm sharded q/s within %.0f%% of monolithic — %.2fx: %s",
 			e18Tolerance*100, ratio, verdict),
 		"cold load ms = mean wall time of LoadShard (decode + seed-driven label rebuild), paid once per shard residency",
-		"resident cost unit = shard file bytes (what the serve -manifest -shard-budget LRU accounts)")
+		"resident cost unit = shard file bytes (what the sharded serve -shard-budget LRU accounts)")
 	return t
 }

@@ -1,0 +1,33 @@
+package main
+
+// `ftroute blobserve`: a minimal static blob server over a shard
+// directory, so a manifest-only replica (`ftroute serve -in
+// http://host/…`) has a remote backend to fetch shards from without any
+// external file server. It answers plain GETs with Range support (Go's
+// file server), which is exactly the surface the blob store's ranged
+// fetcher targets; the remote-smoke CI job wires the two together.
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+func runBlobserve(args []string) error {
+	fs := flag.NewFlagSet("blobserve", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory to serve (e.g. a shard directory written by ftroute shard)")
+	addr := fs.String("addr", ":8090", "listen address (host:port; port 0 picks a free port)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := os.Stat(*dir)
+	if err != nil {
+		return err
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("%s is not a directory", *dir)
+	}
+	fmt.Printf("serving blobs from %s\n", *dir)
+	return runDaemon(*addr, "", http.FileServer(http.Dir(*dir)))
+}

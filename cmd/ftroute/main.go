@@ -45,6 +45,17 @@
 //	ftroute query -in shards/ -s 0 -t 39 -faults 1,2
 //	ftroute serve -in shards/ -addr :8080 -shard-budget 67108864
 //
+// Remote shard backends (the -in reference may be an http(s) URL; a
+// manifest fetched from a URL pulls its shards from the same base on
+// demand, verifying each against the manifest's checksum before
+// install, so a replica holds nothing on local disk; -shard-store
+// points an on-disk manifest at a separate backend):
+//
+//	ftroute blobserve -dir shards/ -addr :8090 &
+//	ftroute serve -in http://localhost:8090/ -addr :8080
+//	ftroute query -in http://localhost:8090/manifest.ftm -s 0 -t 39
+//	ftroute serve -in manifest.ftm -shard-store http://blobs:8090 -fetch-retries 5 -addr :8080
+//
 // Fan-out proxy tier (shard-affine replicas behind a stateless proxy;
 // every tier speaks the same wire protocol and answers byte-identically,
 // so proxies stack):
@@ -101,6 +112,8 @@ func main() {
 		err = runProxy(args)
 	case "shard":
 		err = runShard(args)
+	case "blobserve":
+		err = runBlobserve(args)
 	case "info":
 		err = runInfo(args)
 	default:
@@ -114,7 +127,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query|serve|proxy|shard|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query|serve|proxy|shard|blobserve|info> [flags]
   conn   connectivity query under faults from labels
   dist   approximate distance query under faults from labels
   route  fault-tolerant routing simulation (-in loads a saved router)
@@ -122,21 +135,29 @@ func usage() {
   lower  Theorem 1.6 lower-bound experiment
   build  preprocess once and write a scheme file (-type conn|dist|route)
   query  answer from a scheme source without rebuilding; -in takes a
-         scheme file or a shard manifest (auto-detected; manifests load
-         only the shards the batch touches). -pairs FILE|- batches many
-         "s t" queries over the worker pool
+         scheme file, a shard manifest (file or directory), or an
+         http(s) URL of either (auto-detected; manifests load only the
+         shards the batch touches, remote shards are fetched and
+         verified on demand). -pairs FILE|- batches many "s t" queries
+         over the worker pool
   serve  long-running HTTP daemon answering pair batches (-addr, -par,
          -ctxcache; see package serve for the API); -in takes a scheme
-         file or a shard manifest (auto-detected; manifest mode lazily
-         loads/evicts shards under -shard-budget bytes). Observability:
-         -metrics (GET /metrics), -log-level/-log-sample (JSON access
-         log with trace IDs), -debug-addr (pprof side listener)
+         file, a shard manifest, or an http(s) URL of either
+         (auto-detected; manifest mode lazily loads/evicts shards under
+         -shard-budget bytes). -shard-store DIR|URL fetches shards from
+         a separate backend so a replica needs only manifest.ftm;
+         -fetch-timeout/-fetch-retries/-fetch-backoff tune remote
+         fetching. Observability: -metrics (GET /metrics),
+         -log-level/-log-sample (JSON access log with trace IDs),
+         -debug-addr (pprof side listener)
   proxy  fan-out daemon over shard-affine replicas: loads only a shard
          manifest, assigns shards to -replicas balanced by bytes (with
          -replication failover), splits each batch per shard and merges
          replies byte-identically to a single daemon; shares serve's
          observability flags and propagates X-Ftroute-Trace on fan-out
   shard  split a scheme file into a manifest + per-component shard files
+  blobserve  serve a directory of shard blobs over plain HTTP (the
+         static backend a manifest-only replica fetches from)
   info   print header, counts, fault bound and label sizes of a scheme
          or manifest file`)
 }

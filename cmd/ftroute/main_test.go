@@ -207,8 +207,7 @@ func TestBuildQueryWorkflow(t *testing.T) {
 
 // TestUnifiedSourceResolution drives the one -in flag over every source
 // form: a monolithic scheme file, a manifest file, and a manifest
-// directory are auto-detected, and the deprecated -manifest alias still
-// routes.
+// directory are auto-detected through ftrouting.Open.
 func TestUnifiedSourceResolution(t *testing.T) {
 	dir := t.TempDir()
 	connFile := filepath.Join(dir, "conn.ftl")
@@ -220,17 +219,17 @@ func TestUnifiedSourceResolution(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// loadQuerySource sniffs the artifact kind from the codec header.
-	if src, err := loadQuerySource(connFile); err != nil || src.manifest != nil || src.scheme == nil {
+	// ftrouting.Open sniffs the artifact kind from the codec header.
+	if src, err := ftrouting.Open(connFile); err != nil || src.Manifest() != nil || src.Scheme() == nil {
 		t.Fatalf("monolithic file: src=%+v err=%v", src, err)
 	}
-	if src, err := loadQuerySource(shardDir); err != nil || src.manifest == nil {
+	if src, err := ftrouting.Open(shardDir); err != nil || src.Manifest() == nil {
 		t.Fatalf("manifest directory: src=%+v err=%v", src, err)
 	}
-	if src, err := loadQuerySource(filepath.Join(shardDir, ftrouting.ManifestFileName)); err != nil || src.manifest == nil {
+	if src, err := ftrouting.Open(filepath.Join(shardDir, ftrouting.ManifestFileName)); err != nil || src.Manifest() == nil {
 		t.Fatalf("manifest file: src=%+v err=%v", src, err)
 	}
-	if _, err := loadQuerySource(filepath.Join(dir, "absent")); err == nil {
+	if _, err := ftrouting.Open(filepath.Join(dir, "absent")); err == nil {
 		t.Fatal("missing source accepted")
 	}
 
@@ -241,15 +240,16 @@ func TestUnifiedSourceResolution(t *testing.T) {
 	if err := runQuery([]string{"-in", connFile, "-s", "0", "-t", "29", "-faults", "1,2"}); err != nil {
 		t.Fatal(err)
 	}
-	// ...and the deprecated -manifest alias still reaches the manifest.
-	if err := runQuery([]string{"-manifest", shardDir, "-s", "0", "-t", "29"}); err != nil {
+	// ...and a -shard-store override pointing at a copy of the shard
+	// directory still serves (the manifest alone routes the query).
+	if err := runQuery([]string{"-in", filepath.Join(shardDir, ftrouting.ManifestFileName),
+		"-shard-store", shardDir, "-s", "0", "-t", "29"}); err != nil {
 		t.Fatal(err)
 	}
-	if got := resolveSourcePath("query", "a", ""); got != "a" {
-		t.Fatalf("resolveSourcePath without alias = %q", got)
-	}
-	if got := resolveSourcePath("query", "a", "b"); got != "b" {
-		t.Fatalf("resolveSourcePath with alias = %q", got)
+	// -shard-store refuses monolithic sources.
+	if err := runQuery([]string{"-in", connFile, "-shard-store", shardDir, "-s", "0", "-t", "1"}); err == nil ||
+		!strings.Contains(err.Error(), "monolithic") {
+		t.Fatalf("-shard-store over a monolithic file: %v", err)
 	}
 
 	// proxy needs a manifest and at least one replica.

@@ -84,8 +84,8 @@ func runBuild(args []string) error {
 
 func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	in := fs.String("in", "scheme.ftl", "scheme source: a file written by ftroute build, or a manifest (file or directory) written by ftroute shard — auto-detected; manifests load only the shards the query touches")
-	manifest := fs.String("manifest", "", "deprecated alias of -in (manifests are auto-detected)")
+	sf := addSourceFlags(fs, "scheme.ftl",
+		"scheme source: a scheme file written by ftroute build, a manifest (file or directory) written by ftroute shard, or an http(s) URL of either — auto-detected; manifests load only the shards the query touches")
 	s := fs.Int("s", 0, "source vertex")
 	t := fs.Int("t", 1, "target vertex")
 	faultsFlag := fs.String("faults", "", "comma-separated faulty edge ids")
@@ -99,14 +99,14 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	src, err := loadQuerySource(resolveSourcePath("query", *in, *manifest))
+	src, err := sf.open()
 	if err != nil {
 		return err
 	}
-	if src.manifest != nil {
-		return runQueryManifest(src.manifest, src.path, *s, *t, faults, *pairsFlag, *par, *forbidden)
+	if m := src.Manifest(); m != nil {
+		return runQueryManifest(m, src.Ref(), *s, *t, faults, *pairsFlag, *par, *forbidden)
 	}
-	scheme := src.scheme
+	scheme := src.Scheme()
 	if *pairsFlag != "" {
 		pairs, err := openPairs(*pairsFlag)
 		if err != nil {
@@ -120,7 +120,7 @@ func runQuery(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded connectivity labeling from %s\n", src.path)
+		fmt.Printf("loaded connectivity labeling from %s\n", src.Ref())
 		fmt.Printf("query: s=%d t=%d |F|=%d\n", *s, *t, len(faults))
 		fmt.Printf("connected in G\\F: %v\n", connected)
 	case *ftrouting.DistLabels:
@@ -128,7 +128,7 @@ func runQuery(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded distance labeling from %s\n", src.path)
+		fmt.Printf("loaded distance labeling from %s\n", src.Ref())
 		fmt.Printf("query: s=%d t=%d |F|=%d\n", *s, *t, len(faults))
 		if est == ftrouting.Unreachable {
 			fmt.Println("estimate: unreachable")
@@ -145,7 +145,7 @@ func runQuery(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded router from %s\n", src.path)
+		fmt.Printf("loaded router from %s\n", src.Ref())
 		printRouteResult(res)
 	default:
 		return fmt.Errorf("unsupported scheme type %T", v)

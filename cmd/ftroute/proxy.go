@@ -25,7 +25,8 @@ const proxyStartupTimeout = 30 * time.Second
 
 func runProxy(args []string) error {
 	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
-	in := fs.String("in", "shards", "shard manifest (file or directory) written by ftroute shard; the proxy loads only its directory")
+	sf := addSourceFlags(fs, "shards",
+		"shard manifest (file, directory, or http(s) URL) written by ftroute shard; the proxy loads only the manifest, never a shard payload")
 	replicasFlag := fs.String("replicas", "", "comma-separated replica base URLs (e.g. http://h1:8080,http://h2:8080)")
 	replication := fs.Int("replication", 1, "replicas each shard is assigned to (sub-batches fail over within the group)")
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
@@ -51,14 +52,14 @@ func runProxy(args []string) error {
 	if len(replicas) == 0 {
 		return fmt.Errorf("-replicas must list at least one replica base URL")
 	}
-	src, err := loadQuerySource(*in)
+	src, err := sf.open()
 	if err != nil {
 		return err
 	}
-	if src.manifest == nil {
-		return fmt.Errorf("%s holds a monolithic scheme; ftroute proxy needs a shard manifest (run ftroute shard first)", src.path)
+	m := src.Manifest()
+	if m == nil {
+		return fmt.Errorf("%s holds a monolithic scheme; ftroute proxy needs a shard manifest (run ftroute shard first)", src.Ref())
 	}
-	m := src.manifest
 
 	ctx, cancel := context.WithTimeout(context.Background(), proxyStartupTimeout)
 	p, err := serve.NewProxy(ctx, m, replicas, serve.ProxyOptions{
@@ -70,7 +71,7 @@ func runProxy(args []string) error {
 	}
 
 	fmt.Printf("fronting %s manifest from %s (%d shards over %d replicas, replication %d)\n",
-		m.Kind(), src.path, m.NumShards(), len(replicas), *replication)
+		m.Kind(), src.Ref(), m.NumShards(), len(replicas), *replication)
 	for i, shards := range p.Placement() {
 		var bytes int64
 		for _, id := range shards {

@@ -16,8 +16,8 @@ import (
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	in := fs.String("in", "scheme.ftl", "scheme source: a file written by ftroute build, or a manifest (file or directory) written by ftroute shard — auto-detected")
-	manifest := fs.String("manifest", "", "deprecated alias of -in (manifests are auto-detected)")
+	sf := addSourceFlags(fs, "scheme.ftl",
+		"scheme source: a scheme file written by ftroute build, a manifest (file or directory) written by ftroute shard, or an http(s) URL of either — auto-detected")
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	par := fs.Int("par", 0, "workers evaluating each request's pairs: 0 uses GOMAXPROCS, 1 is sequential")
 	ctxCache := fs.Int("ctxcache", serve.DefaultContextCacheSize,
@@ -48,23 +48,23 @@ func runServe(args []string) error {
 		// pinned (in-flight) shards ever stay loaded.
 		opts.ShardBudgetBytes = 1
 	}
-	src, err := loadQuerySource(resolveSourcePath("serve", *in, *manifest))
+	src, err := sf.open()
 	if err != nil {
 		return err
 	}
 	var srv *serve.Server
 	var source string
-	if src.manifest != nil {
-		if srv, err = serve.NewSharded(src.manifest, opts); err != nil {
+	if m := src.Manifest(); m != nil {
+		if srv, err = serve.NewSharded(m, opts); err != nil {
 			return err
 		}
 		source = fmt.Sprintf("%s manifest from %s (%d components, %d shards)",
-			srv.Kind(), src.path, src.manifest.NumComponents(), src.manifest.NumShards())
+			srv.Kind(), src.Ref(), m.NumComponents(), m.NumShards())
 	} else {
-		if srv, err = serve.New(src.scheme, opts); err != nil {
+		if srv, err = serve.New(src.Scheme(), opts); err != nil {
 			return err
 		}
-		source = fmt.Sprintf("%s scheme from %s", srv.Kind(), src.path)
+		source = fmt.Sprintf("%s scheme from %s", srv.Kind(), src.Ref())
 	}
 
 	fmt.Printf("loaded %s\n", source)

@@ -1,11 +1,14 @@
 package main
 
 // Unified scheme-source loading: `ftroute serve`, `ftroute query` and
-// `ftroute proxy` accept one -in path that may name a monolithic scheme
-// file, a shard manifest, or a manifest's directory — the artifact-kind
-// header distinguishes them (exactly as `ftroute info` does), so the
-// caller never declares which one it has. The old -manifest flag
-// survives as a deprecated alias.
+// `ftroute proxy` accept one -in reference that may name a monolithic
+// scheme file, a shard manifest, a manifest's directory, or an http(s)
+// URL of any of those — ftrouting.Open dispatches on the artifact-kind
+// header and the reference's shape, so the caller never declares which
+// one it has. A URL reference (or a -shard-store override) makes the
+// remote backend the shard store: the daemon fetches shards on demand,
+// verifying each against the manifest's recorded checksum and scheme
+// digest before install.
 
 import (
 	"context"
@@ -18,63 +21,77 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"ftrouting"
-	"ftrouting/internal/codec"
+	"ftrouting/internal/blob"
 	"ftrouting/internal/obs"
 	"ftrouting/serve"
 )
 
-// querySource is one loaded -in artifact: exactly one of scheme
-// (monolithic) or manifest is set. path is the resolved file (a
-// directory argument resolves to its manifest.ftm).
-type querySource struct {
-	path     string
-	scheme   any
-	manifest *ftrouting.Manifest
+// sourceFlags is the shared scheme-source flag surface: the -in
+// reference plus the remote-fetch knobs and the -shard-store override.
+type sourceFlags struct {
+	in           *string
+	shardStore   *string
+	fetchTimeout *time.Duration
+	fetchRetries *int
+	fetchBackoff *time.Duration
 }
 
-// resolveSourcePath folds the deprecated -manifest alias into the
-// unified -in, warning once on stderr when the alias is used.
-func resolveSourcePath(cmd, in, manifest string) string {
-	if manifest == "" {
-		return in
+// addSourceFlags declares the source flags on a FlagSet; def and what
+// are the -in default and help text.
+func addSourceFlags(fs *flag.FlagSet, def, what string) *sourceFlags {
+	return &sourceFlags{
+		in: fs.String("in", def, what),
+		shardStore: fs.String("shard-store", "",
+			"fetch manifest shards from this directory or http(s) base URL instead of alongside the manifest (so a replica needs only manifest.ftm on disk)"),
+		fetchTimeout: fs.Duration("fetch-timeout", blob.DefaultFetchTimeout,
+			"remote fetch: per-attempt timeout (0 removes the bound)"),
+		fetchRetries: fs.Int("fetch-retries", blob.DefaultFetchRetries,
+			"remote fetch: extra attempts after the first (0 disables retrying)"),
+		fetchBackoff: fs.Duration("fetch-backoff", blob.DefaultFetchBackoff,
+			"remote fetch: delay before the first retry (doubling per retry, jittered)"),
 	}
-	fmt.Fprintf(os.Stderr, "ftroute %s: -manifest is deprecated; -in auto-detects manifests\n", cmd)
-	return manifest
 }
 
-// loadQuerySource opens path — scheme file, manifest file, or manifest
-// directory — and loads whichever artifact the header declares.
-func loadQuerySource(path string) (*querySource, error) {
-	st, err := os.Stat(path)
+// fetchOptions maps the flag values onto blob.HTTPOptions, translating
+// the flags' "0 means off" convention to the options' negative one.
+func (sf *sourceFlags) fetchOptions() blob.HTTPOptions {
+	o := blob.HTTPOptions{Timeout: *sf.fetchTimeout, Retries: *sf.fetchRetries, Backoff: *sf.fetchBackoff}
+	if o.Timeout == 0 {
+		o.Timeout = -1
+	}
+	if o.Retries == 0 {
+		o.Retries = -1
+	}
+	return o
+}
+
+// open resolves the -in reference and applies the -shard-store
+// override.
+func (sf *sourceFlags) open() (*ftrouting.Source, error) {
+	src, err := ftrouting.OpenWith(*sf.in, ftrouting.OpenOptions{Fetch: sf.fetchOptions()})
 	if err != nil {
 		return nil, err
 	}
-	if st.IsDir() {
-		path = filepath.Join(path, ftrouting.ManifestFileName)
-	}
-	kind, _, err := sniffHeader(path)
-	if err != nil {
-		return nil, err
-	}
-	src := &querySource{path: path}
-	if kind == codec.KindManifest {
-		if src.manifest, err = ftrouting.LoadManifest(path); err != nil {
-			return nil, err
-		}
+	if *sf.shardStore == "" {
 		return src, nil
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+	m := src.Manifest()
+	if m == nil {
+		return nil, fmt.Errorf("-shard-store needs a shard manifest, but %s holds a monolithic scheme", src.Ref())
 	}
-	defer f.Close()
-	if src.scheme, err = ftrouting.LoadScheme(f); err != nil {
-		return nil, err
+	if ref := *sf.shardStore; strings.HasPrefix(ref, "http://") || strings.HasPrefix(ref, "https://") {
+		store, err := blob.NewHTTP(ref, sf.fetchOptions())
+		if err != nil {
+			return nil, err
+		}
+		m.SetStore(store)
+	} else {
+		m.SetStore(blob.NewDir(ref))
 	}
 	return src, nil
 }

@@ -45,7 +45,7 @@
 // loading into a partial scheme that answers its components'
 // queries bit-identically to the whole. Manifest.PlanBatch routes a
 // QueryBatch across shards — cross-component pairs are answered from
-// the directory alone — and `ftroute serve -manifest` serves a manifest
+// the directory alone — and `ftroute serve -in shards/` serves a manifest
 // behind a bounded resident-shard cache (see shard.go and package
 // serve).
 package ftrouting

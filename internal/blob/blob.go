@@ -1,0 +1,193 @@
+// Package blob abstracts where persisted shard artifacts live: a Store
+// resolves a blob name to a random-access reader of known size. The
+// serving tier's shard cache fetches through a Store on resident-LRU
+// miss, so a replica's shards may sit in a local directory (Dir, the
+// classic layout next to the manifest), behind an HTTP/HTTPS server
+// (HTTP — range reads, per-request timeouts, bounded retries with
+// exponential backoff and jitter), or in memory (Mem, for tests). The
+// manifest's recorded checksum and scheme digest verify every fetched
+// shard before it is installed, so a Store is never trusted: a corrupt,
+// stale or foreign blob fails typed (codec.ErrChecksum / codec.ErrCorrupt)
+// no matter which backend produced it.
+//
+// Transport-level fetch failures — timeouts, refused connections,
+// truncated bodies, non-2xx statuses that are not 404 — wrap ErrFetch
+// after the retry budget is exhausted, so callers can distinguish "the
+// backend is unreachable" (retryable elsewhere, surfaced as the serving
+// tier's typed upstream_failure envelope) from "the blob is bad"
+// (corruption, never retried). Missing blobs wrap fs.ErrNotExist.
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrFetch marks a transport-level fetch failure: the store could not
+// produce the blob's bytes (unreachable backend, exhausted retries,
+// truncated body). It never marks a corrupt blob — integrity failures
+// surface as codec errors from the decode layer.
+var ErrFetch = errors.New("blob: fetch failed")
+
+// Reader is one open blob: random access over a known size. Readers are
+// safe for concurrent ReadAt calls.
+type Reader interface {
+	io.ReaderAt
+	io.Closer
+	// Size is the blob's total length in bytes.
+	Size() int64
+}
+
+// Store resolves blob names to readers. Implementations must be safe
+// for concurrent Open calls. Names are flat (no path separators) — the
+// manifest's shard-name validation guarantees it for shard files.
+type Store interface {
+	Open(name string) (Reader, error)
+}
+
+// Event is one observable store action, emitted by stores that support
+// observation (SetObserver): a completed fetch (Kind EventFetch, with
+// the final error if the fetch failed) or one failed attempt that will
+// be retried (Kind EventRetry).
+type Event struct {
+	Kind EventKind
+	// Name is the blob being fetched.
+	Name string
+	// Attempt numbers the attempt the event closes, starting at 1.
+	Attempt int
+	// Bytes is the blob size on a successful fetch.
+	Bytes int64
+	// Duration is the wall time of the whole fetch (EventFetch) or the
+	// failed attempt (EventRetry).
+	Duration time.Duration
+	// Err is the attempt's failure (EventRetry) or the fetch's final
+	// error (EventFetch; nil on success).
+	Err error
+}
+
+// EventKind distinguishes observer events.
+type EventKind int
+
+const (
+	// EventFetch closes one Open call, successful or not.
+	EventFetch EventKind = iota
+	// EventRetry reports one failed attempt that will be retried.
+	EventRetry
+)
+
+// Observer receives store events. Observers must be safe for concurrent
+// calls (stores may fetch concurrently).
+type Observer func(Event)
+
+// Observable is implemented by stores that emit Events; the serving
+// tier wires its fetch instruments through it when the configured store
+// supports it.
+type Observable interface {
+	SetObserver(Observer)
+}
+
+// Dir is the local-directory store: blobs are files under one
+// directory, the layout every manifest written by SaveSharded* uses.
+type Dir struct {
+	dir string
+}
+
+// NewDir returns a store over the files of dir.
+func NewDir(dir string) *Dir { return &Dir{dir: dir} }
+
+// String names the store for logs.
+func (d *Dir) String() string { return "dir:" + d.dir }
+
+// Open opens one file of the directory. Names must not escape it.
+func (d *Dir) Open(name string) (Reader, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(d.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileReader{f: f, size: st.Size()}, nil
+}
+
+// fileReader adapts an *os.File to the Reader contract.
+type fileReader struct {
+	f    *os.File
+	size int64
+}
+
+func (r *fileReader) ReadAt(p []byte, off int64) (int, error) { return r.f.ReadAt(p, off) }
+func (r *fileReader) Close() error                            { return r.f.Close() }
+func (r *fileReader) Size() int64                             { return r.size }
+
+// Mem is the in-memory store for tests: named byte slices.
+type Mem struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{blobs: make(map[string][]byte)} }
+
+// String names the store for logs.
+func (m *Mem) String() string { return "mem" }
+
+// Put installs (or replaces) one blob. The slice is copied.
+func (m *Mem) Put(name string, data []byte) {
+	m.mu.Lock()
+	m.blobs[name] = append([]byte(nil), data...)
+	m.mu.Unlock()
+}
+
+// Open returns a reader over one blob's bytes.
+func (m *Mem) Open(name string) (Reader, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	data, ok := m.blobs[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("blob %q: %w", name, fs.ErrNotExist)
+	}
+	return NewBytesReader(data), nil
+}
+
+// BytesReader is a Reader over an in-memory byte slice (the form every
+// remote fetch materializes before verification).
+type BytesReader struct {
+	r    *bytes.Reader
+	size int64
+}
+
+// NewBytesReader wraps data (not copied) in a Reader.
+func NewBytesReader(data []byte) *BytesReader {
+	return &BytesReader{r: bytes.NewReader(data), size: int64(len(data))}
+}
+
+func (b *BytesReader) ReadAt(p []byte, off int64) (int, error) { return b.r.ReadAt(p, off) }
+func (b *BytesReader) Close() error                            { return nil }
+func (b *BytesReader) Size() int64                             { return b.size }
+
+// validName rejects blob names that could escape a directory store; the
+// same shapes the manifest's shard-name validation rejects on the wire.
+func validName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") || strings.ContainsRune(name, 0) {
+		return fmt.Errorf("blob: invalid name %q", name)
+	}
+	return nil
+}

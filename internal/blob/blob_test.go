@@ -1,0 +1,179 @@
+package blob
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func readAll(t *testing.T, s Store, name string) []byte {
+	t.Helper()
+	r, err := s.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	defer r.Close()
+	buf := make([]byte, r.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(r, 0, r.Size()), buf); err != nil {
+		t.Fatalf("reading %q: %v", name, err)
+	}
+	return buf
+}
+
+func TestDirStore(t *testing.T) {
+	dir := t.TempDir()
+	want := []byte("0123456789abcdef")
+	if err := os.WriteFile(filepath.Join(dir, "blob.bin"), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDir(dir)
+	r, err := d.Open("blob.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != int64(len(want)) {
+		t.Fatalf("Size = %d, want %d", r.Size(), len(want))
+	}
+	mid := make([]byte, 4)
+	if _, err := r.ReadAt(mid, 6); err != nil || string(mid) != "6789" {
+		t.Fatalf("ReadAt(6) = %q, %v", mid, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Open("absent"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing blob: %v", err)
+	}
+	// Names that could escape the directory are rejected before any
+	// filesystem access.
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, "a\x00b"} {
+		if _, err := d.Open(name); err == nil {
+			t.Fatalf("invalid name %q accepted", name)
+		}
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	m := NewMem()
+	data := []byte("payload")
+	m.Put("x", data)
+	data[0] = '!' // Put copies: later caller mutation must not leak in
+	if got := readAll(t, m, "x"); string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := m.Open("y"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing blob: %v", err)
+	}
+	m.Put("x", []byte("v2"))
+	if got := readAll(t, m, "x"); string(got) != "v2" {
+		t.Fatalf("after replace got %q", got)
+	}
+}
+
+func TestFaultOpenErr(t *testing.T) {
+	m := NewMem()
+	m.Put("x", []byte("data"))
+	f := NewFault(m)
+	boom := errors.New("boom")
+	f.Enqueue(FaultOp{OpenErr: boom})
+	if _, err := f.Open("x"); !errors.Is(err, boom) {
+		t.Fatalf("scripted OpenErr: %v", err)
+	}
+	// Queue drained: pass-through.
+	if got := readAll(t, f, "x"); string(got) != "data" {
+		t.Fatalf("pass-through got %q", got)
+	}
+	if f.Opens() != 2 {
+		t.Fatalf("Opens = %d", f.Opens())
+	}
+}
+
+func TestFaultFailAfter(t *testing.T) {
+	m := NewMem()
+	m.Put("x", []byte("0123456789"))
+	f := NewFault(m)
+	f.Enqueue(FaultOp{FailAfter: 4})
+	r, err := f.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 10)
+	n, err := r.ReadAt(buf, 0)
+	if !errors.Is(err, ErrFetch) {
+		t.Fatalf("read across FailAfter: n=%d err=%v", n, err)
+	}
+	if n != 4 || string(buf[:n]) != "0123" {
+		t.Fatalf("prefix before failure: n=%d %q", n, buf[:n])
+	}
+	if _, err := r.ReadAt(buf[:2], 6); !errors.Is(err, ErrFetch) {
+		t.Fatalf("read past FailAfter: %v", err)
+	}
+	if n, err := r.ReadAt(buf[:3], 0); n != 3 || err != nil {
+		t.Fatalf("read before FailAfter: n=%d err=%v", n, err)
+	}
+}
+
+func TestFaultTruncate(t *testing.T) {
+	m := NewMem()
+	m.Put("x", []byte("0123456789"))
+	f := NewFault(m)
+	f.Enqueue(FaultOp{Truncate: 6})
+	r, err := f.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != 6 {
+		t.Fatalf("truncated Size = %d", r.Size())
+	}
+	buf := make([]byte, 10)
+	n, err := r.ReadAt(buf, 2)
+	if n != 4 || err != io.EOF {
+		t.Fatalf("read across truncation: n=%d err=%v", n, err)
+	}
+	if string(buf[:n]) != "2345" {
+		t.Fatalf("truncated read = %q", buf[:n])
+	}
+	if _, err := r.ReadAt(buf[:1], 8); err != io.EOF {
+		t.Fatalf("read past truncation: %v", err)
+	}
+}
+
+func TestFaultFlipBit(t *testing.T) {
+	m := NewMem()
+	m.Put("x", []byte{0x10, 0x20, 0x30, 0x40})
+	f := NewFault(m)
+	f.Enqueue(FaultOp{FlipBit: 2})
+	got := readAll(t, f, "x")
+	if got[0] != 0x10 || got[1] != 0x20 || got[2] != 0x31 || got[3] != 0x40 {
+		t.Fatalf("flipped read = %x", got)
+	}
+	// Clean on the next open.
+	if got := readAll(t, f, "x"); got[2] != 0x30 {
+		t.Fatalf("clean read = %x", got)
+	}
+}
+
+func TestFaultDelay(t *testing.T) {
+	m := NewMem()
+	m.Put("x", []byte("d"))
+	f := NewFault(m)
+	f.Enqueue(FaultOp{Delay: 30 * time.Millisecond})
+	r, err := f.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	start := time.Now()
+	if _, err := r.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("read returned after %v, scheduled delay 30ms", d)
+	}
+}

@@ -1,0 +1,143 @@
+package blob
+
+// The fault-injection store for tests: wraps any Store and corrupts or
+// fails its traffic on a schedule. Each Open consumes the next queued
+// FaultOp (pass-through once the queue drains), so a test scripts an
+// exact failure sequence — "two transport errors, then a bit-flipped
+// body, then clean" — and asserts the consumer's retry, verification
+// and cache behavior deterministically.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FaultOp scripts one Open's misbehavior. The zero value passes the
+// call through untouched; a zero field disables that injection (target
+// offsets must be positive, which every artifact allows — the first 8
+// bytes are a fixed header no test needs to target). Fields compose: a
+// single op may both delay and flip a bit.
+type FaultOp struct {
+	// OpenErr fails the Open itself with this error.
+	OpenErr error
+	// FailAfter > 0 makes reads at or past this byte offset fail with a
+	// transport error — a mid-body disconnect.
+	FailAfter int64
+	// Truncate > 0 serves only the first Truncate bytes: the reported
+	// Size shrinks and reads past it hit EOF — a short object.
+	Truncate int64
+	// FlipBit > 0 XOR-flips the low bit of the byte at this offset —
+	// silent corruption the checksum layer must catch.
+	FlipBit int64
+	// Delay stalls every ReadAt by this much — a slow backend.
+	Delay time.Duration
+}
+
+// Fault wraps an inner store with scripted failures. Safe for
+// concurrent use; ops are consumed in FIFO order across all Opens.
+type Fault struct {
+	inner Store
+	mu    sync.Mutex
+	queue []FaultOp
+	opens int
+}
+
+// NewFault wraps inner with an empty schedule (pass-through).
+func NewFault(inner Store) *Fault { return &Fault{inner: inner} }
+
+// Enqueue appends ops to the schedule; each Open consumes one.
+func (f *Fault) Enqueue(ops ...FaultOp) {
+	f.mu.Lock()
+	f.queue = append(f.queue, ops...)
+	f.mu.Unlock()
+}
+
+// Opens reports how many Open calls the store has seen.
+func (f *Fault) Opens() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opens
+}
+
+// SetObserver forwards to the inner store when it is observable.
+func (f *Fault) SetObserver(o Observer) {
+	if in, ok := f.inner.(Observable); ok {
+		in.SetObserver(o)
+	}
+}
+
+// Open consumes the next scheduled op and applies it to the inner
+// store's reader.
+func (f *Fault) Open(name string) (Reader, error) {
+	f.mu.Lock()
+	f.opens++
+	var op FaultOp
+	if len(f.queue) > 0 {
+		op, f.queue = f.queue[0], f.queue[1:]
+	}
+	f.mu.Unlock()
+	if op.OpenErr != nil {
+		return nil, op.OpenErr
+	}
+	r, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReader{r: r, op: op}, nil
+}
+
+// faultReader applies one FaultOp to an inner reader.
+type faultReader struct {
+	r  Reader
+	op FaultOp
+}
+
+func (r *faultReader) Size() int64 {
+	size := r.r.Size()
+	if r.op.Truncate > 0 && r.op.Truncate < size {
+		size = r.op.Truncate
+	}
+	return size
+}
+
+func (r *faultReader) Close() error { return r.r.Close() }
+
+func (r *faultReader) ReadAt(p []byte, off int64) (int, error) {
+	if r.op.Delay > 0 {
+		time.Sleep(r.op.Delay)
+	}
+	if fa := r.op.FailAfter; fa > 0 {
+		if off >= fa {
+			return 0, fmt.Errorf("%w: injected transport error at offset %d", ErrFetch, off)
+		}
+		if off+int64(len(p)) > fa {
+			n, _ := r.readFlipped(p[:fa-off], off)
+			return n, fmt.Errorf("%w: injected transport error at offset %d", ErrFetch, fa)
+		}
+	}
+	if size := r.Size(); r.op.Truncate > 0 {
+		if off >= size {
+			return 0, io.EOF
+		}
+		if off+int64(len(p)) > size {
+			n, err := r.readFlipped(p[:size-off], off)
+			if err == nil {
+				err = io.EOF
+			}
+			return n, err
+		}
+	}
+	return r.readFlipped(p, off)
+}
+
+// readFlipped reads through the inner reader, applying the scheduled
+// bit flip when the window covers it.
+func (r *faultReader) readFlipped(p []byte, off int64) (int, error) {
+	n, err := r.r.ReadAt(p, off)
+	if at := r.op.FlipBit; at > 0 && at >= off && at < off+int64(n) {
+		p[at-off] ^= 0x01
+	}
+	return n, err
+}

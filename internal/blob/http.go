@@ -1,0 +1,271 @@
+package blob
+
+// The HTTP/HTTPS store: blobs are objects under one base URL, fetched
+// with ranged GETs so an interrupted transfer resumes from its last
+// good byte instead of restarting. Servers that ignore Range (plain
+// file servers, buckets with ranges disabled) degrade transparently to
+// full-GET fallback. Every attempt runs under its own timeout; failed
+// attempts retry with exponential backoff plus jitter up to a bounded
+// budget, after which the fetch fails wrapping ErrFetch. The fetched
+// bytes are materialized in memory — the shard cache loads whole shard
+// files anyway, and verification (CRC trailer, manifest checksum,
+// scheme digest) needs the full content before anything is installed.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Default HTTP fetch knobs; zero-valued HTTPOptions fields select these.
+const (
+	// DefaultFetchTimeout bounds one fetch attempt (request + body).
+	DefaultFetchTimeout = 30 * time.Second
+	// DefaultFetchRetries is the extra attempts after the first.
+	DefaultFetchRetries = 3
+	// DefaultFetchBackoff is the first retry's base delay; later retries
+	// double it (plus jitter) up to DefaultFetchMaxBackoff.
+	DefaultFetchBackoff    = 100 * time.Millisecond
+	DefaultFetchMaxBackoff = 5 * time.Second
+)
+
+// HTTPOptions configures an HTTP store.
+type HTTPOptions struct {
+	// Client issues the requests; nil uses http.DefaultClient. Per-attempt
+	// timeouts come from Timeout, not the client.
+	Client *http.Client
+	// Timeout bounds one attempt (request and body read): 0 selects
+	// DefaultFetchTimeout, negative disables the bound.
+	Timeout time.Duration
+	// Retries is the extra attempts after the first: 0 selects
+	// DefaultFetchRetries, negative disables retrying.
+	Retries int
+	// Backoff is the base delay before the first retry (doubling per
+	// retry, jittered): 0 selects DefaultFetchBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the delay: 0 selects DefaultFetchMaxBackoff.
+	MaxBackoff time.Duration
+}
+
+// HTTP is the remote store over one base URL: blob name -> GET
+// base/name. Safe for concurrent Open calls.
+type HTTP struct {
+	base string
+	opts HTTPOptions
+
+	mu       sync.Mutex
+	observer Observer
+	// sleep is swappable so retry-timing tests run without wall-clock
+	// waits.
+	sleep func(time.Duration)
+}
+
+// NewHTTP returns a store fetching name from base+"/"+name. The base
+// must be an http:// or https:// URL (a trailing slash is tolerated).
+func NewHTTP(base string, opts HTTPOptions) (*HTTP, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("blob: bad base URL %q: %w", base, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("blob: base URL %q: scheme must be http or https", base)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("blob: base URL %q has no host", base)
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultFetchTimeout
+	}
+	if opts.Retries == 0 {
+		opts.Retries = DefaultFetchRetries
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = DefaultFetchBackoff
+	}
+	if opts.MaxBackoff == 0 {
+		opts.MaxBackoff = DefaultFetchMaxBackoff
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	return &HTTP{base: strings.TrimRight(base, "/"), opts: opts, sleep: time.Sleep}, nil
+}
+
+// String names the store for logs.
+func (h *HTTP) String() string { return h.base }
+
+// SetObserver installs the event observer (nil disables).
+func (h *HTTP) SetObserver(o Observer) {
+	h.mu.Lock()
+	h.observer = o
+	h.mu.Unlock()
+}
+
+func (h *HTTP) emit(ev Event) {
+	h.mu.Lock()
+	o := h.observer
+	h.mu.Unlock()
+	if o != nil {
+		o(ev)
+	}
+}
+
+// permanentError marks a failure retrying cannot fix (missing blob,
+// authoritative 4xx rejection); the retry loop stops on it immediately.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Open fetches the whole blob, retrying transport failures with
+// exponential backoff and jitter and resuming ranged transfers from the
+// last received byte when the server honors Range.
+func (h *HTTP) Open(name string) (Reader, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var buf []byte
+	var lastErr error
+	for attempt := 1; attempt <= 1+h.opts.Retries; attempt++ {
+		if attempt > 1 {
+			h.sleep(h.backoff(attempt - 1))
+		}
+		t0 := time.Now()
+		var done bool
+		buf, done, lastErr = h.fetchOnce(name, buf)
+		if lastErr == nil && done {
+			h.emit(Event{Kind: EventFetch, Name: name, Attempt: attempt,
+				Bytes: int64(len(buf)), Duration: time.Since(start)})
+			return NewBytesReader(buf), nil
+		}
+		var perm *permanentError
+		if errors.As(lastErr, &perm) {
+			h.emit(Event{Kind: EventFetch, Name: name, Attempt: attempt,
+				Duration: time.Since(start), Err: perm.err})
+			return nil, perm.err
+		}
+		if attempt <= h.opts.Retries {
+			h.emit(Event{Kind: EventRetry, Name: name, Attempt: attempt,
+				Duration: time.Since(t0), Err: lastErr})
+		}
+	}
+	err := fmt.Errorf("%w: %s/%s after %d attempts: %v",
+		ErrFetch, h.base, name, 1+h.opts.Retries, lastErr)
+	h.emit(Event{Kind: EventFetch, Name: name, Attempt: 1 + h.opts.Retries,
+		Duration: time.Since(start), Err: err})
+	return nil, err
+}
+
+// backoff computes the jittered exponential delay before retry n (1-based).
+func (h *HTTP) backoff(n int) time.Duration {
+	d := h.opts.Backoff << uint(n-1)
+	if d > h.opts.MaxBackoff || d <= 0 {
+		d = h.opts.MaxBackoff
+	}
+	// Up to 50% additive jitter decorrelates replicas retrying the same
+	// dead backend.
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// fetchOnce runs one attempt: request bytes from len(got) on, append
+// what arrives. Returns the accumulated buffer, whether the blob is
+// complete, and the attempt's error. A server that ignores Range
+// restarts the buffer (full-GET fallback).
+func (h *HTTP) fetchOnce(name string, got []byte) (buf []byte, done bool, err error) {
+	ctx := context.Background()
+	if h.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.opts.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/"+url.PathEscape(name), nil)
+	if err != nil {
+		return got, false, &permanentError{err: err}
+	}
+	off := int64(len(got))
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-", off))
+	resp, err := h.opts.Client.Do(req)
+	if err != nil {
+		return got, false, err
+	}
+	defer resp.Body.Close()
+	var want int64 = -1 // total blob size when a header reveals it
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		first, total, ok := parseContentRange(resp.Header.Get("Content-Range"))
+		if !ok || first != off {
+			// A server resuming from the wrong offset cannot be stitched;
+			// restart from scratch on the next attempt.
+			return nil, false, fmt.Errorf("bad Content-Range %q for offset %d",
+				resp.Header.Get("Content-Range"), off)
+		}
+		want = total
+	case http.StatusOK:
+		// Range ignored: the body is the whole blob, discard any partial.
+		got = nil
+		want = resp.ContentLength
+	case http.StatusRequestedRangeNotSatisfiable:
+		// The blob shrank (or never had our offset); restart from scratch.
+		return nil, false, fmt.Errorf("range from %d not satisfiable", off)
+	case http.StatusNotFound, http.StatusGone:
+		return got, false, &permanentError{err: fmt.Errorf("blob %q: %w", name, fs.ErrNotExist)}
+	default:
+		err := fmt.Errorf("blob %q: server returned status %d", name, resp.StatusCode)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 &&
+			resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusRequestTimeout {
+			return got, false, &permanentError{err: err}
+		}
+		return got, false, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	got = append(got, body...)
+	if rerr != nil {
+		// Keep the prefix: a ranged server resumes from here next attempt.
+		return got, false, fmt.Errorf("blob %q: reading body at offset %d: %w", name, off, rerr)
+	}
+	if want >= 0 && int64(len(got)) != want {
+		return got, false, fmt.Errorf("blob %q: got %d of %d bytes", name, len(got), want)
+	}
+	return got, true, nil
+}
+
+// parseContentRange extracts the first byte position and total size
+// from a "bytes first-last/total" header ("*" totals return -1).
+func parseContentRange(v string) (first, total int64, ok bool) {
+	v, found := strings.CutPrefix(v, "bytes ")
+	if !found {
+		return 0, 0, false
+	}
+	span, totalStr, found := strings.Cut(v, "/")
+	if !found {
+		return 0, 0, false
+	}
+	firstStr, _, found := strings.Cut(span, "-")
+	if !found {
+		return 0, 0, false
+	}
+	first, err := strconv.ParseInt(firstStr, 10, 64)
+	if err != nil || first < 0 {
+		return 0, 0, false
+	}
+	total = -1
+	if totalStr != "*" {
+		if total, err = strconv.ParseInt(totalStr, 10, 64); err != nil || total < 0 {
+			return 0, 0, false
+		}
+	}
+	return first, total, true
+}

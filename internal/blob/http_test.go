@@ -1,0 +1,372 @@
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// noSleep replaces the store's retry sleep, recording the requested
+// delays so backoff tests run without wall-clock waits.
+func noSleep(h *HTTP) *[]time.Duration {
+	var sleeps []time.Duration
+	h.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	return &sleeps
+}
+
+func mustFetch(t *testing.T, h *HTTP, name string) []byte {
+	t.Helper()
+	r, err := h.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	defer r.Close()
+	buf := make([]byte, r.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(r, 0, r.Size()), buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestHTTPRangedFetch(t *testing.T) {
+	content := []byte("the quick brown fox jumps over the lazy dog")
+	var gotRange string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotRange = r.Header.Get("Range")
+		http.ServeContent(w, r, "blob", time.Time{}, strings.NewReader(string(content)))
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustFetch(t, h, "blob"); string(got) != string(content) {
+		t.Fatalf("fetched %q", got)
+	}
+	// The first attempt asks for the whole blob as an open-ended range.
+	if gotRange != "bytes=0-" {
+		t.Fatalf("Range header = %q", gotRange)
+	}
+}
+
+// TestHTTPResumeAfterDisconnect drops the connection mid-body on the
+// first attempt and verifies the retry resumes from the received prefix
+// (Range: bytes=N-) and stitches a byte-identical blob.
+func TestHTTPResumeAfterDisconnect(t *testing.T) {
+	content := []byte("0123456789abcdefghij")
+	var mu sync.Mutex
+	var ranges []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ranges = append(ranges, r.Header.Get("Range"))
+		first := len(ranges) == 1
+		mu.Unlock()
+		if first {
+			// Promise the full blob but deliver 8 bytes, then cut the
+			// connection: the client sees a transport error mid-body.
+			w.Header().Set("Content-Length", fmt.Sprint(len(content)))
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes 0-%d/%d", len(content)-1, len(content)))
+			w.WriteHeader(http.StatusPartialContent)
+			w.Write(content[:8])
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		http.ServeContent(w, r, "blob", time.Time{}, strings.NewReader(string(content)))
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSleep(h)
+	if got := mustFetch(t, h, "blob"); string(got) != string(content) {
+		t.Fatalf("stitched fetch = %q", got)
+	}
+	if len(ranges) != 2 || ranges[0] != "bytes=0-" || ranges[1] != "bytes=8-" {
+		t.Fatalf("ranges = %v (want resume from byte 8)", ranges)
+	}
+}
+
+// TestHTTPFullGetFallback serves 200 with the whole body regardless of
+// Range — the plain-file-server degradation path.
+func TestHTTPFullGetFallback(t *testing.T) {
+	content := []byte("range headers are for other servers")
+	var mu sync.Mutex
+	requests := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		requests++
+		first := requests == 1
+		mu.Unlock()
+		if first {
+			// Ignore Range AND disconnect mid-body, so the fallback must
+			// also discard the partial prefix instead of stitching it.
+			w.Header().Set("Content-Length", fmt.Sprint(len(content)))
+			w.WriteHeader(http.StatusOK)
+			w.Write(content[:5])
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write(content)
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSleep(h)
+	if got := mustFetch(t, h, "blob"); string(got) != string(content) {
+		t.Fatalf("fallback fetch = %q", got)
+	}
+}
+
+// TestHTTPTruncatedBody serves fewer bytes than Content-Length promises
+// until the last allowed attempt, proving short bodies are detected and
+// retried rather than handed to the decoder.
+func TestHTTPTruncatedBody(t *testing.T) {
+	content := []byte("whole blobs only, please")
+	var mu sync.Mutex
+	requests := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		requests++
+		short := requests <= 2
+		mu.Unlock()
+		if short {
+			w.Header().Set("Content-Length", fmt.Sprint(len(content)))
+			w.WriteHeader(http.StatusOK)
+			w.Write(content[:3])
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		w.Write(content)
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSleep(h)
+	if got := mustFetch(t, h, "blob"); string(got) != string(content) {
+		t.Fatalf("fetch after truncations = %q", got)
+	}
+	if requests != 3 {
+		t.Fatalf("requests = %d", requests)
+	}
+}
+
+func TestHTTPNotFoundIsPermanent(t *testing.T) {
+	var mu sync.Mutex
+	requests := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		requests++
+		mu.Unlock()
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSleep(h)
+	if _, err := h.Open("absent"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("404 fetch: %v", err)
+	}
+	if requests != 1 {
+		t.Fatalf("404 retried: %d requests", requests)
+	}
+	// A 404 is a missing blob, not a transport failure.
+	if _, err := h.Open("absent"); errors.Is(err, ErrFetch) {
+		t.Fatal("404 classified as ErrFetch")
+	}
+}
+
+func TestHTTPPermanent4xx(t *testing.T) {
+	var mu sync.Mutex
+	requests := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		requests++
+		mu.Unlock()
+		w.WriteHeader(http.StatusForbidden)
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSleep(h)
+	if _, err := h.Open("blob"); err == nil {
+		t.Fatal("403 accepted")
+	}
+	if requests != 1 {
+		t.Fatalf("403 retried: %d requests", requests)
+	}
+}
+
+// TestHTTPBoundedRetriesAndBackoff exhausts the retry budget against a
+// dead-ish server and checks the attempt count, the ErrFetch
+// classification, and the exponential-with-jitter delay schedule.
+func TestHTTPBoundedRetriesAndBackoff(t *testing.T) {
+	var mu sync.Mutex
+	requests := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		requests++
+		mu.Unlock()
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	opts := HTTPOptions{Retries: 3, Backoff: 100 * time.Millisecond, MaxBackoff: 250 * time.Millisecond}
+	h, err := NewHTTP(ts.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleeps := noSleep(h)
+	var events []Event
+	h.SetObserver(func(ev Event) { events = append(events, ev) })
+	_, err = h.Open("blob")
+	if !errors.Is(err, ErrFetch) {
+		t.Fatalf("exhausted retries: %v", err)
+	}
+	if requests != 4 {
+		t.Fatalf("requests = %d, want 1+3", requests)
+	}
+	// Delays double from Backoff and cap at MaxBackoff, each with up to
+	// 50% additive jitter.
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 250 * time.Millisecond}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("sleeps = %v", *sleeps)
+	}
+	for i, base := range want {
+		if d := (*sleeps)[i]; d < base || d > base+base/2 {
+			t.Fatalf("sleep %d = %v, want in [%v, %v]", i, d, base, base+base/2)
+		}
+	}
+	// Three retry events then the terminal failed-fetch event.
+	if len(events) != 4 {
+		t.Fatalf("events = %+v", events)
+	}
+	for i := 0; i < 3; i++ {
+		if events[i].Kind != EventRetry || events[i].Attempt != i+1 || events[i].Err == nil {
+			t.Fatalf("event %d = %+v", i, events[i])
+		}
+	}
+	last := events[3]
+	if last.Kind != EventFetch || !errors.Is(last.Err, ErrFetch) || last.Attempt != 4 {
+		t.Fatalf("terminal event = %+v", last)
+	}
+}
+
+func TestHTTPSuccessEvent(t *testing.T) {
+	content := []byte("observable")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "blob", time.Time{}, strings.NewReader(string(content)))
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	h.SetObserver(func(ev Event) { events = append(events, ev) })
+	mustFetch(t, h, "blob")
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	ev := events[0]
+	if ev.Kind != EventFetch || ev.Err != nil || ev.Attempt != 1 ||
+		ev.Bytes != int64(len(content)) || ev.Name != "blob" {
+		t.Fatalf("success event = %+v", ev)
+	}
+}
+
+func TestHTTPAttemptTimeout(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+	h, err := NewHTTP(ts.URL, HTTPOptions{Timeout: 50 * time.Millisecond, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := h.Open("blob"); !errors.Is(err, ErrFetch) {
+		t.Fatalf("timed-out fetch: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("timeout took %v", d)
+	}
+}
+
+func TestHTTPConcurrentFetches(t *testing.T) {
+	content := []byte("shared by all fetchers")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "blob", time.Time{}, strings.NewReader(string(content)))
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := h.Open("blob")
+			if err != nil {
+				t.Errorf("concurrent Open: %v", err)
+				return
+			}
+			defer r.Close()
+			buf := make([]byte, r.Size())
+			if _, err := io.ReadFull(io.NewSectionReader(r, 0, r.Size()), buf); err != nil || string(buf) != string(content) {
+				t.Errorf("concurrent read: %q %v", buf, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNewHTTPRejectsBadBases(t *testing.T) {
+	for _, base := range []string{"", "ftp://host/x", "http://", "not a url at all\x00"} {
+		if _, err := NewHTTP(base, HTTPOptions{}); err == nil {
+			t.Fatalf("base %q accepted", base)
+		}
+	}
+}
+
+func TestParseContentRange(t *testing.T) {
+	cases := []struct {
+		in           string
+		first, total int64
+		ok           bool
+	}{
+		{"bytes 0-9/10", 0, 10, true},
+		{"bytes 5-9/10", 5, 10, true},
+		{"bytes 5-9/*", 5, -1, true},
+		{"bytes */10", 0, 0, false},
+		{"items 0-9/10", 0, 0, false},
+		{"bytes 0-9", 0, 0, false},
+		{"", 0, 0, false},
+	}
+	for _, c := range cases {
+		first, total, ok := parseContentRange(c.in)
+		if ok != c.ok || (ok && (first != c.first || total != c.total)) {
+			t.Fatalf("parseContentRange(%q) = %d %d %v, want %d %d %v",
+				c.in, first, total, ok, c.first, c.total, c.ok)
+		}
+	}
+}

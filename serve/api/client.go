@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // Error is a structured error a server answered with: the HTTP status
@@ -25,22 +27,72 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("server error %d (%s): %s", e.Status, e.Info.Code, e.Info.Message)
 }
 
+// defaultRetryBackoff is the delay before a retried request; each
+// further retry doubles it.
+const defaultRetryBackoff = 50 * time.Millisecond
+
 // Client is the typed client of the serving API. Every tier — monolithic
 // daemon, shard-affine replica, fan-out proxy — speaks the same
-// protocol, so one client talks to any of them.
+// protocol, so one client talks to any of them. Trace propagation is on
+// by default: a trace ID installed with WithTrace on the request
+// context rides the X-Ftroute-Trace header of every call.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
 }
 
-// NewClient returns a client for the server at baseURL (scheme + host,
-// e.g. "http://127.0.0.1:8080"). A nil httpClient uses
-// http.DefaultClient.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+// Option configures a Client (New).
+type Option func(*Client)
+
+// WithHTTPClient issues requests through hc instead of
+// http.DefaultClient. A nil hc keeps the default.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// WithTimeout bounds each request attempt (not the whole retried call)
+// by d, layered onto whatever deadline the caller's context carries.
+// Zero or negative keeps attempts unbounded.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetry retries transport-level failures — refused connections,
+// timeouts, unstructured bodies — up to retries extra attempts, backing
+// off exponentially between them. Structured server rejections (*Error)
+// are authoritative and never retried; a fan-out tier fails them over
+// to another replica instead. Zero or negative disables retrying (the
+// default).
+func WithRetry(retries int) Option {
+	return func(c *Client) { c.retries = retries }
+}
+
+// New returns a client for the server at baseURL (scheme + host, e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      http.DefaultClient,
+		backoff: defaultRetryBackoff,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// NewClient is the pre-options constructor.
+//
+// Deprecated: use New with WithHTTPClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	return New(baseURL, WithHTTPClient(httpClient))
 }
 
 // BaseURL returns the server address the client was built with.
@@ -74,7 +126,7 @@ func decodeResponse(resp *http.Response, out any) error {
 // Query posts req to the named query endpoint (connected, estimate,
 // route, route-forbidden) and decodes the 2xx body into out. Structured
 // server rejections return a *Error; transport failures return plain
-// errors.
+// errors (retried per WithRetry — every query endpoint is idempotent).
 func (c *Client) Query(ctx context.Context, endpoint string, req *QueryRequest, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -84,27 +136,54 @@ func (c *Client) Query(ctx context.Context, endpoint string, req *QueryRequest, 
 	if DebugTimingFrom(ctx) {
 		url += "?" + DebugTimingParam + "=" + DebugTimingValue
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("api: building request: %w", err)
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	if t := TraceFrom(ctx); t != "" {
-		hreq.Header.Set(TraceHeader, t)
-	}
-	resp, err := c.hc.Do(hreq)
-	if err != nil {
-		return fmt.Errorf("api: %w", err)
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	return c.do(ctx, http.MethodPost, url, body, out)
 }
 
 // get fetches one GET endpoint into out.
 func (c *Client) get(ctx context.Context, endpoint string, out any) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/"+endpoint, nil)
+	return c.do(ctx, http.MethodGet, c.base+"/v1/"+endpoint, nil, out)
+}
+
+// do runs one call: per-attempt timeout, trace header, and the
+// transport-failure retry loop. A *Error ends the loop immediately — the
+// server received and rejected the request, so another attempt would be
+// rejected identically.
+func (c *Client) do(ctx context.Context, method, url string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.doOnce(ctx, method, url, body, out)
+		var se *Error
+		if lastErr == nil || errors.As(lastErr, &se) {
+			return lastErr
+		}
+		if attempt >= c.retries || ctx.Err() != nil {
+			return lastErr
+		}
+		select {
+		case <-time.After(c.backoff << uint(attempt)):
+		case <-ctx.Done():
+			return lastErr
+		}
+	}
+}
+
+// doOnce runs one HTTP attempt under the per-attempt timeout.
+func (c *Client) doOnce(ctx context.Context, method, url string, body []byte, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var br io.Reader
+	if body != nil {
+		br = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, url, br)
 	if err != nil {
 		return fmt.Errorf("api: building request: %w", err)
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
 	}
 	if t := TraceFrom(ctx); t != "" {
 		hreq.Header.Set(TraceHeader, t)

@@ -201,13 +201,21 @@ type ShardEntryStats struct {
 // ShardCacheStats reports the resident-shard cache of a sharded server:
 // the memory budget, the resident set, and one row per shard.
 type ShardCacheStats struct {
-	BudgetBytes    int64             `json:"budget_bytes"`
-	ResidentBytes  int64             `json:"resident_bytes"`
-	ResidentShards int               `json:"resident_shards"`
-	TotalShards    int               `json:"total_shards"`
-	Loads          uint64            `json:"loads"`
-	Evictions      uint64            `json:"evictions"`
-	Shards         []ShardEntryStats `json:"shards"`
+	BudgetBytes    int64  `json:"budget_bytes"`
+	ResidentBytes  int64  `json:"resident_bytes"`
+	ResidentShards int    `json:"resident_shards"`
+	TotalShards    int    `json:"total_shards"`
+	Loads          uint64 `json:"loads"`
+	Evictions      uint64 `json:"evictions"`
+	// Fetches, FetchRetries and FetchFailures count the shard store's
+	// remote traffic: completed fetches, retried attempts, and fetches
+	// that exhausted their retry budget. Only observable stores (the
+	// HTTP backend) report them; local-directory serving omits all
+	// three, keeping its stats body on its pre-remote shape.
+	Fetches       uint64            `json:"fetches,omitempty"`
+	FetchRetries  uint64            `json:"fetch_retries,omitempty"`
+	FetchFailures uint64            `json:"fetch_failures,omitempty"`
+	Shards        []ShardEntryStats `json:"shards"`
 }
 
 // UpstreamStats reports one proxy upstream's traffic: the sub-batches it

@@ -138,6 +138,21 @@ func (t *tierObs) shardInstruments() (load *obs.Histogram, resident *obs.Gauge, 
 			"Shards evicted from the resident set.")
 }
 
+// fetchInstruments registers the shard-store fetch instruments (sharded
+// servers only; only observable stores feed them, so local-directory
+// serving leaves them at zero). All nil when metrics are disabled.
+func (t *tierObs) fetchInstruments() (fetch *obs.Histogram, retries, failures *obs.Counter) {
+	if t == nil || t.metrics == nil {
+		return nil, nil, nil
+	}
+	return t.metrics.Histogram("ftroute_shard_fetch_seconds",
+			"Shard-store fetch wall time (successful fetches, retries included)."),
+		t.metrics.Counter("ftroute_shard_fetch_retries_total",
+			"Shard-store fetch attempts that failed and were retried."),
+		t.metrics.Counter("ftroute_shard_fetch_failures_total",
+			"Shard-store fetches that exhausted their retry budget.")
+}
+
 // upstreamInstruments registers one replica's fan-out instruments
 // (proxies only), plus the tier-wide bad-gateway counter. All nil when
 // metrics are disabled.

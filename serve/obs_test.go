@@ -691,7 +691,7 @@ func TestStatsLatencySummaries(t *testing.T) {
 		}
 	}
 	// The typed client decodes the extended body.
-	stats, err := api.NewClient(ts.URL, nil).Stats(context.Background())
+	stats, err := api.New(ts.URL).Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

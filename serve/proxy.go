@@ -161,7 +161,7 @@ func NewProxy(ctx context.Context, m *ftrouting.Manifest, replicas []string, opt
 		obs:    newTierObs(opts.Obs),
 	}
 	for _, base := range replicas {
-		u := &upstream{client: api.NewClient(base, opts.HTTPClient)}
+		u := &upstream{client: api.New(base, api.WithHTTPClient(opts.HTTPClient))}
 		u.lat, u.errCtr, u.failCtr = p.obs.upstreamInstruments(base)
 		p.ups = append(p.ups, u)
 	}

@@ -390,13 +390,13 @@ func TestProxyRejectsForeignReplica(t *testing.T) {
 func TestProxyHealthzAndStats(t *testing.T) {
 	m, replicas, shardVertex := proxyFixture(t)
 	_, ts := startProxy(t, m, replicas, ProxyOptions{Replication: 1})
-	client := api.NewClient(ts.URL, nil)
+	client := api.New(ts.URL)
 
 	h, err := client.Healthz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rh, err := api.NewClient(replicas[0].URL, nil).Healthz(context.Background())
+	rh, err := api.New(replicas[0].URL).Healthz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,12 +24,14 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 
 	"ftrouting"
+	"ftrouting/internal/blob"
 )
 
 // Default limits; zero-valued Options fields select these.
@@ -64,6 +66,15 @@ type Options struct {
 	// a single batch touching more than the budget transiently exceeds
 	// it. Ignored by monolithic servers.
 	ShardBudgetBytes int64
+	// ShardStore overrides where a sharded server fetches shards on
+	// resident-cache miss: nil uses the manifest's own store (the
+	// directory it was loaded from, or the remote backend a URL source
+	// resolved to). Every fetched shard is verified against the
+	// manifest's recorded checksum and scheme digest before install,
+	// whatever the store; transport-level fetch failures answer as typed
+	// upstream_failure envelopes (HTTP 502). Ignored by monolithic
+	// servers.
+	ShardStore blob.Store
 	// Obs configures metrics, request tracing and access logging; the
 	// zero value disables the whole layer and keeps the server
 	// byte-for-byte on its uninstrumented behavior.
@@ -157,7 +168,7 @@ func New(scheme any, opts Options) (*Server, error) {
 }
 
 // NewSharded wraps a loaded shard manifest in a Server: the shard-aware
-// router mode of `ftroute serve -manifest`. Shards load lazily on first
+// router mode of `ftroute serve` over a manifest. Shards load lazily on first
 // touch and evict least-recently-used under Options.ShardBudgetBytes;
 // each resident shard keeps its own prepared-fault-context LRU. Every
 // batch is answered bit-identically to a monolithic server over the same
@@ -175,11 +186,15 @@ func NewSharded(m *ftrouting.Manifest, opts Options) (*Server, error) {
 		bound:    m.FaultBound(),
 		digest:   m.Digest(),
 		manifest: m,
-		shards:   newShardCache(m, opts.ShardBudgetBytes, opts.ContextCacheSize),
+		shards:   newShardCache(m, opts.ShardStore, opts.ShardBudgetBytes, opts.ContextCacheSize),
 		obs:      newTierObs(opts.Obs),
 	}
 	s.obs.cacheInstruments()
 	s.shards.loadTime, s.shards.residentGauge, s.shards.evictedCtr = s.obs.shardInstruments()
+	s.shards.fetchTime, s.shards.retryCtr, s.shards.failCtr = s.obs.fetchInstruments()
+	if o, ok := s.shards.store.(blob.Observable); ok {
+		o.SetObserver(s.shards.observeFetch)
+	}
 	s.initMux()
 	return s, nil
 }
@@ -368,6 +383,14 @@ func (s *Server) evalSharded(name string, batch ftrouting.QueryBatch, ro *reqObs
 	st = ro.now()
 	held, err := s.shards.acquireAll(ids)
 	if err != nil {
+		// A transport-level fetch failure is the shard backend being
+		// unreachable, not this replica being broken: answer with the
+		// same typed upstream_failure envelope the proxy uses when its
+		// replicas are down. Anything else — a corrupt or foreign blob,
+		// a missing file — is a server-side fault.
+		if errors.Is(err, blob.ErrFetch) {
+			return nil, errorf(http.StatusBadGateway, codeUpstream, "%v", err)
+		}
 		return nil, errorf(http.StatusInternalServerError, codeInternal, "%v", err)
 	}
 	defer s.shards.releaseAll(held)

@@ -391,7 +391,7 @@ func TestServeHealthzAndStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := startServer(t, labels, Options{})
-	client := api.NewClient(ts.URL, nil)
+	client := api.New(ts.URL)
 	ctx := context.Background()
 
 	health, err := client.Healthz(ctx)

@@ -1,7 +1,7 @@
 package serve
 
 // The resident-shard cache of a sharded server: level one of the
-// two-level caching a `serve -manifest` router runs. Shards load lazily
+// two-level caching a sharded `ftroute serve` router runs. Shards load lazily
 // on first touch and are evicted least-recently-used when the resident
 // bytes (measured as shard file size, the manifest's recorded cost)
 // exceed the budget; each resident shard owns a level-two contextCache
@@ -13,9 +13,11 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftrouting"
+	"ftrouting/internal/blob"
 	"ftrouting/internal/obs"
 )
 
@@ -47,14 +49,23 @@ type shardCounters struct {
 // eviction (every touched shard stays resident).
 type shardCache struct {
 	m      *ftrouting.Manifest
+	store  blob.Store
 	budget int64
 	ctxCap int
 
 	// Optional instruments (nil-safe, set at server construction): shard
-	// load latency, resident bytes, and evictions.
+	// load latency, resident bytes, evictions, and the store's fetch
+	// latency/retry/failure trio.
 	loadTime      *obs.Histogram
 	residentGauge *obs.Gauge
 	evictedCtr    *obs.Counter
+	fetchTime     *obs.Histogram
+	retryCtr      *obs.Counter
+	failCtr       *obs.Counter
+
+	// Store fetch counters for /v1/stats, fed by observeFetch from the
+	// store's own goroutines (hence atomic, not mu).
+	fetches, fetchRetries, fetchFailures atomic.Uint64
 
 	mu        sync.Mutex
 	entries   map[int]*list.Element
@@ -65,14 +76,39 @@ type shardCache struct {
 	counters  map[int]*shardCounters
 }
 
-func newShardCache(m *ftrouting.Manifest, budget int64, ctxCap int) *shardCache {
+// newShardCache builds the cache over the given blob store (nil selects
+// the manifest's own).
+func newShardCache(m *ftrouting.Manifest, store blob.Store, budget int64, ctxCap int) *shardCache {
+	if store == nil {
+		store = m.Store()
+	}
 	return &shardCache{
 		m:        m,
+		store:    store,
 		budget:   budget,
 		ctxCap:   ctxCap,
 		entries:  make(map[int]*list.Element),
 		order:    list.New(),
 		counters: make(map[int]*shardCounters),
+	}
+}
+
+// observeFetch folds the store's fetch events into the stats counters
+// and the obs instruments. Installed on Observable stores only, so
+// local-directory serving reports no fetch traffic.
+func (c *shardCache) observeFetch(ev blob.Event) {
+	switch ev.Kind {
+	case blob.EventRetry:
+		c.fetchRetries.Add(1)
+		c.retryCtr.Inc()
+	case blob.EventFetch:
+		if ev.Err != nil {
+			c.fetchFailures.Add(1)
+			c.failCtr.Inc()
+			return
+		}
+		c.fetches.Add(1)
+		c.fetchTime.Observe(ev.Duration)
 	}
 }
 
@@ -121,7 +157,7 @@ func (c *shardCache) acquireAll(ids []int) ([]*shardEntry, error) {
 		e := e
 		e.once.Do(func() {
 			start := time.Now()
-			e.shard, e.err = c.m.LoadShard(e.id)
+			e.shard, e.err = c.m.LoadShardFrom(c.store, e.id)
 			if e.err == nil {
 				c.loadTime.Observe(time.Since(start))
 			}
@@ -209,6 +245,9 @@ func (c *shardCache) stats() ShardCacheStats {
 		TotalShards:   c.m.NumShards(),
 		Loads:         c.loads,
 		Evictions:     c.evictions,
+		Fetches:       c.fetches.Load(),
+		FetchRetries:  c.fetchRetries.Load(),
+		FetchFailures: c.fetchFailures.Load(),
 	}
 	live := make(map[int]*shardEntry, len(c.entries))
 	for id, el := range c.entries {

@@ -9,7 +9,7 @@ package ftrouting
 // the per-component payloads of one shard. A serving replica needs only
 // the manifest plus the shards its queries touch resident in memory —
 // the architectural step from one-process serving to distributable
-// shards (see `ftroute shard` / `ftroute serve -manifest`).
+// shards (see `ftroute shard` / `ftroute serve -in shards/`).
 //
 // Monolithic and sharded files share the per-component encode/decode
 // path (encodeConnComponent / decodeConnComponent, codec.EncodeCluster /
@@ -29,6 +29,7 @@ package ftrouting
 // verifies.
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -36,6 +37,7 @@ import (
 	"sort"
 	"strings"
 
+	"ftrouting/internal/blob"
 	"ftrouting/internal/codec"
 	"ftrouting/internal/core"
 	"ftrouting/internal/distlabel"
@@ -89,7 +91,7 @@ type Manifest struct {
 	shard  []int32 // component -> shard
 	shards []ShardInfo
 	digest uint32
-	dir    string
+	store  blob.Store
 
 	// Scheme parameters (union over kinds; see persist.go's monolithic
 	// prefixes, which use the identical encoding).
@@ -436,7 +438,7 @@ func SaveShardedConn(dir string, c *ConnLabels, opts ShardOptions) (*Manifest, e
 	if err := m.writeManifestFile(dir, writeParams); err != nil {
 		return nil, err
 	}
-	m.dir = dir
+	m.store = blob.NewDir(dir)
 	return m, nil
 }
 
@@ -506,7 +508,7 @@ func SaveShardedDist(dir string, d *DistLabels, opts ShardOptions) (*Manifest, e
 	if err := m.writeManifestFile(dir, writeParams); err != nil {
 		return nil, err
 	}
-	m.dir = dir
+	m.store = blob.NewDir(dir)
 	return m, nil
 }
 
@@ -538,7 +540,7 @@ func SaveShardedRouter(dir string, r *Router, opts ShardOptions) (*Manifest, err
 	if err := m.writeManifestFile(dir, writeParams); err != nil {
 		return nil, err
 	}
-	m.dir = dir
+	m.store = blob.NewDir(dir)
 	return m, nil
 }
 
@@ -554,9 +556,20 @@ func LoadManifest(path string) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.dir = filepath.Dir(path)
+	m.store = blob.NewDir(filepath.Dir(path))
 	return m, nil
 }
+
+// Store returns the blob store LoadShard resolves shard names against
+// (nil for a manifest decoded with bare ReadManifest).
+func (m *Manifest) Store() blob.Store { return m.store }
+
+// SetStore redirects LoadShard to a different blob store — the hook
+// that lets a replica holding only the manifest fetch its shards from a
+// remote backend. Every shard fetched through any store is still
+// verified against the manifest's recorded checksum and scheme digest
+// before it is returned, so the store is never trusted.
+func (m *Manifest) SetStore(s blob.Store) { m.store = s }
 
 // ReadManifest decodes a manifest from a reader (LoadManifest plus a
 // directory for shard resolution is the usual entry point). Decoding is
@@ -709,28 +722,42 @@ func validShardName(name string) error {
 	return nil
 }
 
-// LoadShard opens, verifies and decodes one shard file into a partial
-// scheme. Beyond ReadShard's checks, the file's checksum must equal the
-// one the manifest recorded, so a stale or foreign shard file — even a
-// self-consistent one — is rejected.
+// LoadShard fetches, verifies and decodes one shard blob from the
+// manifest's store (LoadShardFrom with Store()) into a partial scheme.
 func (m *Manifest) LoadShard(id int) (*Shard, error) {
+	return m.LoadShardFrom(m.store, id)
+}
+
+// LoadShardFrom fetches shard id from store and decodes it into a
+// partial scheme. Beyond ReadShard's checks, the blob's size and
+// checksum must equal the ones the manifest recorded, so a stale or
+// foreign shard blob — even a self-consistent one — is rejected before
+// any of it is handed out, no matter which backend produced it.
+func (m *Manifest) LoadShardFrom(store blob.Store, id int) (*Shard, error) {
 	if id < 0 || id >= len(m.shards) {
 		return nil, fmt.Errorf("ftrouting: shard %d out of range [0,%d)", id, len(m.shards))
 	}
-	f, err := os.Open(filepath.Join(m.dir, m.shards[id].Name))
+	if store == nil {
+		return nil, fmt.Errorf("ftrouting: manifest has no shard store (see Manifest.SetStore)")
+	}
+	info := &m.shards[id]
+	r, err := store.Open(info.Name)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	sh, sum, err := m.readShard(f)
+	defer r.Close()
+	if r.Size() != info.Bytes {
+		return nil, fmt.Errorf("%w: shard %d blob is %d bytes, manifest recorded %d", codec.ErrCorrupt, id, r.Size(), info.Bytes)
+	}
+	sh, sum, err := m.readShard(bufio.NewReader(io.NewSectionReader(r, 0, r.Size())))
 	if err != nil {
 		return nil, err
 	}
 	if sh.id != id {
-		return nil, fmt.Errorf("%w: file %s holds shard %d, manifest lists %d", codec.ErrCorrupt, m.shards[id].Name, sh.id, id)
+		return nil, fmt.Errorf("%w: blob %s holds shard %d, manifest lists %d", codec.ErrCorrupt, info.Name, sh.id, id)
 	}
-	if sum != m.shards[id].Checksum {
-		return nil, fmt.Errorf("%w: shard %d file checksum %08x, manifest recorded %08x", codec.ErrChecksum, id, sum, m.shards[id].Checksum)
+	if sum != info.Checksum {
+		return nil, fmt.Errorf("%w: shard %d blob checksum %08x, manifest recorded %08x", codec.ErrChecksum, id, sum, info.Checksum)
 	}
 	return sh, nil
 }

@@ -1,0 +1,207 @@
+package ftrouting
+
+// Source-resolution tests: one reference string — scheme file, manifest
+// file, manifest directory, or http(s) URL of any of those — resolves
+// through Open into the right artifact, remote manifests keep their URL
+// store for shard fetches, and remote corruption is rejected with the
+// same typed errors as local corruption.
+
+import (
+	"errors"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ftrouting/internal/blob"
+)
+
+// sourceFixture builds a multi-component conn scheme and shards it,
+// returning the monolithic labels, the shard directory, and the graph.
+func sourceFixture(t *testing.T) (*ConnLabels, string, *Graph) {
+	t.Helper()
+	g := shardDisconn()
+	labels, err := BuildConnectivityLabels(g, ConnOptions{Scheme: CutBased, MaxFaults: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := SaveShardedConn(dir, labels, ShardOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return labels, dir, g
+}
+
+func TestOpenLocalForms(t *testing.T) {
+	labels, shardDir, _ := sourceFixture(t)
+	schemeFile := filepath.Join(t.TempDir(), "conn.ftl")
+	f, err := os.Create(schemeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveConnLabels(f, labels); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	src, err := Open(schemeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.Scheme().(*ConnLabels); !ok || src.Manifest() != nil {
+		t.Fatalf("scheme file resolved to %+v", src)
+	}
+	for _, ref := range []string{shardDir, filepath.Join(shardDir, ManifestFileName)} {
+		src, err := Open(ref)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", ref, err)
+		}
+		if src.Manifest() == nil || src.Scheme() != nil {
+			t.Fatalf("Open(%q) resolved to %+v", ref, src)
+		}
+		// The directory's store is bound: shards load with no extra setup.
+		if _, err := src.Manifest().LoadShard(0); err != nil {
+			t.Fatalf("Open(%q).LoadShard: %v", ref, err)
+		}
+		if src.Ref() != filepath.Join(shardDir, ManifestFileName) {
+			t.Fatalf("Open(%q).Ref() = %q", ref, src.Ref())
+		}
+	}
+
+	if _, err := Open(filepath.Join(shardDir, "absent")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing ref: %v", err)
+	}
+	junk := filepath.Join(t.TempDir(), "junk.ftl")
+	if err := os.WriteFile(junk, []byte("not a scheme artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(junk); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("junk ref: %v", err)
+	}
+	short := filepath.Join(t.TempDir(), "short.ftl")
+	if err := os.WriteFile(short, []byte("FT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(short); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated ref: %v", err)
+	}
+}
+
+func TestOpenURLForms(t *testing.T) {
+	labels, shardDir, g := sourceFixture(t)
+	schemeFile := filepath.Join(shardDir, "conn.ftl")
+	f, err := os.Create(schemeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveConnLabels(f, labels); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ts := httptest.NewServer(http.FileServer(http.Dir(shardDir)))
+	defer ts.Close()
+
+	// A bare base URL, a trailing-slash URL, and an explicit manifest URL
+	// all resolve to the manifest with the remote store bound.
+	for _, ref := range []string{ts.URL, ts.URL + "/", ts.URL + "/" + ManifestFileName} {
+		src, err := Open(ref)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", ref, err)
+		}
+		m := src.Manifest()
+		if m == nil {
+			t.Fatalf("Open(%q) did not resolve to a manifest", ref)
+		}
+		if src.Ref() != ts.URL+"/"+ManifestFileName {
+			t.Fatalf("Open(%q).Ref() = %q", ref, src.Ref())
+		}
+		if _, ok := m.Store().(*blob.HTTP); !ok {
+			t.Fatalf("Open(%q) store = %T, want *blob.HTTP", ref, m.Store())
+		}
+	}
+
+	// Remote shards answer batches identically to the monolithic scheme.
+	src, err := Open(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := src.Manifest()
+	for bi, batch := range shardBatches(g) {
+		want, werr := labels.ConnectedBatch(batch, BatchOptions{})
+		plan, err := m.PlanBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d: plan: %v", bi, err)
+		}
+		got, gerr := plan.ConnectedBatch(loadPlanContexts(t, m, plan), BatchOptions{})
+		if (werr == nil) != (gerr == nil) || !reflect.DeepEqual(want, got) {
+			t.Fatalf("batch %d: remote %v (%v) != local %v (%v)", bi, got, gerr, want, werr)
+		}
+	}
+
+	// A URL naming a monolithic scheme file resolves to the scheme.
+	src, err = Open(ts.URL + "/conn.ftl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.Scheme().(*ConnLabels); !ok || src.Manifest() != nil {
+		t.Fatalf("scheme URL resolved to %+v", src)
+	}
+
+	if _, err := Open(ts.URL + "/absent.ftl"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing remote ref: %v", err)
+	}
+	for _, ref := range []string{ts.URL + "/?x=1", ts.URL + "/#frag"} {
+		if _, err := Open(ref); err == nil {
+			t.Fatalf("ref %q accepted", ref)
+		}
+	}
+}
+
+// TestOpenURLShardVerification proves a corrupted or truncated remote
+// shard is rejected with the same typed error a local one is — the
+// store cannot smuggle bad bytes past the manifest checksum.
+func TestOpenURLShardVerification(t *testing.T) {
+	_, shardDir, _ := sourceFixture(t)
+	ts := httptest.NewServer(http.FileServer(http.Dir(shardDir)))
+	defer ts.Close()
+
+	src, err := Open(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := src.Manifest()
+	shardFile := filepath.Join(shardDir, m.Shards()[0].Name)
+	clean, err := os.ReadFile(shardFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte on the server: typed corruption error.
+	mutated := append([]byte(nil), clean...)
+	mutated[len(mutated)/2] ^= 0x01
+	if err := os.WriteFile(shardFile, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadShard(0); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt remote shard: %v", err)
+	}
+
+	// Truncate it on the server: rejected before decoding (size check).
+	if err := os.WriteFile(shardFile, clean[:len(clean)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadShard(0); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated remote shard: %v", err)
+	}
+
+	// Restore the clean bytes: the same manifest now serves the shard.
+	if err := os.WriteFile(shardFile, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadShard(0); err != nil {
+		t.Fatalf("clean remote shard after corruption: %v", err)
+	}
+}
