@@ -33,7 +33,7 @@ FUZZ_TARGETS = \
 	.:FuzzManifest \
 	.:FuzzShard
 
-.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke shard-smoke proxy-smoke metrics-smoke remote-smoke
+.PHONY: all build test race bench bench-compare cover lint fuzz serve-smoke shard-smoke proxy-smoke metrics-smoke remote-smoke loadgen-smoke
 
 all: build lint test
 
@@ -329,6 +329,45 @@ metrics-smoke:
 	kill -TERM $$bpid $$rpid $$ppid; \
 	wait $$bpid $$rpid $$ppid; \
 	echo "metrics-smoke OK"
+
+# loadgen-smoke proves the load harness end to end: import an edge-list
+# topology through the file: graph source, build + shard + serve a conn
+# scheme over it, drive 2 seconds of fixed-rate Zipf load with `ftroute
+# loadgen`, and assert the BENCH JSON artifact is well-formed with every
+# request answered and nonzero throughput. The artifact is left at
+# ./BENCH_smoke.json for the CI job to upload.
+loadgen-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/ftroute" ./cmd/ftroute; \
+	awk 'BEGIN { print "# loadgen-smoke: three 80-vertex rings, SNAP-style"; \
+		for (r = 0; r < 3; r++) for (i = 0; i < 80; i++) \
+			printf "%d\t%d\n", r*80 + i, r*80 + (i+1)%80 }' > "$$tmp/graph.txt"; \
+	"$$tmp/ftroute" build -type conn -graph "file:$$tmp/graph.txt" -f 3 -out "$$tmp/scheme.ftlb"; \
+	"$$tmp/ftroute" shard -in "$$tmp/scheme.ftlb" -out-dir "$$tmp/shards"; \
+	"$$tmp/ftroute" serve -in "$$tmp/shards" -addr 127.0.0.1:0 -shard-budget 8192 > "$$tmp/serve.log" 2>&1 & pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 50); do \
+		addr=$$(sed -n 's/^listening on //p' "$$tmp/serve.log"); \
+		[ -n "$$addr" ] && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$addr" ] || { echo "daemon never announced an address" >&2; cat "$$tmp/serve.log" >&2; exit 1; }; \
+	"$$tmp/ftroute" loadgen -target "http://$$addr" -rate 200 -duration 2s -batch 4 -seed 7 \
+		-pair-skew 1.0 -fault-sets 4 -faults-per-set 2 -name smoke -out "$$tmp/BENCH_smoke.json"; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	grep -q '"requests_ok": 400' "$$tmp/BENCH_smoke.json" || { echo "BENCH report: not every scheduled request succeeded" >&2; cat "$$tmp/BENCH_smoke.json" >&2; exit 1; }; \
+	grep -q '"requests_failed": 0' "$$tmp/BENCH_smoke.json" || { echo "BENCH report: failures recorded" >&2; cat "$$tmp/BENCH_smoke.json" >&2; exit 1; }; \
+	for field in '"p50_ns"' '"p99_ns"' '"p999_ns"' '"context_hits"' '"seed": 7' '"pair_skew": 1'; do \
+		grep -q "$$field" "$$tmp/BENCH_smoke.json" || { echo "BENCH report missing $$field" >&2; cat "$$tmp/BENCH_smoke.json" >&2; exit 1; }; \
+	done; \
+	qps=$$(sed -n 's/^ *"qps": \([0-9.eE+-]*\),*$$/\1/p' "$$tmp/BENCH_smoke.json"); \
+	awk -v q="$$qps" 'BEGIN { exit !(q + 0 > 0) }' || { echo "BENCH report q/s not positive: '$$qps'" >&2; cat "$$tmp/BENCH_smoke.json" >&2; exit 1; }; \
+	cp "$$tmp/BENCH_smoke.json" BENCH_smoke.json; \
+	cat "$$tmp/serve.log"; \
+	echo "loadgen-smoke OK (q/s = $$qps)"
 
 lint:
 	$(GO) vet ./...

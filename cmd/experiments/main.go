@@ -10,6 +10,8 @@
 // latency, and warm q/s of the shard router against the whole-scheme
 // server. E19 measures the observability layer's overhead: warm q/s of
 // the instrumented daemon (metrics + access log) against the bare one.
+// E20 sweeps the loadgen harness over traffic skew and shard budget,
+// reading throughput and cache behavior off the BENCH server deltas.
 //
 // Usage:
 //
@@ -41,6 +43,7 @@ func main() {
 		experiments.Experiment{ID: "E17", Run: serveThroughput},
 		experiments.Experiment{ID: "E18", Run: shardThroughput},
 		experiments.Experiment{ID: "E19", Run: obsCost},
+		experiments.Experiment{ID: "E20", Run: loadSweep},
 	)
 	// Filter before running: -only must not pay for the experiments it
 	// skips (E16/E17 alone drive minutes of measurement).

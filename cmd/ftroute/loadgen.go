@@ -1,0 +1,95 @@
+package main
+
+// The loadgen subcommand: drive any daemon speaking the serve/api
+// protocol with package loadgen's deterministic open-loop workload and
+// leave a BENCH_<name>.json artifact behind. Ctrl-C ends the run early
+// and still reports what completed.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"ftrouting/internal/loadgen"
+)
+
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	target := fs.String("target", "http://127.0.0.1:8080", "base URL of the daemon under load")
+	endpoint := fs.String("endpoint", "", "query endpoint: connected|estimate|route|route-forbidden (default: the scheme's natural endpoint)")
+	rate := fs.Float64("rate", 0, "target requests/sec across all workers (0 = closed-loop max throughput)")
+	duration := fs.Duration("duration", 10*time.Second, "run length when -requests is 0")
+	requests := fs.Int("requests", 0, "exact request count (overrides -duration)")
+	workers := fs.Int("workers", 0, "concurrent senders (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 16, "pairs per request")
+	seed := fs.Uint64("seed", 1, "workload master seed (fixed seed = identical request schedule)")
+	pairSkew := fs.Float64("pair-skew", 0.8, "Zipf exponent of vertex popularity (0 = uniform)")
+	faultSets := fs.Int("fault-sets", 0, "fault-set pool size (0 = fault-free workload)")
+	faultsPerSet := fs.Int("faults-per-set", 2, "distinct failed edges per fault set")
+	faultSkew := fs.Float64("fault-skew", 0.8, "Zipf exponent of fault-set popularity (0 = uniform)")
+	timeout := fs.Duration("timeout", 15*time.Second, "per-request timeout (0 = unbounded)")
+	name := fs.String("name", "loadgen", "run name; the report lands in BENCH_<name>.json")
+	out := fs.String("out", "", "report path (default BENCH_<name>.json; - writes the summary only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("loadgen: unexpected arguments %q", fs.Args())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, *target, loadgen.Config{
+		Name:         *name,
+		Endpoint:     *endpoint,
+		Rate:         *rate,
+		Duration:     *duration,
+		Requests:     *requests,
+		Workers:      *workers,
+		BatchSize:    *batch,
+		Seed:         *seed,
+		PairSkew:     *pairSkew,
+		FaultSets:    *faultSets,
+		FaultsPerSet: *faultsPerSet,
+		FaultSkew:    *faultSkew,
+		Timeout:      *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	fmt.Printf("loadgen %s: %s %s  n=%d m=%d kind=%s\n",
+		rep.Name, rep.Target, rep.Endpoint, rep.Scheme.Vertices, rep.Scheme.Edges, rep.Scheme.Kind)
+	fmt.Printf("  %d requests (%d ok, %d failed), %d pairs in %.2fs\n",
+		rep.Requests, rep.Succeeded, rep.Failed, rep.Pairs,
+		time.Duration(rep.ElapsedNanos).Seconds())
+	fmt.Printf("  throughput: %.1f q/s, %.1f pairs/s\n", rep.QPS, rep.PairsPerSec)
+	fmt.Printf("  latency (corrected): p50 %.3fms  p99 %.3fms  p999 %.3fms  mean %.3fms\n",
+		ms(rep.Latency.P50Nanos), ms(rep.Latency.P99Nanos), ms(rep.Latency.P999Nanos), ms(rep.Latency.MeanNanos))
+	fmt.Printf("  service   (on-wire): p50 %.3fms  p99 %.3fms  p999 %.3fms  mean %.3fms\n",
+		ms(rep.Service.P50Nanos), ms(rep.Service.P99Nanos), ms(rep.Service.P999Nanos), ms(rep.Service.MeanNanos))
+	for code, n := range rep.Errors {
+		fmt.Printf("  errors[%s]: %d\n", code, n)
+	}
+	if s := rep.Server; s != nil {
+		fmt.Printf("  server: %d pairs served, ctx hits/misses/evicted %d/%d/%d, shard loads/evicted %d/%d\n",
+			s.PairsServed, s.ContextHits, s.ContextMisses, s.ContextEvictions, s.ShardLoads, s.ShardEvictions)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Name + ".json"
+	}
+	if path != "-" {
+		if err := rep.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("  report: %s\n", path)
+	}
+	return nil
+}

@@ -65,6 +65,18 @@
 //	ftroute proxy -in shards/ -replicas http://localhost:8081,http://localhost:8082 -replication 2 -addr :8080
 //	curl -s -d '{"pairs":[[0,39]],"faults":[1,2]}' localhost:8080/v1/connected
 //
+// Load testing (open-loop coordinated-omission-safe generator; a fixed
+// -seed replays the identical Zipf-skewed request schedule at any
+// -workers count, and real topologies import via -graph file:PATH at
+// build time):
+//
+//	ftroute build -type conn -graph file:as-topology.txt -f 2 -out as.ftlb
+//	ftroute shard -in as.ftlb -out-dir shards/
+//	ftroute serve -in shards/ -addr :8080 &
+//	ftroute loadgen -target http://localhost:8080 -rate 2000 -duration 30s \
+//	  -pair-skew 1.1 -fault-sets 64 -faults-per-set 2 -fault-skew 1.2 \
+//	  -name as_sharded -out BENCH_as_sharded.json
+//
 // Observability (both daemons): Prometheus metrics at GET /metrics
 // (-metrics off disables), structured JSON access logs on stderr with
 // request trace IDs (-log-level, -log-sample), an opt-in per-stage
@@ -80,6 +92,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ftrouting"
 )
@@ -114,6 +127,8 @@ func main() {
 		err = runShard(args)
 	case "blobserve":
 		err = runBlobserve(args)
+	case "loadgen":
+		err = runLoadgen(args)
 	case "info":
 		err = runInfo(args)
 	default:
@@ -127,7 +142,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query|serve|proxy|shard|blobserve|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ftroute <conn|dist|route|sweep|lower|build|query|serve|proxy|shard|blobserve|loadgen|info> [flags]
   conn   connectivity query under faults from labels
   dist   approximate distance query under faults from labels
   route  fault-tolerant routing simulation (-in loads a saved router)
@@ -158,6 +173,13 @@ func usage() {
   shard  split a scheme file into a manifest + per-component shard files
   blobserve  serve a directory of shard blobs over plain HTTP (the
          static backend a manifest-only replica fetches from)
+  loadgen  coordinated-omission-safe load generator against any daemon:
+         fixed-rate open-loop scheduling (-rate; 0 = closed-loop max
+         throughput), Zipf-skewed pairs and fault sets (-pair-skew,
+         -fault-sets/-faults-per-set/-fault-skew), corrected
+         p50/p99/p999 + q/s, and a BENCH_<name>.json artifact with the
+         server's /v1/stats delta; fixed -seed replays the identical
+         request schedule at any -workers count
   info   print header, counts, fault bound and label sizes of a scheme
          or manifest file`)
 }
@@ -179,7 +201,7 @@ type graphFlags struct {
 
 func addGraphFlags(fs *flag.FlagSet) *graphFlags {
 	gf := &graphFlags{
-		kind:   fs.String("graph", "random", "topology: random|grid|fattree|ring|star|path|islands"),
+		kind:   fs.String("graph", "random", "topology: random|grid|fattree|ring|star|path|islands|file:PATH (SNAP edge list)"),
 		n:      fs.Int("n", 100, "vertices (random/star/path)"),
 		extra:  fs.Int("extra", 150, "extra edges beyond spanning tree (random)"),
 		rows:   fs.Int("rows", 8, "grid rows"),
@@ -193,6 +215,18 @@ func addGraphFlags(fs *flag.FlagSet) *graphFlags {
 	}
 	gf.builder = func() (*ftrouting.Graph, error) {
 		var g *ftrouting.Graph
+		if path, ok := strings.CutPrefix(*gf.kind, "file:"); ok {
+			// Real topology import: a SNAP-style edge list ("u v" or
+			// "u v w" lines, '#'/'%' comments, sparse ids densified).
+			g, err := ftrouting.LoadEdgeList(path)
+			if err != nil {
+				return nil, err
+			}
+			if *gf.maxW > 1 {
+				g = ftrouting.WithRandomWeights(g, *gf.maxW, *gf.seed+1)
+			}
+			return g, nil
+		}
 		switch *gf.kind {
 		case "random":
 			g = ftrouting.RandomConnected(*gf.n, *gf.extra, *gf.seed)

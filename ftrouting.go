@@ -52,6 +52,7 @@ package ftrouting
 
 import (
 	"fmt"
+	"io"
 
 	"ftrouting/internal/core"
 	"ftrouting/internal/distlabel"
@@ -124,6 +125,15 @@ func Torus(rows, cols int) *Graph { return graph.Torus(rows, cols) }
 func PreferentialAttachment(n, deg int, seed uint64) *Graph {
 	return graph.PreferentialAttachment(n, deg, seed)
 }
+
+// ReadEdgeList parses a SNAP-style edge list ("u v" or "u v w" lines,
+// '#'/'%' comments, arbitrary ids densified in first-appearance order,
+// self-loops and duplicates dropped) — the import path for real
+// router/AS topologies.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// LoadEdgeList reads a SNAP-style edge-list file (see ReadEdgeList).
+func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
 
 // LowerBoundGraph returns the Theorem 1.6 instance: f+1 vertex-disjoint s-t
 // paths with the last edge of each path returned for fault injection.

@@ -53,6 +53,27 @@ type Store interface {
 	Open(name string) (Reader, error)
 }
 
+// ExpectOpener is implemented by stores that can use a caller-known
+// blob size to tell a truncated transfer from a complete one when the
+// transport reveals no length (an HTTP 200 fallback without
+// Content-Length, a Content-Range with a "*" total). A short fetch then
+// fails as a retryable transport error instead of surfacing later from
+// the decode layer as corruption.
+type ExpectOpener interface {
+	OpenExpect(name string, size int64) (Reader, error)
+}
+
+// OpenExpect opens name through s, handing the expected size (from the
+// manifest's shard records) to stores that can verify against it;
+// stores without the capability — and unknown sizes (< 0) — fall back
+// to a plain Open.
+func OpenExpect(s Store, name string, size int64) (Reader, error) {
+	if eo, ok := s.(ExpectOpener); ok && size >= 0 {
+		return eo.OpenExpect(name, size)
+	}
+	return s.Open(name)
+}
+
 // Event is one observable store action, emitted by stores that support
 // observation (SetObserver): a completed fetch (Kind EventFetch, with
 // the final error if the fetch failed) or one failed attempt that will

@@ -71,6 +71,17 @@ func (f *Fault) SetObserver(o Observer) {
 // Open consumes the next scheduled op and applies it to the inner
 // store's reader.
 func (f *Fault) Open(name string) (Reader, error) {
+	return f.open(func() (Reader, error) { return f.inner.Open(name) })
+}
+
+// OpenExpect forwards the expected size to the inner store (no-op for
+// inner stores without the capability), still applying the scheduled
+// fault op to whatever comes back.
+func (f *Fault) OpenExpect(name string, size int64) (Reader, error) {
+	return f.open(func() (Reader, error) { return OpenExpect(f.inner, name, size) })
+}
+
+func (f *Fault) open(inner func() (Reader, error)) (Reader, error) {
 	f.mu.Lock()
 	f.opens++
 	var op FaultOp
@@ -81,7 +92,7 @@ func (f *Fault) Open(name string) (Reader, error) {
 	if op.OpenErr != nil {
 		return nil, op.OpenErr
 	}
-	r, err := f.inner.Open(name)
+	r, err := inner()
 	if err != nil {
 		return nil, err
 	}

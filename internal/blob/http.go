@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"math/rand"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -54,6 +54,11 @@ type HTTPOptions struct {
 	Backoff time.Duration
 	// MaxBackoff caps the delay: 0 selects DefaultFetchMaxBackoff.
 	MaxBackoff time.Duration
+	// Sleep waits between retry attempts; nil selects time.Sleep. It is
+	// a test hook (backoff-timing tests run without wall-clock waits)
+	// and is fixed at construction — the store reads it from concurrent
+	// fetches without synchronization.
+	Sleep func(time.Duration)
 }
 
 // HTTP is the remote store over one base URL: blob name -> GET
@@ -62,11 +67,13 @@ type HTTP struct {
 	base string
 	opts HTTPOptions
 
+	// sleep comes from HTTPOptions.Sleep at construction and is never
+	// reassigned, so concurrent fetches read it without locking; mu
+	// guards only the swappable observer.
+	sleep func(time.Duration)
+
 	mu       sync.Mutex
 	observer Observer
-	// sleep is swappable so retry-timing tests run without wall-clock
-	// waits.
-	sleep func(time.Duration)
 }
 
 // NewHTTP returns a store fetching name from base+"/"+name. The base
@@ -100,7 +107,11 @@ func NewHTTP(base string, opts HTTPOptions) (*HTTP, error) {
 	if opts.Client == nil {
 		opts.Client = http.DefaultClient
 	}
-	return &HTTP{base: strings.TrimRight(base, "/"), opts: opts, sleep: time.Sleep}, nil
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &HTTP{base: strings.TrimRight(base, "/"), opts: opts, sleep: sleep}, nil
 }
 
 // String names the store for logs.
@@ -133,6 +144,22 @@ func (e *permanentError) Unwrap() error { return e.err }
 // exponential backoff and jitter and resuming ranged transfers from the
 // last received byte when the server honors Range.
 func (h *HTTP) Open(name string) (Reader, error) {
+	return h.open(name, -1)
+}
+
+// OpenExpect is Open with the caller-known blob size (the manifest
+// records every shard's length). The expectation closes the one hole a
+// length check cannot: a 200 full-GET fallback of unknown length
+// (chunked, ContentLength -1) whose body ends cleanly short looks
+// complete on the wire, but handing it to the decoder would surface the
+// truncation as corruption (500 internal) instead of the retryable
+// transport failure it is (ErrFetch, 502 upstream_failure). Sizes < 0
+// mean unknown and behave exactly like Open.
+func (h *HTTP) OpenExpect(name string, size int64) (Reader, error) {
+	return h.open(name, size)
+}
+
+func (h *HTTP) open(name string, expect int64) (Reader, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
@@ -145,7 +172,7 @@ func (h *HTTP) Open(name string) (Reader, error) {
 		}
 		t0 := time.Now()
 		var done bool
-		buf, done, lastErr = h.fetchOnce(name, buf)
+		buf, done, lastErr = h.fetchOnce(name, buf, expect)
 		if lastErr == nil && done {
 			h.emit(Event{Kind: EventFetch, Name: name, Attempt: attempt,
 				Bytes: int64(len(buf)), Duration: time.Since(start)})
@@ -177,14 +204,16 @@ func (h *HTTP) backoff(n int) time.Duration {
 	}
 	// Up to 50% additive jitter decorrelates replicas retrying the same
 	// dead backend.
-	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+	return d + time.Duration(rand.Int64N(int64(d)/2+1))
 }
 
 // fetchOnce runs one attempt: request bytes from len(got) on, append
 // what arrives. Returns the accumulated buffer, whether the blob is
 // complete, and the attempt's error. A server that ignores Range
-// restarts the buffer (full-GET fallback).
-func (h *HTTP) fetchOnce(name string, got []byte) (buf []byte, done bool, err error) {
+// restarts the buffer (full-GET fallback). expect is the caller-known
+// blob size (-1 unknown); it backstops the length check when no header
+// reveals the total.
+func (h *HTTP) fetchOnce(name string, got []byte, expect int64) (buf []byte, done bool, err error) {
 	ctx := context.Background()
 	if h.opts.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -212,11 +241,22 @@ func (h *HTTP) fetchOnce(name string, got []byte) (buf []byte, done bool, err er
 			return nil, false, fmt.Errorf("bad Content-Range %q for offset %d",
 				resp.Header.Get("Content-Range"), off)
 		}
+		// A "*" total (-1) hides the blob size; the caller's expectation
+		// fills it for the completeness check below.
 		want = total
+		if want < 0 {
+			want = expect
+		}
 	case http.StatusOK:
 		// Range ignored: the body is the whole blob, discard any partial.
+		// A chunked response reveals no length (ContentLength -1); fall
+		// back to the caller's expectation so a cleanly-short body is a
+		// retryable truncation, not a complete fetch.
 		got = nil
 		want = resp.ContentLength
+		if want < 0 {
+			want = expect
+		}
 	case http.StatusRequestedRangeNotSatisfiable:
 		// The blob shrank (or never had our offset); restart from scratch.
 		return nil, false, fmt.Errorf("range from %d not satisfiable", off)

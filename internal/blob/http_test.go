@@ -13,12 +13,16 @@ import (
 	"time"
 )
 
-// noSleep replaces the store's retry sleep, recording the requested
-// delays so backoff tests run without wall-clock waits.
-func noSleep(h *HTTP) *[]time.Duration {
+// noSleep is a construction-time Sleep hook (HTTPOptions.Sleep) that
+// skips retry delays so tests run without wall-clock waits.
+func noSleep(time.Duration) {}
+
+// recordSleep returns a Sleep hook recording the requested delays, for
+// tests asserting the backoff schedule. The store calls it from one
+// goroutine per Open; these tests Open once.
+func recordSleep() (func(time.Duration), *[]time.Duration) {
 	var sleeps []time.Duration
-	h.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
-	return &sleeps
+	return func(d time.Duration) { sleeps = append(sleeps, d) }, &sleeps
 }
 
 func mustFetch(t *testing.T, h *HTTP, name string) []byte {
@@ -81,11 +85,10 @@ func TestHTTPResumeAfterDisconnect(t *testing.T) {
 		http.ServeContent(w, r, "blob", time.Time{}, strings.NewReader(string(content)))
 	}))
 	defer ts.Close()
-	h, err := NewHTTP(ts.URL, HTTPOptions{})
+	h, err := NewHTTP(ts.URL, HTTPOptions{Sleep: noSleep})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noSleep(h)
 	if got := mustFetch(t, h, "blob"); string(got) != string(content) {
 		t.Fatalf("stitched fetch = %q", got)
 	}
@@ -118,11 +121,10 @@ func TestHTTPFullGetFallback(t *testing.T) {
 		w.Write(content)
 	}))
 	defer ts.Close()
-	h, err := NewHTTP(ts.URL, HTTPOptions{})
+	h, err := NewHTTP(ts.URL, HTTPOptions{Sleep: noSleep})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noSleep(h)
 	if got := mustFetch(t, h, "blob"); string(got) != string(content) {
 		t.Fatalf("fallback fetch = %q", got)
 	}
@@ -150,16 +152,92 @@ func TestHTTPTruncatedBody(t *testing.T) {
 		w.Write(content)
 	}))
 	defer ts.Close()
-	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 2})
+	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 2, Sleep: noSleep})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noSleep(h)
 	if got := mustFetch(t, h, "blob"); string(got) != string(content) {
 		t.Fatalf("fetch after truncations = %q", got)
 	}
 	if requests != 3 {
 		t.Fatalf("requests = %d", requests)
+	}
+}
+
+// TestHTTPUnknownLengthTruncation covers the chunked 200 fallback: a
+// response without Content-Length that ends cleanly short looks
+// complete on the wire, so only the caller-known blob size (OpenExpect,
+// fed from the manifest's shard records) can catch the truncation. It
+// must be retried as a transport failure — before the fix the short
+// body was accepted and surfaced downstream as corruption.
+func TestHTTPUnknownLengthTruncation(t *testing.T) {
+	content := []byte("chunked responses reveal no content length at all")
+	var mu sync.Mutex
+	requests := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		requests++
+		short := requests == 1
+		mu.Unlock()
+		// Flushing before returning forces chunked transfer encoding:
+		// the client sees ContentLength == -1 and a clean EOF.
+		w.WriteHeader(http.StatusOK)
+		if short {
+			w.Write(content[:13])
+		} else {
+			w.Write(content)
+		}
+		w.(http.Flusher).Flush()
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 2, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.OpenExpect("blob", int64(len(content)))
+	if err != nil {
+		t.Fatalf("OpenExpect: %v", err)
+	}
+	defer r.Close()
+	buf := make([]byte, r.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(r, 0, r.Size()), buf); err != nil || string(buf) != string(content) {
+		t.Fatalf("fetched %q, %v", buf, err)
+	}
+	if requests != 2 {
+		t.Fatalf("requests = %d, want truncated attempt + retry", requests)
+	}
+}
+
+// TestHTTPUnknownLengthAlwaysTruncated pins the error classification: a
+// backend that always serves the short chunked body exhausts the retry
+// budget and fails with the retryable ErrFetch (502 upstream_failure at
+// the serving tier), not a corruption error.
+func TestHTTPUnknownLengthAlwaysTruncated(t *testing.T) {
+	content := []byte("never the whole story")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write(content[:7])
+		w.(http.Flusher).Flush()
+	}))
+	defer ts.Close()
+	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 1, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.OpenExpect("blob", int64(len(content))); !errors.Is(err, ErrFetch) {
+		t.Fatalf("persistent truncation: %v, want ErrFetch", err)
+	}
+	// Without a caller expectation the clean short body is
+	// indistinguishable from a complete blob; the decode layer's
+	// verification is then the only net. OpenExpect with an unknown size
+	// must behave exactly like Open.
+	r, err := h.OpenExpect("blob", -1)
+	if err != nil {
+		t.Fatalf("OpenExpect(-1): %v", err)
+	}
+	defer r.Close()
+	if r.Size() != 7 {
+		t.Fatalf("unknown-size fetch returned %d bytes, want the 7 served", r.Size())
 	}
 }
 
@@ -173,11 +251,10 @@ func TestHTTPNotFoundIsPermanent(t *testing.T) {
 		http.NotFound(w, r)
 	}))
 	defer ts.Close()
-	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 5})
+	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 5, Sleep: noSleep})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noSleep(h)
 	if _, err := h.Open("absent"); !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("404 fetch: %v", err)
 	}
@@ -200,11 +277,10 @@ func TestHTTPPermanent4xx(t *testing.T) {
 		w.WriteHeader(http.StatusForbidden)
 	}))
 	defer ts.Close()
-	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 5})
+	h, err := NewHTTP(ts.URL, HTTPOptions{Retries: 5, Sleep: noSleep})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noSleep(h)
 	if _, err := h.Open("blob"); err == nil {
 		t.Fatal("403 accepted")
 	}
@@ -226,12 +302,12 @@ func TestHTTPBoundedRetriesAndBackoff(t *testing.T) {
 		w.WriteHeader(http.StatusInternalServerError)
 	}))
 	defer ts.Close()
-	opts := HTTPOptions{Retries: 3, Backoff: 100 * time.Millisecond, MaxBackoff: 250 * time.Millisecond}
+	sleep, sleeps := recordSleep()
+	opts := HTTPOptions{Retries: 3, Backoff: 100 * time.Millisecond, MaxBackoff: 250 * time.Millisecond, Sleep: sleep}
 	h, err := NewHTTP(ts.URL, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sleeps := noSleep(h)
 	var events []Event
 	h.SetObserver(func(ev Event) { events = append(events, ev) })
 	_, err = h.Open("blob")

@@ -1,0 +1,465 @@
+// Package loadgen is the coordinated-omission-safe HTTP load harness of
+// the serving tier: `ftroute loadgen` drives any daemon speaking the
+// serve/api protocol — monolithic, sharded replica or fan-out proxy —
+// with a deterministic Zipf-skewed workload and reports corrected
+// latency quantiles, throughput and server-side cache deltas as a
+// machine-readable BENCH_<name>.json artifact.
+//
+// Two decisions define the harness:
+//
+// Open-loop scheduling. At a fixed target rate, request i's intended
+// start is start + i/rate regardless of how the server is doing, and its
+// reported latency is measured from that intended start — so when the
+// server stalls, the queueing delay of every backed-up request counts
+// against the tail instead of silently vanishing behind closed-loop
+// backpressure (the coordinated-omission trap). The uncorrected
+// service time (send to completion) is reported alongside for
+// comparison. Rate 0 degrades to a closed loop that measures maximum
+// throughput, where the two distributions coincide by construction.
+//
+// Deterministic workload. Every byte of request i is a pure function of
+// (Config.Seed, i) through xrand.DeriveSeed — the same discipline the
+// parallel label builds use — so a fixed seed replays the identical
+// request multiset at any worker count, rate, or interleaving, and two
+// runs against different artifact forms (monolithic vs sharded vs
+// proxied) are answering the same questions. Pair endpoints and fault
+// sets are Zipf-skewed: hot fault sets exercise the prepared-context
+// LRU, hot vertices concentrate load on few components and exercise the
+// resident-shard LRU.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftrouting"
+	"ftrouting/internal/obs"
+	"ftrouting/internal/xrand"
+	"ftrouting/serve/api"
+)
+
+// Seed-derivation salts. Distinct constants give the permutation, the
+// fault pool and the per-request streams computationally independent
+// randomness from one master seed.
+const (
+	saltPerm uint64 = 0x10adf07e57a10001 // vertex hotness permutation
+	saltPool uint64 = 0x10adf07e57a10002 // fault-set pool
+	saltReq  uint64 = 0x10adf07e57a10003 // per-request draw stream
+)
+
+// Config parameterizes one load run. The zero value is not runnable:
+// either Requests or Duration must be positive.
+type Config struct {
+	// Name labels the run; the CLI writes the report to BENCH_<Name>.json.
+	Name string
+	// Endpoint is the query endpoint to drive (connected, estimate,
+	// route, route-forbidden). Empty selects the served scheme's natural
+	// endpoint: conn→connected, dist→estimate, router→route-forbidden.
+	Endpoint string
+	// Rate is the target request rate per second across all workers.
+	// 0 runs closed-loop: every worker fires as fast as the server
+	// answers, measuring maximum throughput instead of latency under a
+	// fixed offered load.
+	Rate float64
+	// Duration bounds the run when Requests is 0: open-loop runs issue
+	// round(Rate·Duration) requests; closed-loop runs stop claiming new
+	// requests at the deadline.
+	Duration time.Duration
+	// Requests, when positive, fixes the exact request count and takes
+	// precedence over Duration.
+	Requests int
+	// Workers is the concurrent sender count; <= 0 means GOMAXPROCS.
+	// Workers bounds in-flight requests, so an open-loop run whose
+	// server stalls longer than Workers/Rate seconds falls behind
+	// schedule — the corrected histogram then charges the backlog to
+	// latency, which is exactly the point.
+	Workers int
+	// BatchSize is the pairs per request; <= 0 means 16.
+	BatchSize int
+	// Seed is the master seed; the full request schedule is a pure
+	// function of it.
+	Seed uint64
+	// PairSkew is the Zipf exponent of vertex popularity (s and t are
+	// drawn independently from the same distribution). 0 is uniform;
+	// ~1 and above concentrates most traffic on a few hot vertices.
+	PairSkew float64
+	// FaultSets is the size of the precomputed fault-set pool; 0 runs a
+	// fault-free workload. Each request draws one pool entry, so the
+	// pool size against the server's context-cache capacity sets the
+	// achievable hit rate.
+	FaultSets int
+	// FaultsPerSet is the distinct failed edges per pool entry; must be
+	// positive when FaultSets is, and within the scheme's fault bound.
+	FaultsPerSet int
+	// FaultSkew is the Zipf exponent of fault-set popularity; 0 is
+	// uniform over the pool.
+	FaultSkew float64
+	// Timeout bounds each request attempt; 0 leaves attempts unbounded.
+	Timeout time.Duration
+}
+
+// withDefaults resolves the defaulted fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.Name == "" {
+		cfg.Name = "loadgen"
+	}
+	return cfg
+}
+
+// validate rejects unrunnable configurations before any traffic.
+func (cfg Config) validate() error {
+	if cfg.Rate < 0 || math.IsNaN(cfg.Rate) || math.IsInf(cfg.Rate, 0) {
+		return fmt.Errorf("loadgen: rate must be a finite value >= 0, got %v", cfg.Rate)
+	}
+	if cfg.Requests < 0 {
+		return fmt.Errorf("loadgen: requests must be >= 0, got %d", cfg.Requests)
+	}
+	if cfg.Requests == 0 && cfg.Duration <= 0 {
+		return errors.New("loadgen: either a request count or a duration is required")
+	}
+	if cfg.FaultSets < 0 {
+		return fmt.Errorf("loadgen: fault sets must be >= 0, got %d", cfg.FaultSets)
+	}
+	if cfg.FaultSets > 0 && cfg.FaultsPerSet <= 0 {
+		return fmt.Errorf("loadgen: a fault-set pool needs faults per set > 0, got %d", cfg.FaultsPerSet)
+	}
+	return nil
+}
+
+// defaultEndpoint maps a scheme kind to the endpoint that exercises it
+// fully: the router kind routes with the fault set known in advance
+// (route-forbidden) because that is the mode whose fault contexts the
+// server caches.
+func defaultEndpoint(kind string) (string, error) {
+	switch kind {
+	case "conn":
+		return "connected", nil
+	case "dist":
+		return "estimate", nil
+	case "router":
+		return "route-forbidden", nil
+	}
+	return "", fmt.Errorf("loadgen: server kind %q has no default endpoint; set one explicitly", kind)
+}
+
+// generator derives request i from the master seed. All methods are
+// safe for concurrent use: the tables are immutable after construction
+// and request() seeds a fresh stream per index.
+type generator struct {
+	seed  uint64
+	batch int
+	// perm maps popularity rank to vertex id, so which vertices are hot
+	// is itself seed-dependent rather than always 0..k.
+	perm  []int32
+	pairs *zipfTable
+	// pool holds the precomputed fault sets; faults Zipf-samples a pool
+	// index. Both are nil for fault-free workloads.
+	pool   [][]ftrouting.EdgeID
+	faults *zipfTable
+}
+
+// newGenerator precomputes the popularity permutation, the Zipf tables
+// and the fault-set pool against the served scheme's dimensions.
+func newGenerator(cfg Config, h *api.HealthResponse) (*generator, error) {
+	if h.Vertices <= 0 {
+		return nil, fmt.Errorf("loadgen: server reports %d vertices; nothing to query", h.Vertices)
+	}
+	g := &generator{seed: cfg.Seed, batch: cfg.BatchSize}
+	pairs, err := newZipfTable(h.Vertices, cfg.PairSkew)
+	if err != nil {
+		return nil, err
+	}
+	g.pairs = pairs
+	permRng := xrand.NewSplitMix64(xrand.DeriveSeed(cfg.Seed, saltPerm))
+	g.perm = make([]int32, h.Vertices)
+	for rank, v := range permRng.Perm(h.Vertices) {
+		g.perm[rank] = int32(v)
+	}
+	if cfg.FaultSets > 0 {
+		if cfg.FaultsPerSet > h.Edges {
+			return nil, fmt.Errorf("loadgen: %d faults per set exceeds the graph's %d edges", cfg.FaultsPerSet, h.Edges)
+		}
+		if h.FaultBound >= 0 && cfg.FaultsPerSet > h.FaultBound {
+			return nil, fmt.Errorf("loadgen: %d faults per set exceeds the scheme's fault bound %d", cfg.FaultsPerSet, h.FaultBound)
+		}
+		g.faults, err = newZipfTable(cfg.FaultSets, cfg.FaultSkew)
+		if err != nil {
+			return nil, err
+		}
+		g.pool = make([][]ftrouting.EdgeID, cfg.FaultSets)
+		for p := range g.pool {
+			rng := xrand.NewSplitMix64(xrand.DeriveSeed(cfg.Seed, saltPool, uint64(p)))
+			set := make([]ftrouting.EdgeID, 0, cfg.FaultsPerSet)
+			seen := make(map[ftrouting.EdgeID]bool, cfg.FaultsPerSet)
+			for len(set) < cfg.FaultsPerSet {
+				e := ftrouting.EdgeID(rng.Intn(h.Edges))
+				if !seen[e] {
+					seen[e] = true
+					set = append(set, e)
+				}
+			}
+			g.pool[p] = set
+		}
+	}
+	return g, nil
+}
+
+// request materializes request i: a pure function of (seed, i), so the
+// schedule is identical no matter which worker claims which index.
+func (g *generator) request(i uint64) *api.QueryRequest {
+	rng := xrand.NewSplitMix64(xrand.DeriveSeed(g.seed, saltReq, i))
+	req := &api.QueryRequest{Pairs: make([][2]int32, g.batch)}
+	n := len(g.perm)
+	for k := range req.Pairs {
+		s := g.perm[g.pairs.sample(rng.Float64())]
+		t := g.perm[g.pairs.sample(rng.Float64())]
+		// Distinct endpoints when the graph allows it; the redraw loop
+		// consumes the same stream deterministically.
+		for t == s && n > 1 {
+			t = g.perm[g.pairs.sample(rng.Float64())]
+		}
+		req.Pairs[k] = [2]int32{s, t}
+	}
+	if g.faults != nil {
+		req.Faults = g.pool[g.faults.sample(rng.Float64())]
+	}
+	return req
+}
+
+// workerTally is one worker's private counters, merged after the run so
+// the send path shares nothing but the two lock-free histograms and the
+// request index.
+type workerTally struct {
+	sent     uint64
+	ok       uint64
+	pairs    uint64
+	failures uint64
+	errors   map[string]uint64
+}
+
+func (t *workerTally) fail(err error) {
+	t.failures++
+	code := "transport"
+	var se *api.Error
+	if errors.As(err, &se) {
+		code = se.Info.Code
+	}
+	if t.errors == nil {
+		t.errors = make(map[string]uint64)
+	}
+	t.errors[code]++
+}
+
+// runner carries the per-run state shared by the workers.
+type runner struct {
+	client   *api.Client
+	endpoint string
+	gen      *generator
+	// corrected records completion minus intended start (the
+	// coordinated-omission-safe number); service records completion
+	// minus actual send.
+	corrected *obs.Histogram
+	service   *obs.Histogram
+	next      atomic.Int64
+	total     int64 // 0 = unbounded (closed loop until deadline)
+	start     time.Time
+	interval  time.Duration // 0 = closed loop
+	deadline  time.Time     // zero = no deadline
+}
+
+// call issues one request and validates the typed response shape, so a
+// daemon answering the wrong result count is a failure, not a success
+// with garbage.
+func (r *runner) call(ctx context.Context, req *api.QueryRequest) error {
+	want := len(req.Pairs)
+	var got int
+	switch r.endpoint {
+	case "connected":
+		var out api.ConnectedResponse
+		if err := r.client.Query(ctx, r.endpoint, req, &out); err != nil {
+			return err
+		}
+		got = len(out.Results)
+	case "estimate":
+		var out api.EstimateResponse
+		if err := r.client.Query(ctx, r.endpoint, req, &out); err != nil {
+			return err
+		}
+		got = len(out.Estimates)
+	default:
+		var out api.RouteResponse
+		if err := r.client.Query(ctx, r.endpoint, req, &out); err != nil {
+			return err
+		}
+		got = len(out.Results)
+	}
+	if got != want {
+		return fmt.Errorf("loadgen: server answered %d results for %d pairs", got, want)
+	}
+	return nil
+}
+
+// work is one worker's loop: claim the next request index, sleep to its
+// intended start, send, record. Returns when the schedule or the
+// context is exhausted.
+func (r *runner) work(ctx context.Context, tally *workerTally) {
+	for {
+		i := r.next.Add(1) - 1
+		if r.total > 0 && i >= r.total {
+			return
+		}
+		var intended time.Time
+		if r.interval > 0 {
+			intended = r.start.Add(time.Duration(i) * r.interval)
+			if wait := time.Until(intended); wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return
+				}
+			}
+		} else if !r.deadline.IsZero() && !time.Now().Before(r.deadline) {
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		req := r.gen.request(uint64(i))
+		send := time.Now()
+		if intended.IsZero() {
+			// Closed loop: no schedule to fall behind, so corrected and
+			// service time coincide.
+			intended = send
+		}
+		err := r.call(ctx, req)
+		done := time.Now()
+		tally.sent++
+		if err != nil {
+			if ctx.Err() != nil {
+				// A cancellation mid-flight is the run ending, not the
+				// server failing.
+				return
+			}
+			tally.fail(err)
+			continue
+		}
+		tally.ok++
+		tally.pairs += uint64(len(req.Pairs))
+		r.corrected.Observe(done.Sub(intended))
+		r.service.Observe(done.Sub(send))
+	}
+}
+
+// Run drives the server at target with cfg's workload and returns the
+// report. The context cancels the run early; what completed before the
+// cancellation is still reported.
+func Run(ctx context.Context, target string, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Workers,
+		MaxIdleConnsPerHost: cfg.Workers,
+	}
+	defer transport.CloseIdleConnections()
+	opts := []api.Option{api.WithHTTPClient(&http.Client{Transport: transport})}
+	if cfg.Timeout > 0 {
+		opts = append(opts, api.WithTimeout(cfg.Timeout))
+	}
+	client := api.New(target, opts...)
+
+	health, err := client.Healthz(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetching /v1/healthz: %w", err)
+	}
+	endpoint := cfg.Endpoint
+	if endpoint == "" {
+		if endpoint, err = defaultEndpoint(health.Kind); err != nil {
+			return nil, err
+		}
+	}
+	gen, err := newGenerator(cfg, health)
+	if err != nil {
+		return nil, err
+	}
+
+	// The stats delta brackets the run; servers without the endpoint
+	// (or with stats disabled) just lose the Server block.
+	statsBefore, statsErr := client.Stats(ctx)
+
+	r := &runner{
+		client:    client,
+		endpoint:  endpoint,
+		gen:       gen,
+		corrected: &obs.Histogram{},
+		service:   &obs.Histogram{},
+	}
+	switch {
+	case cfg.Requests > 0:
+		r.total = int64(cfg.Requests)
+	case cfg.Rate > 0:
+		r.total = int64(math.Round(cfg.Rate * cfg.Duration.Seconds()))
+		if r.total < 1 {
+			r.total = 1
+		}
+	}
+	if cfg.Rate > 0 {
+		r.interval = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	r.start = time.Now()
+	if cfg.Requests == 0 && cfg.Rate == 0 {
+		r.deadline = r.start.Add(cfg.Duration)
+	}
+
+	tallies := make([]workerTally, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(t *workerTally) {
+			defer wg.Done()
+			r.work(ctx, t)
+		}(&tallies[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(r.start)
+
+	var total workerTally
+	for i := range tallies {
+		t := &tallies[i]
+		total.sent += t.sent
+		total.ok += t.ok
+		total.pairs += t.pairs
+		total.failures += t.failures
+		for code, n := range t.errors {
+			if total.errors == nil {
+				total.errors = make(map[string]uint64)
+			}
+			total.errors[code] += n
+		}
+	}
+
+	rep := buildReport(target, endpoint, cfg, health, &total, elapsed,
+		r.corrected.Snapshot(), r.service.Snapshot())
+	if statsErr == nil {
+		if statsAfter, err := client.Stats(ctx); err == nil {
+			rep.Server = statsDelta(statsBefore, statsAfter)
+		}
+	}
+	return rep, nil
+}

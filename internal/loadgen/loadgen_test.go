@@ -1,0 +1,315 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ftrouting/serve/api"
+)
+
+// fakeServer speaks just enough of the serving protocol for the harness:
+// healthz, stats, and one query endpoint that answers the right result
+// count. It records every query body so tests can compare schedules.
+type fakeServer struct {
+	health api.HealthResponse
+
+	mu     sync.Mutex
+	bodies []string
+	calls  int
+
+	// stallAt >= 0 makes the stallAt-th query (0-based, in arrival
+	// order) sleep stallFor before answering — a server hiccup for the
+	// coordinated-omission test.
+	stallAt  int
+	stallFor time.Duration
+}
+
+func newFakeServer(vertices, edges int) *fakeServer {
+	return &fakeServer{
+		health: api.HealthResponse{
+			Status:      "ok",
+			Kind:        "conn",
+			Vertices:    vertices,
+			Edges:       edges,
+			FaultBound:  -1,
+			Unreachable: -1,
+		},
+		stallAt: -1,
+	}
+}
+
+func (f *fakeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/healthz":
+		json.NewEncoder(w).Encode(f.health)
+	case "/v1/stats":
+		json.NewEncoder(w).Encode(api.StatsResponse{Kind: f.health.Kind})
+	case "/v1/connected":
+		var req api.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		body, _ := json.Marshal(&req)
+		f.mu.Lock()
+		call := f.calls
+		f.calls++
+		f.bodies = append(f.bodies, string(body))
+		f.mu.Unlock()
+		if call == f.stallAt && f.stallFor > 0 {
+			time.Sleep(f.stallFor)
+		}
+		json.NewEncoder(w).Encode(api.ConnectedResponse{Results: make([]bool, len(req.Pairs))})
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (f *fakeServer) recorded() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := append([]string(nil), f.bodies...)
+	sort.Strings(out)
+	return out
+}
+
+// TestGeneratorDeterminism checks request i is a pure function of
+// (seed, i): two generators agree index by index, and a different seed
+// actually changes the schedule.
+func TestGeneratorDeterminism(t *testing.T) {
+	h := &api.HealthResponse{Kind: "conn", Vertices: 40, Edges: 60, FaultBound: -1}
+	cfg := Config{Seed: 7, BatchSize: 4, PairSkew: 0.9, FaultSets: 5, FaultsPerSet: 3, FaultSkew: 0.8, Requests: 1}
+	cfg = cfg.withDefaults()
+	a, err := newGenerator(cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newGenerator(cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = 8
+	c, err := newGenerator(other, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for i := uint64(0); i < 200; i++ {
+		ra, _ := json.Marshal(a.request(i))
+		rb, _ := json.Marshal(b.request(i))
+		rc, _ := json.Marshal(c.request(i))
+		if string(ra) != string(rb) {
+			t.Fatalf("request %d differs across same-seed generators:\n%s\n%s", i, ra, rb)
+		}
+		if string(ra) != string(rc) {
+			differs = true
+		}
+		var req api.QueryRequest
+		if err := json.Unmarshal(ra, &req); err != nil {
+			t.Fatal(err)
+		}
+		if len(req.Pairs) != cfg.BatchSize {
+			t.Fatalf("request %d has %d pairs, want %d", i, len(req.Pairs), cfg.BatchSize)
+		}
+		for _, p := range req.Pairs {
+			if p[0] == p[1] {
+				t.Fatalf("request %d drew a degenerate pair %v", i, p)
+			}
+			if p[0] < 0 || int(p[0]) >= h.Vertices || p[1] < 0 || int(p[1]) >= h.Vertices {
+				t.Fatalf("request %d pair %v out of range", i, p)
+			}
+		}
+		if len(req.Faults) != cfg.FaultsPerSet {
+			t.Fatalf("request %d has %d faults, want %d", i, len(req.Faults), cfg.FaultsPerSet)
+		}
+	}
+	if !differs {
+		t.Fatal("changing the seed left the whole schedule unchanged")
+	}
+}
+
+// TestRunScheduleIndependentOfWorkers replays the same seeded run at
+// worker counts 1 and 4 and checks the server saw the identical request
+// multiset — the property that makes benchmark numbers comparable
+// across harness configurations.
+func TestRunScheduleIndependentOfWorkers(t *testing.T) {
+	const requests = 48
+	var schedules [][]string
+	for _, workers := range []int{1, 4} {
+		f := newFakeServer(30, 50)
+		ts := httptest.NewServer(f)
+		rep, err := Run(context.Background(), ts.URL, Config{
+			Name:      "det",
+			Requests:  requests,
+			Workers:   workers,
+			BatchSize: 3,
+			Seed:      42,
+			PairSkew:  0.8,
+			FaultSets: 4, FaultsPerSet: 2,
+		})
+		ts.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Succeeded != requests || rep.Failed != 0 {
+			t.Fatalf("workers=%d: %d ok / %d failed, want %d / 0",
+				workers, rep.Succeeded, rep.Failed, requests)
+		}
+		if rep.Pairs != requests*3 {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, rep.Pairs, requests*3)
+		}
+		if rep.Latency.Count != requests || rep.Service.Count != requests {
+			t.Fatalf("workers=%d: histogram counts %d/%d, want %d",
+				workers, rep.Latency.Count, rep.Service.Count, requests)
+		}
+		got := f.recorded()
+		if len(got) != requests {
+			t.Fatalf("workers=%d: server saw %d requests, want %d", workers, len(got), requests)
+		}
+		schedules = append(schedules, got)
+	}
+	for i := range schedules[0] {
+		if schedules[0][i] != schedules[1][i] {
+			t.Fatalf("request multiset differs between worker counts:\n%s\n%s",
+				schedules[0][i], schedules[1][i])
+		}
+	}
+}
+
+// TestCoordinatedOmissionCorrection is the regression the harness
+// exists for: a single 300ms server stall at a fixed offered rate must
+// inflate the corrected latency distribution (every backed-up request
+// charges its queueing delay) even though per-request service time
+// stays tiny. A closed-loop or uncorrected harness reports the stall as
+// one slow request and hides the backlog entirely.
+func TestCoordinatedOmissionCorrection(t *testing.T) {
+	const (
+		requests = 60
+		rate     = 200.0 // 5ms interval; the stall spans ~60 intervals
+		stall    = 300 * time.Millisecond
+	)
+	run := func(stallAt int) *Report {
+		t.Helper()
+		f := newFakeServer(30, 50)
+		f.stallAt, f.stallFor = stallAt, stall
+		ts := httptest.NewServer(f)
+		defer ts.Close()
+		rep, err := Run(context.Background(), ts.URL, Config{
+			Name:     "co",
+			Requests: requests,
+			Rate:     rate,
+			Workers:  1, // one in-flight request, so the stall blocks the schedule
+			Seed:     1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Succeeded != requests {
+			t.Fatalf("%d ok, want %d", rep.Succeeded, requests)
+		}
+		return rep
+	}
+
+	stalled := run(5)
+	// The stall lands early, so most of the run is backlog: the median
+	// corrected latency reflects the queueing delay...
+	if got := time.Duration(stalled.Latency.P50Nanos); got < stall/6 {
+		t.Fatalf("corrected p50 = %v, want >= %v (stall backlog must count)", got, stall/6)
+	}
+	// ...while the median service time stays a fast local round trip.
+	if got := time.Duration(stalled.Service.P50Nanos); got > stall/6 {
+		t.Fatalf("service p50 = %v, want < %v (only one request was actually slow)", got, stall/6)
+	}
+	if stalled.Latency.P99Nanos < stalled.Service.P50Nanos*4 {
+		t.Fatalf("corrected p99 %v not clearly above service p50 %v",
+			time.Duration(stalled.Latency.P99Nanos), time.Duration(stalled.Service.P50Nanos))
+	}
+
+	// Control: the same schedule without the stall keeps the corrected
+	// distribution at local-round-trip scale.
+	control := run(-1)
+	if got := time.Duration(control.Latency.P99Nanos); got >= stall/2 {
+		t.Fatalf("control corrected p99 = %v, want < %v", got, stall/2)
+	}
+	if stalled.Latency.P99Nanos < control.Latency.P99Nanos*2 {
+		t.Fatalf("stalled corrected p99 %v not clearly above control %v",
+			time.Duration(stalled.Latency.P99Nanos), time.Duration(control.Latency.P99Nanos))
+	}
+}
+
+// TestRunValidation rejects unrunnable configurations and impossible
+// fault demands before any traffic.
+func TestRunValidation(t *testing.T) {
+	f := newFakeServer(10, 8)
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no bound", Config{}},
+		{"negative rate", Config{Rate: -1, Requests: 1}},
+		{"negative requests", Config{Requests: -5, Duration: time.Second}},
+		{"pool without size", Config{Requests: 1, FaultSets: 3}},
+		{"too many faults", Config{Requests: 1, FaultSets: 1, FaultsPerSet: 9}},
+		{"negative skew", Config{Requests: 1, PairSkew: -0.5}},
+	}
+	for _, c := range cases {
+		if _, err := Run(context.Background(), ts.URL, c.cfg); err == nil {
+			t.Errorf("%s: Run accepted %+v", c.name, c.cfg)
+		}
+	}
+	if f.calls != 0 {
+		t.Fatalf("invalid configs reached the query endpoint %d times", f.calls)
+	}
+}
+
+// TestRunCountsFailures checks error classification: structured server
+// rejections surface under their wire code, and latency histograms only
+// record successes.
+func TestRunCountsFailures(t *testing.T) {
+	var calls int
+	mux := http.NewServeMux()
+	f := newFakeServer(10, 8)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(f.health)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.StatsResponse{Kind: "conn"})
+	})
+	mux.HandleFunc("/v1/connected", func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls%2 == 0 {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintf(w, `{"error":{"code":"bad_request","message":"synthetic"}}`)
+			return
+		}
+		var req api.QueryRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		json.NewEncoder(w).Encode(api.ConnectedResponse{Results: make([]bool, len(req.Pairs))})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	rep, err := Run(context.Background(), ts.URL, Config{Requests: 10, Workers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded != 5 || rep.Failed != 5 {
+		t.Fatalf("%d ok / %d failed, want 5 / 5", rep.Succeeded, rep.Failed)
+	}
+	if rep.Errors["bad_request"] != 5 {
+		t.Fatalf("errors = %v, want bad_request: 5", rep.Errors)
+	}
+	if rep.Latency.Count != 5 || rep.Service.Count != 5 {
+		t.Fatalf("histograms recorded %d/%d, want successes only (5)",
+			rep.Latency.Count, rep.Service.Count)
+	}
+}

@@ -1,0 +1,197 @@
+package loadgen
+
+// The BENCH_<name>.json artifact: everything a later PR needs to compare
+// itself against this one — the exact workload parameters (so the run is
+// reproducible from the report alone), the corrected and uncorrected
+// latency distributions, throughput, and the server-side cache deltas
+// that explain *why* the numbers moved.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"ftrouting/internal/obs"
+	"ftrouting/serve/api"
+)
+
+// SchemeInfo echoes the served scheme's identity from /v1/healthz, so a
+// report is self-describing about what it measured.
+type SchemeInfo struct {
+	Kind       string `json:"kind"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	FaultBound int    `json:"fault_bound"`
+	Digest     string `json:"digest,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	Replicas   int    `json:"replicas,omitempty"`
+}
+
+// Workload records the resolved run parameters. Re-running loadgen with
+// these values replays the identical request schedule.
+type Workload struct {
+	Rate         float64 `json:"rate"`
+	DurationNS   int64   `json:"duration_ns,omitempty"`
+	Requests     int     `json:"requests,omitempty"`
+	Workers      int     `json:"workers"`
+	BatchSize    int     `json:"batch_size"`
+	Seed         uint64  `json:"seed"`
+	PairSkew     float64 `json:"pair_skew"`
+	FaultSets    int     `json:"fault_sets"`
+	FaultsPerSet int     `json:"faults_per_set"`
+	FaultSkew    float64 `json:"fault_skew"`
+	TimeoutNS    int64   `json:"timeout_ns,omitempty"`
+}
+
+// LatencyReport condenses one latency histogram into the quantiles the
+// perf trajectory tracks. All values are nanoseconds.
+type LatencyReport struct {
+	Count     uint64 `json:"count"`
+	MeanNanos int64  `json:"mean_ns"`
+	P50Nanos  int64  `json:"p50_ns"`
+	P99Nanos  int64  `json:"p99_ns"`
+	P999Nanos int64  `json:"p999_ns"`
+}
+
+func summarize(s obs.HistogramSnapshot) LatencyReport {
+	return LatencyReport{
+		Count:     s.Count(),
+		MeanNanos: int64(s.Mean()),
+		P50Nanos:  int64(s.Quantile(0.50)),
+		P99Nanos:  int64(s.Quantile(0.99)),
+		P999Nanos: int64(s.Quantile(0.999)),
+	}
+}
+
+// ServerDelta is the server-side /v1/stats movement across the run:
+// how many pairs the daemon served and what its caches did while this
+// load was applied. Shard fields stay zero against monolithic daemons.
+type ServerDelta struct {
+	PairsServed      uint64 `json:"pairs_served"`
+	ContextHits      uint64 `json:"context_hits"`
+	ContextMisses    uint64 `json:"context_misses"`
+	ContextEvictions uint64 `json:"context_evictions"`
+	ShardLoads       uint64 `json:"shard_loads,omitempty"`
+	ShardEvictions   uint64 `json:"shard_evictions,omitempty"`
+	Fetches          uint64 `json:"fetches,omitempty"`
+	FetchRetries     uint64 `json:"fetch_retries,omitempty"`
+	FetchFailures    uint64 `json:"fetch_failures,omitempty"`
+}
+
+// statsDelta subtracts two stats snapshots counter-wise. Counters only
+// grow, but the subtraction saturates at zero anyway so a mid-run
+// restart cannot produce absurd wrapped values.
+func statsDelta(before, after *api.StatsResponse) *ServerDelta {
+	if before == nil || after == nil {
+		return nil
+	}
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	d := &ServerDelta{
+		PairsServed:      sub(after.PairsServed, before.PairsServed),
+		ContextHits:      sub(after.Cache.Hits, before.Cache.Hits),
+		ContextMisses:    sub(after.Cache.Misses, before.Cache.Misses),
+		ContextEvictions: sub(after.Cache.Evictions, before.Cache.Evictions),
+	}
+	if after.Shards != nil && before.Shards != nil {
+		d.ShardLoads = sub(after.Shards.Loads, before.Shards.Loads)
+		d.ShardEvictions = sub(after.Shards.Evictions, before.Shards.Evictions)
+		d.Fetches = sub(after.Shards.Fetches, before.Shards.Fetches)
+		d.FetchRetries = sub(after.Shards.FetchRetries, before.Shards.FetchRetries)
+		d.FetchFailures = sub(after.Shards.FetchFailures, before.Shards.FetchFailures)
+	}
+	return d
+}
+
+// Report is the complete result of one loadgen run and the schema of
+// the BENCH_<name>.json artifact.
+type Report struct {
+	Name     string     `json:"name"`
+	Target   string     `json:"target"`
+	Endpoint string     `json:"endpoint"`
+	Scheme   SchemeInfo `json:"scheme"`
+	Workload Workload   `json:"workload"`
+
+	// ElapsedNanos is the wall time from first intended start to last
+	// completion; QPS and PairsPerSec divide by it.
+	ElapsedNanos int64   `json:"elapsed_ns"`
+	Requests     uint64  `json:"requests_sent"`
+	Succeeded    uint64  `json:"requests_ok"`
+	Failed       uint64  `json:"requests_failed"`
+	Pairs        uint64  `json:"pairs"`
+	QPS          float64 `json:"qps"`
+	PairsPerSec  float64 `json:"pairs_per_sec"`
+	// Errors tallies failures by structured error code; transport-level
+	// failures (refused connections, timeouts) count under "transport".
+	Errors map[string]uint64 `json:"errors,omitempty"`
+
+	// Latency is corrected latency — completion minus *intended* start,
+	// the coordinated-omission-safe distribution. Service is completion
+	// minus actual send; a gap between the two means the run fell
+	// behind its schedule.
+	Latency LatencyReport `json:"latency"`
+	Service LatencyReport `json:"service"`
+
+	// Server is the /v1/stats delta across the run; absent when the
+	// target does not expose stats.
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// buildReport assembles everything except the optional Server block.
+func buildReport(target, endpoint string, cfg Config, h *api.HealthResponse,
+	t *workerTally, elapsed time.Duration, corrected, service obs.HistogramSnapshot) *Report {
+	rep := &Report{
+		Name:     cfg.Name,
+		Target:   target,
+		Endpoint: endpoint,
+		Scheme: SchemeInfo{
+			Kind:       h.Kind,
+			Vertices:   h.Vertices,
+			Edges:      h.Edges,
+			FaultBound: h.FaultBound,
+			Digest:     h.Digest,
+			Shards:     h.Shards,
+			Replicas:   h.Replicas,
+		},
+		Workload: Workload{
+			Rate:         cfg.Rate,
+			DurationNS:   int64(cfg.Duration),
+			Requests:     cfg.Requests,
+			Workers:      cfg.Workers,
+			BatchSize:    cfg.BatchSize,
+			Seed:         cfg.Seed,
+			PairSkew:     cfg.PairSkew,
+			FaultSets:    cfg.FaultSets,
+			FaultsPerSet: cfg.FaultsPerSet,
+			FaultSkew:    cfg.FaultSkew,
+			TimeoutNS:    int64(cfg.Timeout),
+		},
+		ElapsedNanos: int64(elapsed),
+		Requests:     t.sent,
+		Succeeded:    t.ok,
+		Failed:       t.failures,
+		Pairs:        t.pairs,
+		Errors:       t.errors,
+		Latency:      summarize(corrected),
+		Service:      summarize(service),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.QPS = float64(t.ok) / secs
+		rep.PairsPerSec = float64(t.pairs) / secs
+	}
+	return rep
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadgen: encoding report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,57 @@
+package loadgen
+
+// Zipf-skewed rank selection. Serving workloads are never uniform: a few
+// fault sets are hot (a handful of concurrently failing links) and a few
+// components carry most pairs, which is exactly what the serving tier's
+// two LRU levels bet on. The sampler is an exact inverse-CDF table over
+// ranks 0..n-1 with P(k) ∝ 1/(k+1)^s — stateless after construction, so
+// any request can draw from it with its own deterministic uniform variate
+// and the workload stays bit-identical at any worker count. Exponent 0
+// degenerates to the uniform distribution through the same code path.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// zipfTable samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. The table costs O(n) float64 words once per run — at the
+// 10^6-vertex topologies the harness targets that is a few megabytes,
+// irrelevant next to the scheme being served — and each draw is one
+// binary search, so sampling is allocation-free on the request path.
+type zipfTable struct {
+	cum []float64 // cum[k] = sum of weights of ranks 0..k
+}
+
+// newZipfTable builds the sampler. n must be positive and s
+// non-negative; s = 0 is uniform.
+func newZipfTable(n int, s float64) (*zipfTable, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: zipf table needs n > 0, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("loadgen: zipf exponent must be a finite value >= 0, got %v", s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	return &zipfTable{cum: cum}, nil
+}
+
+// sample maps a uniform variate u in [0, 1) to a rank: the inverse CDF
+// by binary search. Lower ranks are (weakly) more likely.
+func (z *zipfTable) sample(u float64) int {
+	target := u * z.cum[len(z.cum)-1]
+	k := sort.SearchFloat64s(z.cum, target)
+	// SearchFloat64s finds the first cum[k] >= target; an exact hit on a
+	// boundary belongs to the next rank (u is in [0,1), so target <
+	// total and k is always in range — clamp anyway for float safety).
+	if k >= len(z.cum) {
+		k = len(z.cum) - 1
+	}
+	return k
+}

@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"ftrouting/internal/xrand"
+)
+
+func TestZipfTableErrors(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		s float64
+	}{
+		{0, 0}, {-3, 1}, {5, -0.1}, {5, math.NaN()}, {5, math.Inf(1)},
+	} {
+		if _, err := newZipfTable(c.n, c.s); err == nil {
+			t.Errorf("newZipfTable(%d, %v) accepted", c.n, c.s)
+		}
+	}
+}
+
+func TestZipfTableUniform(t *testing.T) {
+	z, err := newZipfTable(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewSplitMix64(9)
+	counts := make([]int, 4)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		k := z.sample(rng.Float64())
+		if k < 0 || k >= 4 {
+			t.Fatalf("sample out of range: %d", k)
+		}
+		counts[k]++
+	}
+	for k, c := range counts {
+		if c < draws/5 || c > draws/3 {
+			t.Fatalf("uniform draw skewed: rank %d got %d of %d", k, c, draws)
+		}
+	}
+}
+
+func TestZipfTableSkewed(t *testing.T) {
+	z, err := newZipfTable(100, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewSplitMix64(11)
+	counts := make([]int, 100)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[z.sample(rng.Float64())]++
+	}
+	// Rank 0 must dominate the tail, and the head must hold most mass.
+	if counts[0] <= counts[99]*10 {
+		t.Fatalf("rank 0 drew %d, tail rank drew %d: not skewed", counts[0], counts[99])
+	}
+	head := 0
+	for k := 0; k < 10; k++ {
+		head += counts[k]
+	}
+	if head < draws/2 {
+		t.Fatalf("top-10 ranks drew %d of %d, want a majority", head, draws)
+	}
+	// Boundary inputs stay in range.
+	if k := z.sample(0); k != 0 {
+		t.Fatalf("sample(0) = %d, want 0", k)
+	}
+	if k := z.sample(1); k < 0 || k >= 100 {
+		t.Fatalf("sample(1) = %d out of range", k)
+	}
+}

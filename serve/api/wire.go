@@ -191,11 +191,14 @@ type ShardEntryStats struct {
 	// Loads and Evictions count this shard's cache entries and exits.
 	Loads     uint64 `json:"loads"`
 	Evictions uint64 `json:"evictions"`
-	// ContextHits/ContextMisses count the shard's prepared-fault-context
-	// lookups; Contexts is the live context count (0 when not resident).
-	ContextHits   uint64 `json:"context_hits"`
-	ContextMisses uint64 `json:"context_misses"`
-	Contexts      int    `json:"contexts"`
+	// ContextHits/ContextMisses/ContextEvictions count the shard's
+	// prepared-fault-context lookups and LRU evictions (kept across shard
+	// evictions, so per-row sums reconcile with the aggregate "cache"
+	// block); Contexts is the live context count (0 when not resident).
+	ContextHits      uint64 `json:"context_hits"`
+	ContextMisses    uint64 `json:"context_misses"`
+	ContextEvictions uint64 `json:"context_evictions"`
+	Contexts         int    `json:"contexts"`
 }
 
 // ShardCacheStats reports the resident-shard cache of a sharded server:

@@ -69,7 +69,9 @@ func newContextCache(capacity int) *contextCache {
 // key must determine the prepared context (the monolithic server keys by
 // canonical fault set; a sharded server adds the global distinct-fault
 // count the shard's restriction cannot see). Exactly one of the hit/miss
-// counters advances per call, matching the returned flag.
+// counters advances per call, matching the returned flag; an errored
+// lookup counts (and reports) a miss even when it joined another
+// caller's in-flight preparation, since it handed out no context.
 func (c *contextCache) get(key string, prep func() (any, error)) (any, bool, error) {
 	if c.capacity <= 0 {
 		c.mu.Lock()
@@ -102,22 +104,27 @@ func (c *contextCache) get(key string, prep func() (any, error)) (any, bool, err
 	if e.err != nil {
 		// A failed preparation (invalid fault set) is cheap to redo and
 		// not worth a slot; drop it so capacity stays for working
-		// contexts. Same-key retries fail identically either way.
-		c.remove(key, e)
-		return nil, hit, e.err
+		// contexts. Same-key retries fail identically either way. The
+		// entry is deleted only if it still occupies its slot (a
+		// concurrent eviction plus re-insertion must not lose the newer
+		// entry). A goroutine that joined the in-flight preparation was
+		// counted a hit on lookup, but it received no usable context —
+		// reclassify it as a miss so the counters (and the obs layer's
+		// per-request hit flag) never report a cache hit for a request
+		// that errored.
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == e {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+		if hit {
+			c.hits--
+			c.misses++
+		}
+		c.mu.Unlock()
+		return nil, false, e.err
 	}
 	return e.ctx, hit, nil
-}
-
-// remove deletes the entry iff it still occupies its slot (a concurrent
-// eviction plus re-insertion must not lose the newer entry).
-func (c *contextCache) remove(key string, e *cacheEntry) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == e {
-		c.order.Remove(el)
-		delete(c.entries, key)
-	}
-	c.mu.Unlock()
 }
 
 // stats snapshots the counters.

@@ -126,6 +126,65 @@ func TestContextCacheErrorNotCached(t *testing.T) {
 	}
 }
 
+// TestContextCacheFailedSharedPrepIsMiss pins the counter contract on
+// the failed-prep path: a goroutine that joins another caller's
+// in-flight preparation is counted a hit at lookup, but if that shared
+// preparation fails neither caller received a context — both must
+// report (and count) a miss, and the dead entry must hold no slot.
+// Before the fix the joiner returned hit=true with its error, so the
+// obs layer recorded a cache hit for a request that errored.
+func TestContextCacheFailedSharedPrepIsMiss(t *testing.T) {
+	c := newContextCache(4)
+	fail := errors.New("invalid fault set")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	prep := func() (any, error) {
+		close(started)
+		<-release
+		return nil, fail
+	}
+
+	type result struct {
+		hit bool
+		err error
+	}
+	results := make(chan result, 2)
+	go func() {
+		_, hit, err := c.get("9", prep)
+		results <- result{hit, err}
+	}()
+	<-started // the first lookup owns the in-flight preparation
+
+	go func() {
+		// Joins the first caller's preparation; its own prep never runs.
+		_, hit, err := c.get("9", prep)
+		results <- result{hit, err}
+	}()
+	// The joiner counts a hit at lookup before blocking on the shared
+	// once; wait for that counter so the release cannot race past it.
+	for c.stats().Hits != 1 {
+		runtime.Gosched()
+	}
+	close(release)
+
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if !errors.Is(r.err, fail) {
+			t.Fatalf("lookup %d error = %v, want prep failure", i, r.err)
+		}
+		if r.hit {
+			t.Fatal("errored lookup reported hit=true")
+		}
+	}
+	st := c.stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats after failed shared prep = %+v, want 0 hits / 2 misses", st)
+	}
+	if st.Size != 0 || st.Evictions != 0 {
+		t.Fatalf("failed entry held a slot: %+v", st)
+	}
+}
+
 // TestContextCacheConcurrentSharedPrepare checks concurrent lookups of
 // one fresh key share a single preparation.
 func TestContextCacheConcurrentSharedPrepare(t *testing.T) {

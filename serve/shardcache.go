@@ -261,12 +261,14 @@ func (c *shardCache) stats() ShardCacheStats {
 			row.Evictions = pc.evictions
 			row.ContextHits = pc.ctxHits
 			row.ContextMisses = pc.ctxMisses
+			row.ContextEvictions = pc.ctxEvicted
 		}
 		if e, ok := live[id]; ok {
 			row.Resident = true
 			cs := e.contexts.stats()
 			row.ContextHits += cs.Hits
 			row.ContextMisses += cs.Misses
+			row.ContextEvictions += cs.Evictions
 			row.Contexts = cs.Size
 		}
 		out.Shards = append(out.Shards, row)

@@ -270,6 +270,89 @@ func TestServeShardedEviction(t *testing.T) {
 	if got := stats.Cache.Hits + stats.Cache.Misses; got != uint64(len(reqs)) {
 		t.Fatalf("aggregate context lookups %d, want %d", got, len(reqs))
 	}
+	// Per-row context counters must reconcile with the aggregate block.
+	var ctxHits, ctxMisses, ctxEvicted uint64
+	for _, row := range sh.Shards {
+		ctxHits += row.ContextHits
+		ctxMisses += row.ContextMisses
+		ctxEvicted += row.ContextEvictions
+	}
+	if ctxHits != stats.Cache.Hits || ctxMisses != stats.Cache.Misses || ctxEvicted != stats.Cache.Evictions {
+		t.Fatalf("per-shard context counters (%d/%d/%d) disagree with aggregate (%d/%d/%d)",
+			ctxHits, ctxMisses, ctxEvicted, stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Evictions)
+	}
+}
+
+// TestServeShardedContextEvictionStats drives the context LRU itself
+// into eviction (capacity 1, alternating fault sets against one
+// resident shard), then evicts the shard (folding its counters into the
+// persistent per-shard row) and checks the per-row context_evictions
+// column reconciles with the aggregate cache block — before the fix the
+// rows silently dropped eviction counts the aggregate included.
+func TestServeShardedContextEvictionStats(t *testing.T) {
+	g := shardMatrixGraph()
+	labels, err := ftrouting.BuildConnectivityLabels(g, ftrouting.ConnOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	m, err := ftrouting.SaveShardedConn(dir, labels, ftrouting.ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget of exactly the largest shard: any one shard stays resident
+	// while hammered, and touching a second always evicts the first
+	// (positive sizes sum past the max), folding its context counters.
+	var budget int64
+	for id := 0; id < m.NumShards(); id++ {
+		if b := m.ShardBytes(id); b > budget {
+			budget = b
+		}
+	}
+	s, err := NewSharded(m, Options{ShardBudgetBytes: budget, ContextCacheSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	reqs := []string{
+		// One component, capacity-1 context LRU: repeat hits, each fault-set
+		// flip misses and evicts the previous context.
+		`{"pairs":[[0,5]]}`,              // miss
+		`{"pairs":[[0,5]]}`,              // hit
+		`{"pairs":[[0,5]],"faults":[0]}`, // miss, evicts the fault-free context
+		`{"pairs":[[0,5]]}`,              // miss, evicts again
+		// A different component: the first shard leaves residency and its
+		// context counters (including the evictions) fold into its row.
+		`{"pairs":[[6,13]]}`,
+	}
+	for ri, raw := range reqs {
+		status, body := postRaw(t, ts.URL+"/v1/connected", raw)
+		if status != 200 {
+			t.Fatalf("request %d: status %d: %s", ri, status, body)
+		}
+	}
+	stats := s.Stats()
+	if stats.Shards == nil {
+		t.Fatal("sharded stats missing shards block")
+	}
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 4 {
+		t.Fatalf("aggregate hits/misses = %d/%d, want 1/4", stats.Cache.Hits, stats.Cache.Misses)
+	}
+	if stats.Cache.Evictions != 2 {
+		t.Fatalf("aggregate context evictions = %d, want 2", stats.Cache.Evictions)
+	}
+	var ctxHits, ctxMisses, ctxEvicted uint64
+	for _, row := range stats.Shards.Shards {
+		ctxHits += row.ContextHits
+		ctxMisses += row.ContextMisses
+		ctxEvicted += row.ContextEvictions
+	}
+	if ctxHits != stats.Cache.Hits || ctxMisses != stats.Cache.Misses || ctxEvicted != stats.Cache.Evictions {
+		t.Fatalf("per-shard context counters (%d/%d/%d) disagree with aggregate (%d/%d/%d)",
+			ctxHits, ctxMisses, ctxEvicted, stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Evictions)
+	}
 }
 
 // TestServeShardedRace hammers a sharded server from GOMAXPROCS

@@ -741,7 +741,12 @@ func (m *Manifest) LoadShardFrom(store blob.Store, id int) (*Shard, error) {
 		return nil, fmt.Errorf("ftrouting: manifest has no shard store (see Manifest.SetStore)")
 	}
 	info := &m.shards[id]
-	r, err := store.Open(info.Name)
+	// Hand the store the manifest-recorded size: a transport whose
+	// response reveals no length (chunked 200 fallback) can then tell a
+	// cleanly-truncated transfer from a complete one and retry it,
+	// instead of the short blob failing the size pre-check below as
+	// corruption.
+	r, err := blob.OpenExpect(store, info.Name, info.Bytes)
 	if err != nil {
 		return nil, err
 	}
