@@ -8,7 +8,7 @@ FUZZTIME ?= 10s
 # BenchmarkServeSharded* alike; Obs covers the internal/obs instruments.
 BASE ?= main
 BENCHCOUNT ?= 5
-BENCHFILTER ?= Query|Decode|Routing|Serve|Obs
+BENCHFILTER ?= Query|Decode|Routing|Serve|Obs|Sketch|Hierarchy
 BENCHTHRESHOLD ?= 25
 
 # Every decoder has a FuzzUnmarshal*/FuzzDecode*/FuzzLoad* target; `make

@@ -162,10 +162,14 @@ func forEachPair[T any](pairs []Pair, parallelism int, eval func(Pair) (T, error
 // forEachPairIndexed is forEachPair with the pair's input index passed to
 // the evaluator (the shard planner dispatches per index). Error wrapping
 // and ordering are identical, so a planned batch reports the exact error
-// a monolithic batch reports.
+// a monolithic batch reports. Pairs are handed to the workers in
+// contiguous chunks (parallel.ForEachChunked): per-pair evaluation against
+// a prepared context is cheap enough that per-item claim traffic and
+// per-item state would dominate, and chunked loops keep each worker's
+// pooled decoder scratch hot across its whole run.
 func forEachPairIndexed[T any](pairs []Pair, parallelism int, eval func(int, Pair) (T, error)) ([]T, error) {
 	out := make([]T, len(pairs))
-	err := parallel.ForEach(parallelism, len(pairs), func(i int) error {
+	err := parallel.ForEachChunked(parallelism, len(pairs), func(_, i int) error {
 		v, err := eval(i, pairs[i])
 		if err != nil {
 			return wrapPairError(i, err)
@@ -369,7 +373,9 @@ func (x *DistFaultContext) Estimate(s, t int32) (int64, error) {
 	if err := checkVertex("t", t, g.N()); err != nil {
 		return 0, err
 	}
-	return x.inner.Decode(x.d.inner.VertexLabel(s), x.d.inner.VertexLabel(t))
+	// Cached labels: per-query label assembly is the only allocation on the
+	// warm estimate path (the prepared decode itself is allocation-free).
+	return x.inner.Decode(x.d.inner.CachedVertexLabel(s), x.d.inner.CachedVertexLabel(t))
 }
 
 // EstimateBatch evaluates a pair list against the prepared fault set,

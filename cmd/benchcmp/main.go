@@ -3,9 +3,11 @@
 // -count repetitions each), compares every benchmark whose name matches
 // -filter with a two-sided Mann-Whitney U test, and exits non-zero only
 // when a benchmark regressed both statistically significantly (p < alpha)
-// and by more than -threshold percent in median ns/op. Benchmarks present
-// on only one side (new or deleted) are reported and skipped, so adding a
-// benchmark never fails the gate.
+// and by more than -threshold percent in median ns/op — or when its
+// allocs/op regressed (same rule; a zero-alloc baseline growing any
+// allocation fails unconditionally, guarding the allocation-free warm
+// path). Benchmarks present on only one side (new or deleted) are
+// reported and skipped, so adding a benchmark never fails the gate.
 //
 // Usage:
 //
@@ -64,10 +66,18 @@ func main() {
 	}
 }
 
-// parseFile reads one `go test -bench` output into name -> ns/op samples.
+// sample holds one benchmark's measurement series: ns/op from every
+// repetition, and allocs/op from the repetitions that report it (emitted
+// by b.ReportAllocs or -benchmem).
+type sample struct {
+	ns     []float64
+	allocs []float64
+}
+
+// parseFile reads one `go test -bench` output into name -> samples.
 // The trailing -N GOMAXPROCS suffix is stripped so runs from differently
 // sized machines still line up.
-func parseFile(path string) (map[string][]float64, error) {
+func parseFile(path string) (map[string]*sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -78,9 +88,9 @@ func parseFile(path string) (map[string][]float64, error) {
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
-// parse extracts ns/op samples from benchmark result lines.
-func parse(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+// parse extracts ns/op and allocs/op samples from benchmark result lines.
+func parse(r io.Reader) (map[string]*sample, error) {
+	out := make(map[string]*sample)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -89,30 +99,43 @@ func parse(r io.Reader) (map[string][]float64, error) {
 			continue
 		}
 		// Benchmark lines read: Name iterations value ns/op [more metrics].
-		var ns float64
-		found := false
+		var ns, allocs float64
+		foundNs, foundAllocs := false, false
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i], 64)
+			v, err := strconv.ParseFloat(fields[i], 64)
+			switch fields[i+1] {
+			case "ns/op":
 				if err != nil {
 					return nil, fmt.Errorf("bad ns/op value %q in line %q", fields[i], sc.Text())
 				}
-				ns, found = v, true
-				break
+				ns, foundNs = v, true
+			case "allocs/op":
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op value %q in line %q", fields[i], sc.Text())
+				}
+				allocs, foundAllocs = v, true
 			}
 		}
-		if !found {
+		if !foundNs {
 			continue
 		}
 		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
-		out[name] = append(out[name], ns)
+		s := out[name]
+		if s == nil {
+			s = &sample{}
+			out[name] = s
+		}
+		s.ns = append(s.ns, ns)
+		if foundAllocs {
+			s.allocs = append(s.allocs, allocs)
+		}
 	}
 	return out, sc.Err()
 }
 
 // compare renders the comparison table and reports whether any gated
-// benchmark fails.
-func compare(base, head map[string][]float64, filter *regexp.Regexp, thresholdPct, alpha float64) (string, bool) {
+// benchmark fails, on either median ns/op or median allocs/op.
+func compare(base, head map[string]*sample, filter *regexp.Regexp, thresholdPct, alpha float64) (string, bool) {
 	var names []string
 	for name := range base {
 		if _, ok := head[name]; ok {
@@ -122,15 +145,15 @@ func compare(base, head map[string][]float64, filter *regexp.Regexp, thresholdPc
 	sort.Strings(names)
 	var sb strings.Builder
 	var failures []string
-	fmt.Fprintf(&sb, "%-60s %14s %14s %8s %8s  %s\n", "benchmark", "base med ns/op", "head med ns/op", "delta", "p", "verdict")
+	fmt.Fprintf(&sb, "%-60s %14s %14s %8s %8s %9s %9s  %s\n", "benchmark", "base med ns/op", "head med ns/op", "delta", "p", "base a/op", "head a/op", "verdict")
 	for _, name := range names {
 		b, h := base[name], head[name]
-		mb, mh := median(b), median(h)
+		mb, mh := median(b.ns), median(h.ns)
 		delta := 0.0
 		if mb != 0 {
 			delta = (mh - mb) / mb * 100
 		}
-		p := mannWhitney(b, h)
+		p := mannWhitney(b.ns, h.ns)
 		gated := filter.MatchString(name)
 		verdict := "ok"
 		switch {
@@ -144,7 +167,25 @@ func compare(base, head map[string][]float64, filter *regexp.Regexp, thresholdPc
 		case p >= alpha:
 			verdict = "~"
 		}
-		fmt.Fprintf(&sb, "%-60s %14.0f %14.0f %+7.1f%% %8.3f  %s\n", name, mb, mh, delta, p, verdict)
+		// Allocation gate: compared only when both sides report allocs/op.
+		// Allocation counts are near-deterministic, so a zero-alloc
+		// benchmark growing any allocation fails outright; nonzero
+		// baselines get the same significance + threshold rule as ns/op.
+		allocCol := [2]string{"-", "-"}
+		if len(b.allocs) > 0 && len(h.allocs) > 0 {
+			amb, amh := median(b.allocs), median(h.allocs)
+			allocCol = [2]string{fmt.Sprintf("%.0f", amb), fmt.Sprintf("%.0f", amh)}
+			if gated && amh > amb {
+				if amb == 0 {
+					verdict = "REGRESSION(allocs)"
+					failures = append(failures, fmt.Sprintf("%s: allocs/op 0 -> %.0f (zero-alloc gate)", name, amh))
+				} else if pA := mannWhitney(b.allocs, h.allocs); pA < alpha && (amh-amb)/amb*100 > thresholdPct {
+					verdict = "REGRESSION(allocs)"
+					failures = append(failures, fmt.Sprintf("%s: median allocs/op %.0f -> %.0f (p=%.3f)", name, amb, amh, pA))
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%-60s %14.0f %14.0f %+7.1f%% %8.3f %9s %9s  %s\n", name, mb, mh, delta, p, allocCol[0], allocCol[1], verdict)
 	}
 	for name := range head {
 		if _, ok := base[name]; !ok {

@@ -14,20 +14,26 @@ BenchmarkQueryBatchConn/loop-8         	       1	  64387619 ns/op	     31808 que
 BenchmarkQueryBatchConn/loop-8         	       1	  65000000 ns/op	     31500 queries/s
 BenchmarkE3SketchDecode-8              	     100	    123456 ns/op
 BenchmarkMarshalRouter-8               	      10	   5000000 ns/op	     12345 bytes/file
+BenchmarkSketchWarmDecode-8            	   50000	      2100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSketchWarmDecode-8            	   50000	      2200 ns/op	       0 B/op	       0 allocs/op
 PASS
 ok  	ftrouting	1.0s
 `))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := out["BenchmarkQueryBatchConn/loop"]; len(got) != 2 || got[0] != 64387619 {
-		t.Fatalf("loop samples = %v", got)
+	if got := out["BenchmarkQueryBatchConn/loop"]; len(got.ns) != 2 || got.ns[0] != 64387619 {
+		t.Fatalf("loop samples = %v", got.ns)
 	}
-	if got := out["BenchmarkE3SketchDecode"]; len(got) != 1 || got[0] != 123456 {
-		t.Fatalf("decode samples = %v", got)
+	if got := out["BenchmarkE3SketchDecode"]; len(got.ns) != 1 || got.ns[0] != 123456 || len(got.allocs) != 0 {
+		t.Fatalf("decode samples = %+v", got)
 	}
-	if got := out["BenchmarkMarshalRouter"]; len(got) != 1 || got[0] != 5000000 {
-		t.Fatalf("marshal samples = %v", got)
+	if got := out["BenchmarkMarshalRouter"]; len(got.ns) != 1 || got.ns[0] != 5000000 {
+		t.Fatalf("marshal samples = %v", got.ns)
+	}
+	warm := out["BenchmarkSketchWarmDecode"]
+	if len(warm.allocs) != 2 || warm.allocs[0] != 0 || warm.allocs[1] != 0 {
+		t.Fatalf("warm allocs samples = %v", warm.allocs)
 	}
 }
 
@@ -46,13 +52,8 @@ func TestMannWhitney(t *testing.T) {
 	}
 }
 
-func bench(names []string, samples map[string][]float64) map[string][]float64 {
-	out := make(map[string][]float64)
-	for _, n := range names {
-		out[n] = samples[n]
-	}
-	return out
-}
+// ns wraps ns/op series into samples without alloc data.
+func ns(series []float64) *sample { return &sample{ns: series} }
 
 func TestCompareGate(t *testing.T) {
 	re := regexp.MustCompile("Query")
@@ -61,44 +62,92 @@ func TestCompareGate(t *testing.T) {
 	mild := []float64{110, 111, 109, 112, 108} // +10%: within threshold
 
 	// Significant large regression in a gated benchmark fails.
-	base := map[string][]float64{"BenchmarkQueryBatchConn/loop": fast}
-	head := map[string][]float64{"BenchmarkQueryBatchConn/loop": slow}
+	base := map[string]*sample{"BenchmarkQueryBatchConn/loop": ns(fast)}
+	head := map[string]*sample{"BenchmarkQueryBatchConn/loop": ns(slow)}
 	report, failed := compare(base, head, re, 25, 0.05)
 	if !failed || !strings.Contains(report, "REGRESSION") {
 		t.Fatalf("2x regression not gated:\n%s", report)
 	}
 
 	// The same regression in an ungated benchmark passes.
-	base = map[string][]float64{"BenchmarkE4LabelingSketch": fast}
-	head = map[string][]float64{"BenchmarkE4LabelingSketch": slow}
+	base = map[string]*sample{"BenchmarkE4LabelingSketch": ns(fast)}
+	head = map[string]*sample{"BenchmarkE4LabelingSketch": ns(slow)}
 	if report, failed := compare(base, head, re, 25, 0.05); failed {
 		t.Fatalf("ungated benchmark failed the gate:\n%s", report)
 	}
 
 	// A significant but small (10%) regression passes the 25% gate.
-	base = map[string][]float64{"BenchmarkQueryBatchDist/loop": fast}
-	head = map[string][]float64{"BenchmarkQueryBatchDist/loop": mild}
+	base = map[string]*sample{"BenchmarkQueryBatchDist/loop": ns(fast)}
+	head = map[string]*sample{"BenchmarkQueryBatchDist/loop": ns(mild)}
 	if report, failed := compare(base, head, re, 25, 0.05); failed {
 		t.Fatalf("10%% regression failed the 25%% gate:\n%s", report)
 	}
 
 	// Improvements pass.
-	base = map[string][]float64{"BenchmarkQueryBatchDist/loop": slow}
-	head = map[string][]float64{"BenchmarkQueryBatchDist/loop": fast}
+	base = map[string]*sample{"BenchmarkQueryBatchDist/loop": ns(slow)}
+	head = map[string]*sample{"BenchmarkQueryBatchDist/loop": ns(fast)}
 	report, failed = compare(base, head, re, 25, 0.05)
 	if failed || !strings.Contains(report, "improved") {
 		t.Fatalf("improvement mis-reported:\n%s", report)
 	}
 
 	// Benchmarks only in head (new) or only in base (deleted) are skipped.
-	base = map[string][]float64{"BenchmarkQueryOld": fast}
-	head = map[string][]float64{"BenchmarkQueryNew": slow}
+	base = map[string]*sample{"BenchmarkQueryOld": ns(fast)}
+	head = map[string]*sample{"BenchmarkQueryNew": ns(slow)}
 	report, failed = compare(base, head, re, 25, 0.05)
 	if failed {
 		t.Fatalf("disjoint benchmark sets failed the gate:\n%s", report)
 	}
 	if !strings.Contains(report, "new in head") || !strings.Contains(report, "missing in head") {
 		t.Fatalf("skips not reported:\n%s", report)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	re := regexp.MustCompile("Query")
+	flat := []float64{100, 101, 99, 100, 102}
+	zero := []float64{0, 0, 0, 0, 0}
+	one := []float64{1, 1, 1, 1, 1}
+	many := []float64{40, 40, 41, 40, 40}
+	few := []float64{30, 30, 30, 31, 30}
+
+	// A zero-alloc baseline growing even one allocation fails, regardless
+	// of the percent threshold (no percentage exists from a 0 base).
+	base := map[string]*sample{"BenchmarkQueryWarm": {ns: flat, allocs: zero}}
+	head := map[string]*sample{"BenchmarkQueryWarm": {ns: flat, allocs: one}}
+	report, failed := compare(base, head, re, 25, 0.05)
+	if !failed || !strings.Contains(report, "REGRESSION(allocs)") {
+		t.Fatalf("0 -> 1 allocs/op not gated:\n%s", report)
+	}
+
+	// A significant allocs/op jump past the threshold fails too
+	// (30 -> 40 is +33% > 25%).
+	base = map[string]*sample{"BenchmarkQueryWarm": {ns: flat, allocs: few}}
+	head = map[string]*sample{"BenchmarkQueryWarm": {ns: flat, allocs: many}}
+	report, failed = compare(base, head, re, 25, 0.05)
+	if !failed || !strings.Contains(report, "REGRESSION(allocs)") {
+		t.Fatalf("+33%% allocs/op not gated:\n%s", report)
+	}
+
+	// Equal or improved allocation counts pass.
+	base = map[string]*sample{"BenchmarkQueryWarm": {ns: flat, allocs: many}}
+	head = map[string]*sample{"BenchmarkQueryWarm": {ns: flat, allocs: few}}
+	if report, failed := compare(base, head, re, 25, 0.05); failed {
+		t.Fatalf("alloc improvement failed the gate:\n%s", report)
+	}
+
+	// The same 0 -> 1 jump in an ungated benchmark passes.
+	base = map[string]*sample{"BenchmarkE4Labeling": {ns: flat, allocs: zero}}
+	head = map[string]*sample{"BenchmarkE4Labeling": {ns: flat, allocs: one}}
+	if report, failed := compare(base, head, re, 25, 0.05); failed {
+		t.Fatalf("ungated alloc growth failed the gate:\n%s", report)
+	}
+
+	// Benchmarks without alloc data on either side are unaffected.
+	base = map[string]*sample{"BenchmarkQueryPlain": ns(flat)}
+	head = map[string]*sample{"BenchmarkQueryPlain": {ns: flat, allocs: one}}
+	if report, failed := compare(base, head, re, 25, 0.05); failed {
+		t.Fatalf("one-sided alloc data failed the gate:\n%s", report)
 	}
 }
 

@@ -12,6 +12,9 @@
 // the instrumented daemon (metrics + access log) against the bare one.
 // E20 sweeps the loadgen harness over traffic skew and shard budget,
 // reading throughput and cache behavior off the BENCH server deltas.
+// E21 audits the warm query path: allocations per prepared query and
+// warm q/s of each eval stage (see BENCH_E21.json for serve-level
+// before/after).
 //
 // Usage:
 //
@@ -44,6 +47,7 @@ func main() {
 		experiments.Experiment{ID: "E18", Run: shardThroughput},
 		experiments.Experiment{ID: "E19", Run: obsCost},
 		experiments.Experiment{ID: "E20", Run: loadSweep},
+		experiments.Experiment{ID: "E21", Run: allocAudit},
 	)
 	// Filter before running: -only must not pay for the experiments it
 	// skips (E16/E17 alone drive minutes of measurement).

@@ -141,6 +141,33 @@ func (v Vec) Clone() Vec {
 	return out
 }
 
+// CloneInto copies v into dst's storage, reusing its capacity when it
+// suffices, and returns the copy. The hot-loop counterpart of Clone.
+func (v Vec) CloneInto(dst Vec) Vec {
+	if cap(dst.w) < len(v.w) {
+		return v.Clone()
+	}
+	dst.w = dst.w[:len(v.w)]
+	copy(dst.w, v.w)
+	dst.n = v.n
+	return dst
+}
+
+// MakeInto returns an all-zero n-bit vector reusing dst's storage when its
+// capacity suffices. The hot-loop counterpart of New.
+func MakeInto(dst Vec, n int) Vec {
+	nw := (n + wordBits - 1) / wordBits
+	if cap(dst.w) < nw {
+		return New(n)
+	}
+	dst.w = dst.w[:nw]
+	for i := range dst.w {
+		dst.w[i] = 0
+	}
+	dst.n = n
+	return dst
+}
+
 // OnesCount returns the number of set bits.
 func (v Vec) OnesCount() int {
 	c := 0
@@ -176,6 +203,25 @@ func (v Vec) String() string {
 // unit prefixes w_1, w_2. Gaussian elimination over the (rows x cols)
 // system costs O(rows * cols^2 / 64) word operations.
 func SolveXOR(cols []Vec, target Vec) (x Vec, ok bool) {
+	var s Solver
+	return s.Solve(cols, target)
+}
+
+// Solver is reusable scratch for Solve: the augmented matrix, the pivot map
+// and the solution vector are retained across calls, so repeated solves of
+// similarly sized systems perform no heap allocations. The zero value is
+// ready to use. A Solver is not safe for concurrent use; pool one per
+// goroutine.
+type Solver struct {
+	aug   []Vec
+	pivot []int
+	x     Vec
+}
+
+// Solve is SolveXOR on reusable scratch. The returned solution vector
+// aliases the solver's storage and is valid only until the next Solve call;
+// clone it to retain it.
+func (s *Solver) Solve(cols []Vec, target Vec) (x Vec, ok bool) {
 	rows := target.Len()
 	nc := len(cols)
 	for i, c := range cols {
@@ -185,9 +231,14 @@ func SolveXOR(cols []Vec, target Vec) (x Vec, ok bool) {
 	}
 	// Build augmented row-major matrix: row r has nc coefficient bits plus
 	// one augmented bit.
-	aug := make([]Vec, rows)
+	if cap(s.aug) < rows {
+		grown := make([]Vec, rows)
+		copy(grown, s.aug[:cap(s.aug)])
+		s.aug = grown
+	}
+	aug := s.aug[:rows]
 	for r := 0; r < rows; r++ {
-		row := New(nc + 1)
+		row := MakeInto(aug[r], nc+1)
 		for c := 0; c < nc; c++ {
 			if cols[c].Get(r) {
 				row.Set(c, true)
@@ -197,7 +248,10 @@ func SolveXOR(cols []Vec, target Vec) (x Vec, ok bool) {
 		aug[r] = row
 	}
 	// Forward elimination with partial (first-nonzero) pivoting.
-	pivotRowOfCol := make([]int, nc)
+	if cap(s.pivot) < nc {
+		s.pivot = make([]int, nc)
+	}
+	pivotRowOfCol := s.pivot[:nc]
 	for i := range pivotRowOfCol {
 		pivotRowOfCol[i] = -1
 	}
@@ -231,13 +285,13 @@ func SolveXOR(cols []Vec, target Vec) (x Vec, ok bool) {
 	}
 	// Back-substitute: free variables at 0, pivot variables read off the
 	// augmented bit (matrix is in reduced row echelon form).
-	x = New(nc)
+	s.x = MakeInto(s.x, nc)
 	for col := 0; col < nc; col++ {
 		if pr := pivotRowOfCol[col]; pr >= 0 {
-			x.Set(col, aug[pr].Get(nc))
+			s.x.Set(col, aug[pr].Get(nc))
 		}
 	}
-	return x, true
+	return s.x, true
 }
 
 // Rank returns the GF(2) rank of the given set of equal-length vectors.

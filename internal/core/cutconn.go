@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ftrouting/internal/ancestry"
 	"ftrouting/internal/bitvec"
@@ -190,6 +191,27 @@ type CutFaultContext struct {
 	// base[i] is the extended column phi'(e_i) with the two prefix bits
 	// cleared; Decode clones before stamping the per-pair prefix.
 	base []bitvec.Vec
+	// scratch pools cutScratch values (column clones, targets, the GF(2)
+	// solver) so warm Decode calls perform zero heap allocations.
+	scratch sync.Pool
+}
+
+// cutScratch is the per-goroutine scratch of CutFaultContext.Decode. The
+// system dimensions are fixed per context (rows = b+2, cols = |F|), so
+// after the first Decode every buffer is at its high-water mark.
+type cutScratch struct {
+	cols   []bitvec.Vec
+	w1, w2 bitvec.Vec
+	solver bitvec.Solver
+}
+
+// getScratch returns a pooled scratch (or a fresh one when the pool is
+// empty); return it with ctx.scratch.Put.
+func (ctx *CutFaultContext) getScratch() *cutScratch {
+	if sc, _ := ctx.scratch.Get().(*cutScratch); sc != nil {
+		return sc
+	}
+	return new(cutScratch)
 }
 
 // PrepareCutFaults runs the per-fault-set part of DecodeCut once.
@@ -227,9 +249,16 @@ func (ctx *CutFaultContext) Decode(sL, tL CutVertexLabel) bool {
 	if len(ctx.faults) == 0 {
 		return true
 	}
-	cols := make([]bitvec.Vec, len(ctx.faults))
+	sc := ctx.getScratch()
+	defer ctx.scratch.Put(sc)
+	if cap(sc.cols) < len(ctx.faults) {
+		grown := make([]bitvec.Vec, len(ctx.faults))
+		copy(grown, sc.cols[:cap(sc.cols)])
+		sc.cols = grown
+	}
+	cols := sc.cols[:len(ctx.faults)]
 	for i, l := range ctx.faults {
-		col := ctx.base[i].Clone()
+		col := ctx.base[i].CloneInto(cols[i])
 		onS, onT := cutPrefix(l, sL.Anc, tL.Anc)
 		// phi'(e) prefix (Section 3.1.3): 10 if on r-s only, 01 if on r-t
 		// only, 00 otherwise.
@@ -241,14 +270,14 @@ func (ctx *CutFaultContext) Decode(sL, tL CutVertexLabel) bool {
 		}
 		cols[i] = col
 	}
-	w1 := bitvec.New(ctx.b + 2)
-	w1.Set(0, true)
-	w2 := bitvec.New(ctx.b + 2)
-	w2.Set(1, true)
-	if _, ok := bitvec.SolveXOR(cols, w1); ok {
+	sc.w1 = bitvec.MakeInto(sc.w1, ctx.b+2)
+	sc.w1.Set(0, true)
+	sc.w2 = bitvec.MakeInto(sc.w2, ctx.b+2)
+	sc.w2.Set(1, true)
+	if _, ok := sc.solver.Solve(cols, sc.w1); ok {
 		return false
 	}
-	if _, ok := bitvec.SolveXOR(cols, w2); ok {
+	if _, ok := sc.solver.Solve(cols, sc.w2); ok {
 		return false
 	}
 	return true

@@ -33,6 +33,40 @@ type PathStep struct {
 // G\F. An empty path means s == t.
 type SuccinctPath struct {
 	Steps []PathStep
+	// arena backs the steps' extra payloads (FromExtra/ToExtra and the
+	// recovery-edge extras): reused paths (DecodeInto) then refill one
+	// buffer instead of allocating per step, and never alias pooled decode
+	// scratch.
+	arena []uint64
+}
+
+// reset empties the path for reuse, retaining step and arena capacity.
+func (p *SuccinctPath) reset() {
+	p.Steps = p.Steps[:0]
+	p.arena = p.arena[:0]
+}
+
+// arenaCopy copies src into the path's arena and returns the copy (nil for
+// an empty payload). Arena growth leaves earlier copies valid — they keep
+// pointing into the previous backing array.
+func (p *SuccinctPath) arenaCopy(src []uint64) []uint64 {
+	if len(src) == 0 {
+		return nil
+	}
+	n := len(p.arena)
+	p.arena = append(p.arena, src...)
+	return p.arena[n : n+len(src) : n+len(src)]
+}
+
+// appendTreeStep appends a tree step between two labeled vertices, copying
+// the extra payloads into the arena.
+func (p *SuccinctPath) appendTreeStep(a, b SketchVertexLabel) {
+	p.Steps = append(p.Steps, PathStep{
+		IsTreeHop: true,
+		From:      a.ID, To: b.ID,
+		FromAnc: a.Anc, ToAnc: b.Anc,
+		FromExtra: p.arenaCopy(a.Extra), ToExtra: p.arenaCopy(b.Extra),
+	})
 }
 
 // BitLen returns the description size in bits: each step carries two
@@ -51,41 +85,42 @@ func (p *SuccinctPath) BitLen(n int, eidBits int) int {
 	return bits
 }
 
-// treeStep builds a tree step between two labeled vertices.
-func treeStep(a, b SketchVertexLabel) PathStep {
-	return PathStep{
-		IsTreeHop: true,
-		From:      a.ID, To: b.ID,
-		FromAnc: a.Anc, ToAnc: b.Anc,
-		FromExtra: a.Extra, ToExtra: b.Extra,
-	}
-}
-
-// assemblePath turns the Boruvka recovery edges into the alternating
+// assemblePathInto turns the Boruvka recovery edges into the alternating
 // tree/edge step sequence of Lemma 3.17: BFS over the component multigraph
 // whose edges are the recovery edges, then stitch [s ..tree.. x1] (x1,y1)
-// [y1 ..tree.. x2] ... [yk ..tree.. t].
-func assemblePath(sv, tv SketchVertexLabel, cs, ctc int32, nc int, recoveries []recoveryEdge) (*SuccinctPath, error) {
-	type adjEntry struct {
-		rec   int   // index into recoveries
-		other int32 // neighbouring component
+// [y1 ..tree.. x2] ... [yk ..tree.. t]. The path is written into p (reusing
+// its storage, extras copied into p's arena) and all working state lives in
+// the decode scratch, so warm path decodes perform zero heap allocations.
+func assemblePathInto(p *SuccinctPath, sv, tv SketchVertexLabel, cs, ctc int32, nc int, recoveries []recoveryEdge, sc *decodeScratch) error {
+	if cap(sc.adj) < nc {
+		grown := make([][]pathAdj, nc)
+		copy(grown, sc.adj[:cap(sc.adj)])
+		sc.adj = grown
 	}
-	adj := make([][]adjEntry, nc)
-	for i, r := range recoveries {
-		adj[r.cu] = append(adj[r.cu], adjEntry{rec: i, other: r.cv})
-		adj[r.cv] = append(adj[r.cv], adjEntry{rec: i, other: r.cu})
+	adj := sc.adj[:nc]
+	for i := range adj {
+		adj[i] = adj[i][:0]
+	}
+	for i := range recoveries {
+		r := &recoveries[i]
+		adj[r.cu] = append(adj[r.cu], pathAdj{rec: int32(i), other: r.cv})
+		adj[r.cv] = append(adj[r.cv], pathAdj{rec: int32(i), other: r.cu})
 	}
 	// BFS from cs to ctc.
-	prev := make([]int, nc) // recovery index used to reach comp, -1 unset
-	for i := range prev {
-		prev[i] = -1
+	if cap(sc.prev) < nc {
+		sc.prev = make([]int32, nc)
+		sc.visited = make([]bool, nc)
 	}
-	visited := make([]bool, nc)
+	prev := sc.prev[:nc] // recovery index used to reach comp, -1 unset
+	visited := sc.visited[:nc]
+	for i := 0; i < nc; i++ {
+		prev[i] = -1
+		visited[i] = false
+	}
 	visited[cs] = true
-	queue := []int32{cs}
-	for len(queue) > 0 && !visited[ctc] {
-		c := queue[0]
-		queue = queue[1:]
+	queue := append(sc.queue[:0], cs)
+	for head := 0; head < len(queue) && !visited[ctc]; head++ {
+		c := queue[head]
 		for _, a := range adj[c] {
 			if !visited[a.other] {
 				visited[a.other] = true
@@ -94,11 +129,12 @@ func assemblePath(sv, tv SketchVertexLabel, cs, ctc int32, nc int, recoveries []
 			}
 		}
 	}
+	sc.queue = queue
 	if cs != ctc && !visited[ctc] {
-		return nil, fmt.Errorf("core: components merged by union-find but not connected by recovery edges")
+		return fmt.Errorf("core: components merged by union-find but not connected by recovery edges")
 	}
 	// Walk back from ctc to cs collecting recovery edges in order s -> t.
-	var chain []recoveryEdge
+	chain := sc.chain[:0]
 	for c := ctc; c != cs; {
 		r := recoveries[prev[c]]
 		// Orient the edge so that it is crossed from the side nearer s.
@@ -112,32 +148,37 @@ func assemblePath(sv, tv SketchVertexLabel, cs, ctc int32, nc int, recoveries []
 			c = r.cv // == flipped.cu's counterpart before flip
 		}
 	}
+	sc.chain = chain
 	// chain is t->s ordered; reverse.
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 		chain[i], chain[j] = chain[j], chain[i]
 	}
 
-	p := &SuccinctPath{}
+	p.reset()
 	cur := sv // current "anchor" vertex label
-	for _, r := range chain {
+	for i := range chain {
+		r := &chain[i]
 		// Tree hop from cur to the U side of the edge (same component).
 		x := endpointLabel(r.fields, r.fields.U)
 		if cur.ID != x.ID {
-			p.Steps = append(p.Steps, treeStep(cur, x))
+			p.appendTreeStep(cur, x)
 		}
 		y := endpointLabel(r.fields, r.fields.V)
-		p.Steps = append(p.Steps, PathStep{
+		st := PathStep{
 			From: x.ID, To: y.ID,
 			FromAnc: x.Anc, ToAnc: y.Anc,
-			FromExtra: x.Extra, ToExtra: y.Extra,
+			FromExtra: p.arenaCopy(x.Extra), ToExtra: p.arenaCopy(y.Extra),
 			Edge: r.fields,
-		})
+		}
+		st.Edge.ExtraU = p.arenaCopy(r.fields.ExtraU)
+		st.Edge.ExtraV = p.arenaCopy(r.fields.ExtraV)
+		p.Steps = append(p.Steps, st)
 		cur = y
 	}
 	if cur.ID != tv.ID {
-		p.Steps = append(p.Steps, treeStep(cur, tv))
+		p.appendTreeStep(cur, tv)
 	}
-	return p, nil
+	return nil
 }
 
 // flipFields swaps the U and V sides of an identifier's fields.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"ftrouting/internal/ancestry"
@@ -52,6 +53,11 @@ type SketchScheme struct {
 	engines []*sketch.Engine
 	seedID  uint64
 	opts    SketchOptions
+	// trivial[c] lazily caches the empty-fault-set context of copy c, so
+	// hot paths that decode an instance containing no fault skip
+	// PrepareFaults (and its allocations) entirely.
+	trivialOnce []sync.Once
+	trivialCtx  []*SketchFaultContext
 }
 
 // BuildSketch labels the graph spanned by tree; the tree must span all of
@@ -129,7 +135,23 @@ func BuildSketch(g *graph.Graph, tree *graph.Tree, opts SketchOptions) (*SketchS
 	if err != nil {
 		return nil, err
 	}
+	s.trivialOnce = make([]sync.Once, opts.Copies)
+	s.trivialCtx = make([]*SketchFaultContext, opts.Copies)
 	return s, nil
+}
+
+// TrivialContext returns the shared prepared context of the empty fault set
+// under the given copy (T intact: every same-instance pair is connected
+// through the tree). It is cached per scheme and copy and bit-identical to
+// PrepareFaults(nil, copy).
+func (s *SketchScheme) TrivialContext(copy int) (*SketchFaultContext, error) {
+	if copy < 0 || copy >= len(s.engines) {
+		return nil, fmt.Errorf("core: copy %d out of range [0,%d)", copy, len(s.engines))
+	}
+	s.trivialOnce[copy].Do(func() {
+		s.trivialCtx[copy] = &SketchFaultContext{scheme: s, copy: copy, trivial: true}
+	})
+	return s.trivialCtx[copy], nil
 }
 
 // Copies returns the number of independent sketch copies f'.
@@ -281,9 +303,83 @@ type SketchFaultContext struct {
 	// same-instance pair is connected through it.
 	trivial bool
 	ct      *comptree.Tree
-	// comps[c] is the cancelled sketch of component c (Steps 2+3 applied).
-	// Decode clones before the mutating Boruvka merge.
+	// comps[c] is the cancelled sketch of component c (Steps 2+3 applied),
+	// aliasing slab so that Decode's pre-merge clone is one contiguous copy.
 	comps []sketch.Sketch
+	slab  *sketch.Slab
+	// scratch pools decodeScratch values so warm Decode calls perform zero
+	// heap allocations.
+	scratch sync.Pool
+}
+
+// foundCand is one candidate outgoing edge found in a Borůvka phase.
+type foundCand struct {
+	f    eid.Fields
+	from int32
+}
+
+// pathAdj is one recovery-edge incidence in the path-assembly BFS.
+type pathAdj struct {
+	rec   int32 // index into the recoveries
+	other int32 // neighbouring component
+}
+
+// decodeScratch is the per-goroutine scratch of SketchFaultContext.decode:
+// the component-sketch clone slab, the Borůvka work queues, the
+// candidate/recovery slices and the path-assembly buffers, all retained
+// across queries so warm decodes perform zero heap allocations.
+type decodeScratch struct {
+	slab       sketch.Slab
+	comps      []sketch.Sketch
+	uf         unionfind.UF
+	cands      []foundCand
+	recoveries []recoveryEdge
+	// Path-assembly scratch (wantPath decodes).
+	adj     [][]pathAdj
+	prev    []int32
+	visited []bool
+	queue   []int32
+	chain   []recoveryEdge
+}
+
+// getScratch returns a pooled scratch (or a fresh one when the pool is
+// empty); return it with ctx.scratch.Put.
+func (ctx *SketchFaultContext) getScratch() *decodeScratch {
+	if sc, _ := ctx.scratch.Get().(*decodeScratch); sc != nil {
+		return sc
+	}
+	return new(decodeScratch)
+}
+
+// nextCand extends cands by one slot, reusing the slot's extra-payload
+// capacity when the backing array already holds one.
+func nextCand(cands []foundCand) ([]foundCand, *foundCand) {
+	if len(cands) < cap(cands) {
+		cands = cands[:len(cands)+1]
+	} else {
+		cands = append(cands, foundCand{})
+	}
+	return cands, &cands[len(cands)-1]
+}
+
+// nextRecovery extends recoveries by one slot, reusing capacity like
+// nextCand.
+func nextRecovery(recs []recoveryEdge) ([]recoveryEdge, *recoveryEdge) {
+	if len(recs) < cap(recs) {
+		recs = recs[:len(recs)+1]
+	} else {
+		recs = append(recs, recoveryEdge{})
+	}
+	return recs, &recs[len(recs)-1]
+}
+
+// setFieldsPreserving copies src into dst, reusing dst's extra-payload
+// capacity (dst is a scratch slot whose slices never alias src).
+func setFieldsPreserving(dst *eid.Fields, src eid.Fields) {
+	eu, ev := dst.ExtraU[:0], dst.ExtraV[:0]
+	*dst = src
+	dst.ExtraU = append(eu, src.ExtraU...)
+	dst.ExtraV = append(ev, src.ExtraV...)
 }
 
 // PrepareFaults runs the per-fault-set Steps 1-3 of the decoder once:
@@ -299,13 +395,16 @@ func (s *SketchScheme) PrepareFaults(faults []SketchEdgeLabel, copy int) (*Sketc
 	eng := s.engines[copy]
 	ctx := &SketchFaultContext{scheme: s, copy: copy}
 
-	faults = dedupSketchLabels(faults)
-	var treeFaults []SketchEdgeLabel
+	sc := prepPool.Get().(*prepScratch)
+	defer prepPool.Put(sc)
+	faults = dedupSketchLabels(faults, sc)
+	treeFaults := sc.tree[:0]
 	for _, l := range faults {
 		if l.IsTree {
 			treeFaults = append(treeFaults, l)
 		}
 	}
+	sc.tree = treeFaults
 
 	// No tree faults: T is intact, every pair is connected through it.
 	if len(treeFaults) == 0 {
@@ -339,13 +438,19 @@ func (s *SketchScheme) PrepareFaults(faults []SketchEdgeLabel, copy int) (*Sketc
 	for i, l := range treeFaults {
 		temp[i+1] = l.ChildSubtreeSketch(copy)
 	}
+	// Component sketches live in one contiguous slab: Decode's pre-merge
+	// clone is then a single copy of flat memory.
+	slab := eng.NewSlab(int(nc))
 	comps := make([]sketch.Sketch, nc)
 	for c := int32(0); c < nc; c++ {
-		comps[c] = temp[c].Clone()
+		// CloneInto aliases the slab slot (capacities match exactly); note
+		// the builtin copy is shadowed by the parameter here.
+		comps[c] = temp[c].CloneInto(slab.At(int(c)))
 	}
 	for c := int32(1); c < nc; c++ {
 		comps[ct.Parent(c)].Xor(temp[c])
 	}
+	ctx.slab = slab
 
 	// Step 3: cancel every faulty edge whose endpoints lie in different
 	// components (same-component faults already cancelled inside the XOR).
@@ -389,7 +494,7 @@ func (s *SketchScheme) Decode(sv, tv SketchVertexLabel, faults []SketchEdgeLabel
 	if err != nil {
 		return Verdict{}, err
 	}
-	return ctx.decode(sv, tv, wantPath)
+	return ctx.decode(sv, tv, wantPath, nil)
 }
 
 // Decode answers one pair against the prepared fault set. It is Step 4 of
@@ -403,50 +508,79 @@ func (ctx *SketchFaultContext) Decode(sv, tv SketchVertexLabel, wantPath bool) (
 		}
 		return v, nil
 	}
-	return ctx.decode(sv, tv, wantPath)
+	return ctx.decode(sv, tv, wantPath, nil)
 }
 
-// decode runs the Boruvka simulation (Step 4) for one pair on clones of
-// the prepared component sketches.
-func (ctx *SketchFaultContext) decode(sv, tv SketchVertexLabel, wantPath bool) (Verdict, error) {
+// DecodeInto is Decode with path output written into the caller-owned p,
+// whose step and extra-payload storage is reset and reused — the warm route
+// walk calls this so repeated path decodes perform zero heap allocations.
+// On connected verdicts v.Path == p; p must not be read concurrently with
+// further DecodeInto calls that reuse it. Results are bit-identical to
+// Decode(sv, tv, true).
+func (ctx *SketchFaultContext) DecodeInto(sv, tv SketchVertexLabel, p *SuccinctPath) (Verdict, error) {
+	if sv.ID == tv.ID {
+		p.reset()
+		return Verdict{Connected: true, Path: p}, nil
+	}
+	return ctx.decode(sv, tv, true, p)
+}
+
+// decode runs the Boruvka simulation (Step 4) for one pair on a scratch
+// clone of the prepared component sketches. A non-nil p receives the path
+// (reusing its storage); with p == nil and wantPath a fresh path is
+// allocated.
+func (ctx *SketchFaultContext) decode(sv, tv SketchVertexLabel, wantPath bool, p *SuccinctPath) (Verdict, error) {
 	if ctx.trivial {
 		v := Verdict{Connected: true}
 		if wantPath {
-			v.Path = &SuccinctPath{Steps: []PathStep{treeStep(sv, tv)}}
+			if p == nil {
+				p = &SuccinctPath{}
+			}
+			p.reset()
+			p.appendTreeStep(sv, tv)
+			v.Path = p
 		}
 		return v, nil
 	}
 	eng := ctx.scheme.engines[ctx.copy]
 	ct := ctx.ct
 	nc := int32(ct.NumComps())
-	comps := make([]sketch.Sketch, nc)
+	sc := ctx.getScratch()
+	defer ctx.scratch.Put(sc)
+	ctx.slab.CloneInto(&sc.slab)
+	if cap(sc.comps) < int(nc) {
+		sc.comps = make([]sketch.Sketch, nc)
+	}
+	comps := sc.comps[:nc]
 	for c := int32(0); c < nc; c++ {
-		comps[c] = ctx.comps[c].Clone()
+		comps[c] = sc.slab.At(int(c))
 	}
 
 	// Step 4: Boruvka over the components with a fresh basic unit per
 	// phase. Group sketches live at the union-find roots.
-	uf := unionfind.New(int(nc))
+	sc.uf.Reset(int(nc))
+	uf := &sc.uf
 	cs := ct.Locate(sv.Anc)
 	ctc := ct.Locate(tv.Anc)
-	var recoveries []recoveryEdge
+	sc.recoveries = sc.recoveries[:0]
 	phases := 0
 	for phase := 0; phase < eng.Params().Units && !uf.Same(cs, ctc); phase++ {
 		phases++
-		type found struct {
-			f    eid.Fields
-			from int32
-		}
-		var cands []found
+		sc.cands = sc.cands[:0]
 		for c := int32(0); c < nc; c++ {
 			if uf.Find(c) != c {
 				continue
 			}
-			if f, ok := eng.FindOutgoing(comps[c], phase); ok {
-				cands = append(cands, found{f: f, from: c})
+			var cand *foundCand
+			sc.cands, cand = nextCand(sc.cands)
+			if eng.FindOutgoingInto(comps[c], phase, &cand.f) {
+				cand.from = c
+			} else {
+				sc.cands = sc.cands[:len(sc.cands)-1]
 			}
 		}
-		for _, cand := range cands {
+		for i := range sc.cands {
+			cand := &sc.cands[i]
 			cu := ct.Locate(cand.f.AncU)
 			cv := ct.Locate(cand.f.AncV)
 			ru, rv := uf.Find(cu), uf.Find(cv)
@@ -457,7 +591,10 @@ func (ctx *SketchFaultContext) decode(sv, tv SketchVertexLabel, wantPath bool) (
 			merged := comps[ru]
 			merged.Xor(comps[rv])
 			comps[root] = merged
-			recoveries = append(recoveries, recoveryEdge{fields: cand.f, cu: cu, cv: cv})
+			var rec *recoveryEdge
+			sc.recoveries, rec = nextRecovery(sc.recoveries)
+			rec.cu, rec.cv = cu, cv
+			setFieldsPreserving(&rec.fields, cand.f)
 		}
 	}
 
@@ -466,8 +603,10 @@ func (ctx *SketchFaultContext) decode(sv, tv SketchVertexLabel, wantPath bool) (
 	}
 	v := Verdict{Connected: true, Phases: phases}
 	if wantPath {
-		p, err := assemblePath(sv, tv, cs, ctc, int(nc), recoveries)
-		if err != nil {
+		if p == nil {
+			p = &SuccinctPath{}
+		}
+		if err := assemblePathInto(p, sv, tv, cs, ctc, int(nc), sc.recoveries, sc); err != nil {
 			return Verdict{}, err
 		}
 		v.Path = p
@@ -475,17 +614,60 @@ func (ctx *SketchFaultContext) decode(sv, tv SketchVertexLabel, wantPath bool) (
 	return v, nil
 }
 
-// dedupSketchLabels removes duplicate fault labels by UID.
-func dedupSketchLabels(faults []SketchEdgeLabel) []SketchEdgeLabel {
-	seen := make(map[uint64]bool, len(faults))
-	out := faults[:0:0]
-	for _, l := range faults {
-		uid := l.EID[0]
-		if seen[uid] {
+// prepScratch holds the PrepareFaults scratch (index sort, deduplicated
+// label slice, tree-fault slice), pooled package-wide so the hot prepare
+// path performs a sort-and-compact instead of allocating a map per call.
+// The faults/byUID fields parameterize the sort.Interface implementation.
+type prepScratch struct {
+	idx    []int32
+	labels []SketchEdgeLabel
+	tree   []SketchEdgeLabel
+	faults []SketchEdgeLabel
+	byUID  bool
+}
+
+var prepPool = sync.Pool{New: func() any { return new(prepScratch) }}
+
+func (sc *prepScratch) Len() int      { return len(sc.idx) }
+func (sc *prepScratch) Swap(i, j int) { sc.idx[i], sc.idx[j] = sc.idx[j], sc.idx[i] }
+func (sc *prepScratch) Less(i, j int) bool {
+	if sc.byUID {
+		ua, ub := sc.faults[sc.idx[i]].EID[0], sc.faults[sc.idx[j]].EID[0]
+		if ua != ub {
+			return ua < ub
+		}
+	}
+	return sc.idx[i] < sc.idx[j]
+}
+
+// dedupSketchLabels removes duplicate fault labels by UID, preserving
+// first-occurrence input order (the T\F component numbering depends on it).
+// Sort-and-compact on the scratch index slice: sort positions by
+// (UID, position), keep each UID's first position, restore input order.
+// The returned slice is backed by sc and valid until sc is repooled.
+func dedupSketchLabels(faults []SketchEdgeLabel, sc *prepScratch) []SketchEdgeLabel {
+	sc.idx = sc.idx[:0]
+	for i := range faults {
+		sc.idx = append(sc.idx, int32(i))
+	}
+	sc.faults, sc.byUID = faults, true
+	sort.Sort(sc)
+	k := 0
+	for i := 0; i < len(sc.idx); i++ {
+		if k > 0 && faults[sc.idx[i]].EID[0] == faults[sc.idx[k-1]].EID[0] {
 			continue
 		}
-		seen[uid] = true
-		out = append(out, l)
+		sc.idx[k] = sc.idx[i]
+		k++
 	}
+	sc.idx = sc.idx[:k]
+	sc.byUID = false
+	sort.Sort(sc)
+	sc.faults = nil
+	out := sc.labels[:0]
+	for _, i := range sc.idx {
+		out = append(out, faults[i])
+	}
+	sc.labels = out
 	return out
 }

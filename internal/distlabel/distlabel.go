@@ -18,6 +18,7 @@ package distlabel
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ftrouting/internal/core"
 	"ftrouting/internal/graph"
@@ -53,6 +54,10 @@ type Scheme struct {
 	opts Options
 	hier *treecover.Hierarchy
 	inst [][]*Instance // [scale][cluster]
+	// labels is the lazily materialized table of all vertex labels; warm
+	// serving paths read it instead of reassembling per query.
+	labelsOnce sync.Once
+	labels     []VertexLabel
 }
 
 // Build constructs the labeling for fault bound f and stretch parameter k.
@@ -60,7 +65,7 @@ func Build(g *graph.Graph, f, k int, opts Options) (*Scheme, error) {
 	if f < 0 || k < 1 {
 		return nil, fmt.Errorf("distlabel: need f >= 0 and k >= 1, got %d, %d", f, k)
 	}
-	hier, err := treecover.BuildHierarchy(g, k)
+	hier, err := treecover.BuildHierarchyP(g, k, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +187,25 @@ func (s *Scheme) VertexLabel(u int32) VertexLabel {
 		}
 	}
 	return l
+}
+
+// CachedVertexLabel returns VertexLabel(u) from a table of every vertex's
+// label, materialized once (in parallel, under the build Parallelism) on
+// first use. A serving deployment answers many pair queries against the
+// same scheme, so the per-query label assembly of VertexLabel — home-array
+// allocation plus per-entry appends — dominates the otherwise
+// allocation-free warm estimate; the table makes the whole warm path heap
+// allocation free. Labels are bit-identical to VertexLabel's.
+func (s *Scheme) CachedVertexLabel(u int32) VertexLabel {
+	s.labelsOnce.Do(func() {
+		labels := make([]VertexLabel, s.g.N())
+		_ = parallel.ForEach(s.opts.Parallelism, len(labels), func(v int) error {
+			labels[v] = s.VertexLabel(int32(v))
+			return nil
+		})
+		s.labels = labels
+	})
+	return s.labels[u]
 }
 
 // EdgeLabel assembles DistLabel(e).

@@ -1,0 +1,5 @@
+//go:build !race
+
+package distlabel
+
+const raceEnabled = false

@@ -144,6 +144,29 @@ func (l *Layout) Decode(w []uint64) Fields {
 	return f
 }
 
+// DecodeInto unpacks an identifier into f, reusing f's extra-payload slice
+// capacity. Once f's slices have grown to ExtraWords, repeated decodes
+// perform no heap allocations — the hot-loop counterpart of Decode.
+func (l *Layout) DecodeInto(w []uint64, f *Fields) {
+	f.UID = w[0]
+	f.U = int32(uint32(w[1]))
+	f.V = int32(uint32(w[1] >> 32))
+	f.AncU = ancestry.Label{In: uint32(w[2]), Out: uint32(w[2] >> 32)}
+	f.AncV = ancestry.Label{In: uint32(w[3]), Out: uint32(w[3] >> 32)}
+	if l.portWord >= 0 {
+		f.PortU = int32(uint32(w[l.portWord]))
+		f.PortV = int32(uint32(w[l.portWord] >> 32))
+	} else {
+		f.PortU, f.PortV = 0, 0
+	}
+	if l.extraUOff >= 0 {
+		f.ExtraU = append(f.ExtraU[:0], w[l.extraUOff:l.extraUOff+l.ExtraWords]...)
+		f.ExtraV = append(f.ExtraV[:0], w[l.extraVOff:l.extraVOff+l.ExtraWords]...)
+	} else {
+		f.ExtraU, f.ExtraV = nil, nil
+	}
+}
+
 // Validate implements Lemma 3.10: it decides whether w is the identifier of
 // a single edge (as opposed to zero or the XOR of two or more identifiers),
 // by checking the endpoint range and recomputing the UID from the seed.
@@ -165,6 +188,29 @@ func (l *Layout) Validate(w []uint64, seed uint64) (Fields, bool) {
 		return Fields{}, false
 	}
 	return f, true
+}
+
+// ValidateInto is Validate decoding into a caller-supplied Fields (reusing
+// its extra-payload capacity, see DecodeInto). f is only written on success.
+func (l *Layout) ValidateInto(w []uint64, seed uint64, f *Fields) bool {
+	if IsZero(w) {
+		return false
+	}
+	u := int32(uint32(w[1]))
+	v := int32(uint32(w[1] >> 32))
+	if u < 0 || v < 0 || u >= v || v >= l.N {
+		return false
+	}
+	if w[0] != UID(seed, u, v) {
+		return false
+	}
+	au := ancestry.Label{In: uint32(w[2]), Out: uint32(w[2] >> 32)}
+	av := ancestry.Label{In: uint32(w[3]), Out: uint32(w[3] >> 32)}
+	if !au.Valid() || !av.Valid() {
+		return false
+	}
+	l.DecodeInto(w, f)
+	return true
 }
 
 // EndpointInfo returns the ancestry label, port, and extra payload of the

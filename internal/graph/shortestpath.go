@@ -122,6 +122,113 @@ func Distance(g *Graph, s, t int32, skip SkipFunc) int64 {
 	return dist[t]
 }
 
+// SPScratch is reusable single-pair Dijkstra state. The general Dijkstra
+// above allocates its arrays and boxes every heap item through the
+// container/heap interface; repeated point-to-point queries (the Opt field
+// of every routing result) instead run on this scratch, which retains its
+// arrays and uses a non-interface heap, so warm calls perform zero heap
+// allocations. The zero value is ready to use; not safe for concurrent
+// use — pool one per goroutine.
+type SPScratch struct {
+	dist []int64
+	done []bool
+	// Lazy-deletion binary heap: parallel (vertex, distance) arrays.
+	// Stale entries are skipped on pop, so no decrease-key bookkeeping.
+	hv []int32
+	hd []int64
+}
+
+// Distance returns dist_{G\F}(s,t) or Inf, identical to the package-level
+// Distance. The search stops as soon as t is finalized.
+func (sc *SPScratch) Distance(g *Graph, s, t int32, skip SkipFunc) int64 {
+	if s == t {
+		return 0
+	}
+	n := g.N()
+	if cap(sc.dist) < n {
+		sc.dist = make([]int64, n)
+		sc.done = make([]bool, n)
+	}
+	dist, done := sc.dist[:n], sc.done[:n]
+	for i := 0; i < n; i++ {
+		dist[i] = Inf
+		done[i] = false
+	}
+	hv, hd := sc.hv[:0], sc.hd[:0]
+	dist[s] = 0
+	hv, hd = spHeapPush(hv, hd, s, 0)
+	for len(hv) > 0 {
+		u, d := hv[0], hd[0]
+		hv, hd = spHeapPop(hv, hd)
+		if done[u] {
+			continue // stale duplicate entry
+		}
+		done[u] = true
+		if u == t {
+			sc.hv, sc.hd = hv, hd
+			return d
+		}
+		for _, a := range g.Adj(u) {
+			if skip != nil && skip(a.E) {
+				continue
+			}
+			nd := d + a.W
+			if nd < dist[a.To] && !done[a.To] {
+				dist[a.To] = nd
+				hv, hd = spHeapPush(hv, hd, a.To, nd)
+			}
+		}
+	}
+	sc.hv, sc.hd = hv, hd
+	return Inf
+}
+
+// spHeapLess orders heap slots by (distance, vertex) — the same
+// deterministic tie-break as distHeap.
+func spHeapLess(hv []int32, hd []int64, i, j int) bool {
+	if hd[i] != hd[j] {
+		return hd[i] < hd[j]
+	}
+	return hv[i] < hv[j]
+}
+
+func spHeapPush(hv []int32, hd []int64, v int32, d int64) ([]int32, []int64) {
+	hv = append(hv, v)
+	hd = append(hd, d)
+	for i := len(hv) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !spHeapLess(hv, hd, i, p) {
+			break
+		}
+		hv[i], hv[p] = hv[p], hv[i]
+		hd[i], hd[p] = hd[p], hd[i]
+		i = p
+	}
+	return hv, hd
+}
+
+func spHeapPop(hv []int32, hd []int64) ([]int32, []int64) {
+	n := len(hv) - 1
+	hv[0], hd[0] = hv[n], hd[n]
+	hv, hd = hv[:n], hd[:n]
+	for i := 0; ; {
+		sm := i
+		if l := 2*i + 1; l < n && spHeapLess(hv, hd, l, sm) {
+			sm = l
+		}
+		if r := 2*i + 2; r < n && spHeapLess(hv, hd, r, sm) {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		hv[i], hv[sm] = hv[sm], hv[i]
+		hd[i], hd[sm] = hd[sm], hd[i]
+		i = sm
+	}
+	return hv, hd
+}
+
 // Eccentricity returns the largest finite shortest-path distance from v.
 func Eccentricity(g *Graph, v int32, skip SkipFunc) int64 {
 	dist, _, _, _ := Dijkstra(g, v, skip)

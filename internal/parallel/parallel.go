@@ -76,6 +76,65 @@ func ForEach(parallelism, n int, fn func(i int) error) error {
 	return nil
 }
 
+// ForEachChunked runs fn(worker, i) for every i in [0, n) under the same
+// pool and error discipline as ForEach, but hands items to workers in
+// contiguous chunks: one atomic claim amortizes over many items (ForEach
+// pays one per item), and the worker id — in [0, Workers(parallelism)) —
+// lets callers key per-worker scratch without any per-item setup. This is
+// the fan-out under the per-pair batch evaluators, whose items are far
+// cheaper than a build step.
+func ForEachChunked(parallelism, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Chunks are small enough that a straggling chunk rebalances across the
+	// pool, large enough that claim traffic stays negligible.
+	chunk := (n + workers*8 - 1) / (workers * 8)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errIdx, errVal := n, error(nil)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if err := fn(w, i); err != nil {
+						mu.Lock()
+						if i < errIdx {
+							errIdx, errVal = i, err
+						}
+						mu.Unlock()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errVal
+}
+
 // Map runs fn(i) for every i in [0, n) under the same pool and error
 // discipline as ForEach and returns the results in index order.
 func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {

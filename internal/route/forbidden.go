@@ -66,6 +66,14 @@ func (c *ForbiddenContext) Route(s, t int32) (Result, error) {
 	return c.r.routeForbidden(s, t, c.faultIDs, c)
 }
 
+// RouteInto is Route with the result written into res, reusing its Trace
+// storage; every other working buffer of the walk comes from the router's
+// scratch pool, so a warm serving loop that recycles one Result performs
+// zero heap allocations per route. Results are bit-identical to Route's.
+func (c *ForbiddenContext) RouteInto(s, t int32, res *Result) error {
+	return c.r.routeForbiddenInto(s, t, c.faultIDs, c, res)
+}
+
 // instanceFaultLabels restricts the fault set to one instance, in fault-id
 // order (the order the single-query path assembles them in).
 func instanceFaultLabels(inst *Instance, faultIDs []graph.EdgeID) []core.SketchEdgeLabel {
@@ -91,18 +99,28 @@ func (r *Router) RouteForbidden(s, t int32, faultIDs []graph.EdgeID) (Result, er
 // ForbiddenContext.Route; a non-nil ctx supplies prepared per-instance
 // connectivity decoders instead of assembling fault labels per query.
 func (r *Router) routeForbidden(s, t int32, faultIDs []graph.EdgeID, ctx *ForbiddenContext) (Result, error) {
+	var res Result
+	err := r.routeForbiddenInto(s, t, faultIDs, ctx, &res)
+	return res, err
+}
+
+// routeForbiddenInto is routeForbidden writing into a caller-owned result
+// (Trace storage reused) with all walk state on pooled scratch.
+func (r *Router) routeForbiddenInto(s, t int32, faultIDs []graph.EdgeID, ctx *ForbiddenContext, res *Result) error {
 	var faults graph.EdgeSet
 	if ctx != nil {
 		faults = ctx.faults
 	} else {
 		faults = graph.NewEdgeSet(faultIDs...)
 	}
-	res := Result{Opt: graph.Distance(r.g, s, t, graph.SkipSet(faults))}
-	res.Trace = append(res.Trace, s)
+	sc := r.getScratch()
+	defer r.scratch.Put(sc)
+	trace := res.Trace[:0]
+	*res = Result{Opt: sc.sp.Distance(r.g, s, t, graph.SkipSet(faults)), Trace: append(trace, s)}
 	if s == t {
 		res.Reached = true
 		res.Stretch = 1
-		return res, nil
+		return nil
 	}
 	for i := range r.inst {
 		// Section 5.1 phases use the instance covering the 2^i-ball of s.
@@ -114,26 +132,30 @@ func (r *Router) routeForbidden(s, t int32, faultIDs []graph.EdgeID, ctx *Forbid
 		}
 		ls, ok := inst.Cluster.Sub.ToLocal[s]
 		if !ok {
-			return res, fmt.Errorf("route: s=%d missing from its home instance (%d,%d)", s, i, j)
+			return fmt.Errorf("route: s=%d missing from its home instance (%d,%d)", s, i, j)
 		}
 		res.Phases++
 		var verdict core.Verdict
 		var err error
 		if ctx != nil {
-			if prepared, okc := ctx.conn[instKey{scale: i, cluster: j}]; okc {
-				verdict, err = prepared.Decode(inst.Conn.VertexLabel(ls), inst.Conn.VertexLabel(lt), true)
-			} else {
-				// No fault edge lies in this instance; decode with the
-				// empty restriction (trivially connected through the tree).
-				verdict, err = inst.Conn.Decode(inst.Conn.VertexLabel(ls), inst.Conn.VertexLabel(lt), nil, 0, true)
+			prepared, okc := ctx.conn[instKey{scale: i, cluster: j}]
+			if !okc {
+				// No fault edge lies in this instance; decode against the
+				// scheme's shared empty-fault context (trivially connected
+				// through the intact tree).
+				prepared, err = inst.Conn.TrivialContext(0)
+				if err != nil {
+					return err
+				}
 			}
+			verdict, err = prepared.DecodeInto(inst.Conn.VertexLabel(ls), inst.Conn.VertexLabel(lt), &sc.path)
 		} else {
 			// The forbidden-set labels of F restricted to this instance.
 			fl := instanceFaultLabels(inst, faultIDs)
 			verdict, err = inst.Conn.Decode(inst.Conn.VertexLabel(ls), inst.Conn.VertexLabel(lt), fl, 0, true)
 		}
 		if err != nil {
-			return res, err
+			return err
 		}
 		if !verdict.Connected {
 			continue
@@ -141,24 +163,24 @@ func (r *Router) routeForbidden(s, t int32, faultIDs []graph.EdgeID, ctx *Forbid
 		if hb := r.headerBits(inst, verdict.Path, nil); hb > res.MaxHeaderBits {
 			res.MaxHeaderBits = hb
 		}
-		out, err := r.walkPath(inst, verdict.Path, faults)
+		out, err := r.walkPath(inst, verdict.Path, faults, sc)
 		res.Cost += out.cost
 		res.Hops += out.hops
 		res.Trace = append(res.Trace, out.visited...)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if !out.reached {
 			// The decoded path avoids all of F; hitting a fault means the
 			// decoder and the walker disagree — a bug, not a protocol event.
-			return res, fmt.Errorf("route: forbidden-set walk hit fault (local edge %d)", out.faultLocal)
+			return fmt.Errorf("route: forbidden-set walk hit fault (local edge %d)", out.faultLocal)
 		}
 		res.Reached = true
 		res.finish()
-		return res, nil
+		return nil
 	}
 	res.finish()
-	return res, nil
+	return nil
 }
 
 // StretchBoundForbidden returns the Theorem 5.3 guarantee (8k-2)(|F|+1).

@@ -1,0 +1,7 @@
+//go:build race
+
+package route
+
+// raceEnabled reports that this build runs under the race detector,
+// whose instrumentation allocates; the zero-allocation gates skip.
+const raceEnabled = true

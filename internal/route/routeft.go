@@ -61,9 +61,13 @@ type walkOutcome struct {
 // walkPath executes a succinct path on the real network, one port at a
 // time, stopping at the first faulty edge. Routing decisions use only
 // header-carried information (the step endpoints' tree-routing payloads)
-// plus the current vertex's table.
-func (r *Router) walkPath(inst *Instance, p *core.SuccinctPath, faults graph.EdgeSet) (walkOutcome, error) {
+// plus the current vertex's table. The outcome's visited buffer and gamma
+// ports alias sc; callers consume them before the next walk on the same
+// scratch.
+func (r *Router) walkPath(inst *Instance, p *core.SuccinctPath, faults graph.EdgeSet, sc *routeScratch) (walkOutcome, error) {
 	var out walkOutcome
+	out.visited = sc.visited[:0]
+	defer func() { sc.visited = out.visited }()
 	if len(p.Steps) == 0 {
 		out.reached = true
 		return out, nil
@@ -75,10 +79,10 @@ func (r *Router) walkPath(inst *Instance, p *core.SuccinctPath, faults graph.Edg
 			return out, fmt.Errorf("route: step %d starts at %d but walker is at %d", si, st.From, cur)
 		}
 		if st.IsTreeHop {
-			target, err := inst.Codec.Decode(st.ToExtra)
-			if err != nil {
+			if err := inst.Codec.DecodeInto(st.ToExtra, &sc.target); err != nil {
 				return out, fmt.Errorf("route: step %d target label: %w", si, err)
 			}
+			target := sc.target
 			for guard := 0; cur != st.To; guard++ {
 				if guard > sub.Local.N()+1 {
 					return out, fmt.Errorf("route: tree hop did not terminate (step %d)", si)
@@ -191,7 +195,9 @@ func (r *Router) headerBits(inst *Instance, p *core.SuccinctPath, known []core.S
 // The behaviour is specified for |faults| <= f; with more faults the
 // router may fail to reach a connected target (it never violates safety).
 func (r *Router) RouteFT(s, t int32, faults graph.EdgeSet) (Result, error) {
-	res := Result{Opt: graph.Distance(r.g, s, t, graph.SkipSet(faults))}
+	sc := r.getScratch()
+	defer r.scratch.Put(sc)
+	res := Result{Opt: sc.sp.Distance(r.g, s, t, graph.SkipSet(faults))}
 	res.Trace = append(res.Trace, s)
 	if s == t {
 		res.Reached = true
@@ -226,7 +232,7 @@ func (r *Router) RouteFT(s, t int32, faults graph.EdgeSet) (Result, error) {
 			if hb := r.headerBits(inst, verdict.Path, fl); hb > res.MaxHeaderBits {
 				res.MaxHeaderBits = hb
 			}
-			out, err := r.walkPath(inst, verdict.Path, faults)
+			out, err := r.walkPath(inst, verdict.Path, faults, sc)
 			res.Cost += out.cost
 			res.Hops += out.hops
 			res.Trace = append(res.Trace, out.visited...)

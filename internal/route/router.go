@@ -20,6 +20,7 @@ package route
 
 import (
 	"fmt"
+	"sync"
 
 	"ftrouting/internal/ancestry"
 	"ftrouting/internal/core"
@@ -66,6 +67,29 @@ type Router struct {
 	opts Options
 	hier *treecover.Hierarchy
 	inst [][]*Instance
+	// scratch pools routeScratch values so warm route walks perform zero
+	// heap allocations.
+	scratch sync.Pool
+}
+
+// routeScratch is the per-goroutine scratch of one route simulation: the
+// point-to-point Dijkstra state behind the Opt field, the reusable succinct
+// path of the prepared decode, the walker's decoded target label and its
+// visited-vertex buffer.
+type routeScratch struct {
+	sp      graph.SPScratch
+	path    core.SuccinctPath
+	target  treeroute.Label
+	visited []int32
+}
+
+// getScratch returns a pooled scratch (or a fresh one when the pool is
+// empty); return it with r.scratch.Put.
+func (r *Router) getScratch() *routeScratch {
+	if sc, _ := r.scratch.Get().(*routeScratch); sc != nil {
+		return sc
+	}
+	return new(routeScratch)
 }
 
 // Build preprocesses the graph for fault bound f and stretch parameter k.
@@ -73,7 +97,7 @@ func Build(g *graph.Graph, f, k int, opts Options) (*Router, error) {
 	if f < 0 || k < 1 {
 		return nil, fmt.Errorf("route: need f >= 0 and k >= 1, got %d, %d", f, k)
 	}
-	hier, err := treecover.BuildHierarchy(g, k)
+	hier, err := treecover.BuildHierarchyP(g, k, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -208,6 +208,26 @@ func (s Sketch) Clone() Sketch {
 	return out
 }
 
+// CloneInto copies s into dst, reusing dst's capacity when it suffices, and
+// returns the copy. Hot decode paths call this with pooled scratch so warm
+// queries never allocate; the returned slice aliases dst unless it had to
+// grow.
+func (s Sketch) CloneInto(dst Sketch) Sketch {
+	if cap(dst) < len(s) {
+		dst = make(Sketch, len(s))
+	}
+	dst = dst[:len(s)]
+	copy(dst, s)
+	return dst
+}
+
+// Reset zeroes the sketch in place so its storage can be reused.
+func (s Sketch) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 // IsZero reports whether the sketch is all zero.
 func (s Sketch) IsZero() bool {
 	for _, w := range s {
@@ -216,6 +236,45 @@ func (s Sketch) IsZero() bool {
 		}
 	}
 	return true
+}
+
+// Slab backs a run of equally sized sketches with one contiguous []uint64
+// allocation, so cloning a fault context's component sketches is a single
+// copy and neighbouring components share cache lines (the hub-labeling
+// "flat arrays, scanned linearly" shape).
+type Slab struct {
+	words int
+	buf   []uint64
+}
+
+// NewSlab returns a slab of count all-zero sketches of words words each.
+func NewSlab(words, count int) *Slab {
+	return &Slab{words: words, buf: make([]uint64, words*count)}
+}
+
+// NewSlab returns a slab of count all-zero sketches sized for this engine.
+func (e *Engine) NewSlab(count int) *Slab { return NewSlab(e.Words(), count) }
+
+// Len returns the number of sketches in the slab.
+func (sl *Slab) Len() int {
+	if sl.words == 0 {
+		return 0
+	}
+	return len(sl.buf) / sl.words
+}
+
+// At returns the i-th sketch, aliasing the slab's storage.
+func (sl *Slab) At(i int) Sketch { return Sketch(sl.buf[i*sl.words : (i+1)*sl.words]) }
+
+// CloneInto copies the slab into dst, reusing dst's buffer capacity when it
+// suffices — zero heap allocations once dst has reached its high-water mark.
+func (sl *Slab) CloneInto(dst *Slab) {
+	dst.words = sl.words
+	if cap(dst.buf) < len(sl.buf) {
+		dst.buf = make([]uint64, len(sl.buf))
+	}
+	dst.buf = dst.buf[:len(sl.buf)]
+	copy(dst.buf, sl.buf)
 }
 
 // FindOutgoing scans the cells of the given basic unit for one that holds a
@@ -230,4 +289,16 @@ func (e *Engine) FindOutgoing(s Sketch, unit int) (eid.Fields, bool) {
 		}
 	}
 	return eid.Fields{}, false
+}
+
+// FindOutgoingInto is FindOutgoing decoding into a caller-supplied Fields
+// (reusing its extra-payload capacity); f is only written on success. The
+// allocation-free variant hot decode loops use.
+func (e *Engine) FindOutgoingInto(s Sketch, unit int, f *eid.Fields) bool {
+	for level := e.params.Levels - 1; level >= 0; level-- {
+		if e.layout.ValidateInto(e.cell(s, unit, level), e.seedID, f) {
+			return true
+		}
+	}
+	return false
 }

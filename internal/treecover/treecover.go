@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"ftrouting/internal/graph"
+	"ftrouting/internal/parallel"
 )
 
 // Cluster is one tree of the cover: an induced subgraph of G on the
@@ -156,22 +157,30 @@ type Hierarchy struct {
 }
 
 // BuildHierarchy computes covers for every scale. K is derived from a
-// diameter upper bound, giving the paper's K = O(log(nW)) scales.
+// diameter upper bound, giving the paper's K = O(log(nW)) scales. Scales
+// are built concurrently on every available core; see BuildHierarchyP.
 func BuildHierarchy(g *graph.Graph, k int) (*Hierarchy, error) {
+	return BuildHierarchyP(g, k, 0)
+}
+
+// BuildHierarchyP is BuildHierarchy with an explicit worker count
+// (parallel.Workers semantics: <= 0 means GOMAXPROCS, 1 means
+// sequential). Each scale's cover is an independent, seedless
+// region-growing run — its output depends only on (g, rho, k) — so the
+// hierarchy is bit-identical at every parallelism level.
+func BuildHierarchyP(g *graph.Graph, k, parallelism int) (*Hierarchy, error) {
 	bound := graph.DiameterUpperBound(g)
 	kScales := 0
 	for v := int64(1); v < bound; v <<= 1 {
 		kScales++
 	}
-	h := &Hierarchy{G: g, K: kScales}
-	for i := 0; i <= kScales; i++ {
-		cover, err := Build(g, int64(1)<<uint(i), k)
-		if err != nil {
-			return nil, err
-		}
-		h.Scales = append(h.Scales, cover)
+	scales, err := parallel.Map(parallelism, kScales+1, func(i int) (*Cover, error) {
+		return Build(g, int64(1)<<uint(i), k)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return h, nil
+	return &Hierarchy{G: g, K: kScales, Scales: scales}, nil
 }
 
 // Cluster returns the cluster j of scale i.

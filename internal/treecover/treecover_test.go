@@ -2,6 +2,8 @@ package treecover
 
 import (
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"ftrouting/internal/graph"
@@ -219,6 +221,94 @@ func TestStats(t *testing.T) {
 	}
 	if float64(st.MaxOverlap) < st.AvgOverlap {
 		t.Fatal("max < avg")
+	}
+}
+
+// hierarchyGenerators is the topology matrix the determinism tests run
+// over: each entry exercises a different cover shape (dense random,
+// weighted, grid, path, disconnected).
+func hierarchyGenerators() map[string]*graph.Graph {
+	disc := graph.New(20)
+	disc.MustAddEdge(0, 1, 1)
+	disc.MustAddEdge(1, 2, 3)
+	disc.MustAddEdge(3, 4, 1)
+	disc.MustAddEdge(10, 11, 2)
+	disc.MustAddEdge(11, 12, 2)
+	return map[string]*graph.Graph{
+		"random":       graph.RandomConnected(60, 100, 11),
+		"weighted":     graph.WithRandomWeights(graph.RandomConnected(50, 80, 4), 9, 13),
+		"grid":         graph.Grid(7, 7),
+		"path":         graph.Path(40),
+		"disconnected": disc,
+	}
+}
+
+func TestHierarchyParallelDeterminism(t *testing.T) {
+	for name, g := range hierarchyGenerators() {
+		for _, k := range []int{1, 2, 3} {
+			seq, err := BuildHierarchyP(g, k, 1)
+			if err != nil {
+				t.Fatalf("%s k=%d sequential: %v", name, k, err)
+			}
+			par, err := BuildHierarchyP(g, k, 0) // GOMAXPROCS workers
+			if err != nil {
+				t.Fatalf("%s k=%d parallel: %v", name, k, err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("%s k=%d: parallel hierarchy differs from sequential", name, k)
+			}
+		}
+	}
+}
+
+func TestHierarchyConcurrentBuilds(t *testing.T) {
+	// Concurrent BuildHierarchy calls over a shared graph must not race
+	// (run under -race) and must all produce the sequential hierarchy.
+	g := graph.WithRandomWeights(graph.RandomConnected(50, 80, 21), 6, 17)
+	want, err := BuildHierarchyP(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]*Hierarchy, 4)
+	errs := make([]error, 4)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = BuildHierarchy(g, 2)
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("build %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(want, got[i]) {
+			t.Fatalf("concurrent build %d differs from sequential", i)
+		}
+	}
+}
+
+func BenchmarkHierarchyBuildSequential(b *testing.B) {
+	g := graph.WithRandomWeights(graph.RandomConnected(200, 400, 3), 7, 29)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildHierarchyP(g, 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHierarchyBuildParallel(b *testing.B) {
+	g := graph.WithRandomWeights(graph.RandomConnected(200, 400, 3), 7, 29)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildHierarchyP(g, 2, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -78,35 +78,54 @@ func (c Codec) Encode(l Label) ([]uint64, error) {
 
 // Decode unpacks a label previously produced by Encode.
 func (c Codec) Decode(words []uint64) (Label, error) {
-	if len(words) != c.Words() {
-		return Label{}, fmt.Errorf("treeroute: encoded label has %d words, codec expects %d", len(words), c.Words())
+	var l Label
+	if err := c.DecodeInto(words, &l); err != nil {
+		return Label{}, err
 	}
-	l := Label{Anc: ancestry.Label{In: uint32(words[0]), Out: uint32(words[0] >> 32)}}
+	return l, nil
+}
+
+// DecodeInto is Decode into a caller-supplied label, reusing its hop and
+// Γ-port storage — the allocation-free variant the warm route walk calls
+// once per tree step. On error l's content is unspecified.
+func (c Codec) DecodeInto(words []uint64, l *Label) error {
+	if len(words) != c.Words() {
+		return fmt.Errorf("treeroute: encoded label has %d words, codec expects %d", len(words), c.Words())
+	}
+	l.Anc = ancestry.Label{In: uint32(words[0]), Out: uint32(words[0] >> 32)}
 	hops := int(words[1])
 	if hops > c.MaxHops {
-		return Label{}, fmt.Errorf("treeroute: encoded hop count %d exceeds codec max %d", hops, c.MaxHops)
+		return fmt.Errorf("treeroute: encoded hop count %d exceeds codec max %d", hops, c.MaxHops)
 	}
+	out := l.Hops[:0]
 	w := 2
 	for i := 0; i < hops; i++ {
-		hw := words[w]
-		h := LightHop{
-			ParentIn: uint32(hw),
-			Port:     int32(uint16(hw >> 32)),
+		// Extend by one slot within capacity so the slot's Gamma buffer is
+		// retained across decodes.
+		if len(out) < cap(out) {
+			out = out[:len(out)+1]
+		} else {
+			out = append(out, LightHop{})
 		}
+		h := &out[len(out)-1]
+		hw := words[w]
+		h.ParentIn = uint32(hw)
+		h.Port = int32(uint16(hw >> 32))
 		gLen := int(hw >> 48)
 		w++
 		gw := c.gammaWords()
+		gamma := h.Gamma[:0]
 		if gLen > 0 {
 			if gLen > 2*c.GammaF+1 {
-				return Label{}, fmt.Errorf("treeroute: encoded gamma length %d exceeds bound", gLen)
+				return fmt.Errorf("treeroute: encoded gamma length %d exceeds bound", gLen)
 			}
-			h.Gamma = make([]int32, gLen)
 			for j := 0; j < gLen; j++ {
-				h.Gamma[j] = int32(uint16(words[w+j/4] >> (16 * (uint(j) % 4))))
+				gamma = append(gamma, int32(uint16(words[w+j/4]>>(16*(uint(j)%4)))))
 			}
 		}
+		h.Gamma = gamma
 		w += gw
-		l.Hops = append(l.Hops, h)
 	}
-	return l, nil
+	l.Hops = out
+	return nil
 }

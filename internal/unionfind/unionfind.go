@@ -12,15 +12,26 @@ type UF struct {
 
 // New returns a forest of n singleton sets.
 func New(n int) *UF {
-	u := &UF{
-		parent: make([]int32, n),
-		rank:   make([]int8, n),
-		sets:   n,
+	u := &UF{}
+	u.Reset(n)
+	return u
+}
+
+// Reset reinitializes the forest to n singleton sets, reusing the existing
+// storage when it is large enough. Hot decode paths keep a UF in pooled
+// scratch and Reset it per query instead of allocating a fresh forest.
+func (u *UF) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
+		u.rank = make([]int8, n)
 	}
+	u.parent = u.parent[:n]
+	u.rank = u.rank[:n]
 	for i := range u.parent {
 		u.parent[i] = int32(i)
+		u.rank[i] = 0
 	}
-	return u
+	u.sets = n
 }
 
 // Find returns the canonical representative of x's set.

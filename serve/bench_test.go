@@ -75,6 +75,7 @@ func benchServeOpts(b *testing.B, scheme any, endpoint string, g *ftrouting.Grap
 	}
 	url := ts.URL + "/v1/" + endpoint
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		raw, err := json.Marshal(QueryRequest{Pairs: pairs, Faults: faultsFor(i)})
